@@ -1,0 +1,36 @@
+# latencyhide — build / test / reproduce targets
+
+GO ?= go
+
+.PHONY: all build test race bench experiments examples clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/sim ./internal/overlap ./internal/mesharray
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate the full paper reproduction record (see EXPERIMENTS.md).
+experiments:
+	$(GO) run ./cmd/experiments -scale full -o EXPERIMENTS-data.md
+	$(GO) run ./cmd/experiments -scale full -csvdir experiments-csv
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/heatring
+	$(GO) run ./examples/kvreplay
+	$(GO) run ./examples/mesh2d
+	$(GO) run ./examples/butterfly
+	$(GO) run ./examples/sortarray
+
+clean:
+	rm -rf experiments-csv

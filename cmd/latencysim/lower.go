@@ -1,0 +1,93 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"latencyhide/internal/assign"
+	"latencyhide/internal/lower"
+	"latencyhide/internal/metrics"
+	"latencyhide/internal/network"
+)
+
+// cmdLower certifies the paper's lower bounds on the special hosts: the
+// Theorem 9 single-copy adversary on H1 and the Theorem 10 two-copy case
+// analysis on H2.
+func cmdLower(args []string) error {
+	fs := flag.NewFlagSet("lower", flag.ExitOnError)
+	which := fs.String("host", "h1", "lower-bound host: h1 (Theorem 9) | h2 (Theorem 10)")
+	n := fs.Int("n", 1024, "host parameter n")
+	showPath := fs.Bool("path", false, "print the Figure 6 zigzag witness path (h2)")
+	fs.Parse(args)
+
+	switch *which {
+	case "h1":
+		minLB, details, err := lower.H1Adversary(*n, *n)
+		if err != nil {
+			return err
+		}
+		t := metrics.NewTable(fmt.Sprintf("Theorem 9 on H1(n=%d): certified slowdown bounds per strategy", *n),
+			"strategy", "hosts used", "certified LB")
+		for _, d := range details {
+			t.AddRow(d.Name, d.Used, d.LB)
+		}
+		t.AddNote("theorem: every single-copy placement pays >= sqrt(n) = %d; weakest strategy certifies %d",
+			network.ISqrt(*n), minLB)
+		t.Fprint(os.Stdout)
+		return nil
+	case "h2":
+		spec := network.H2(*n)
+		hostN := spec.Net.NumNodes()
+		m := hostN / 2
+		strategies := map[string]func(c int) (int, int){
+			"mirrored-halves": func(c int) (int, int) { p := c * (hostN / 2) / m; return p, p + hostN/2 },
+			"adjacent-pair":   func(c int) (int, int) { p := c * (hostN - 1) / m; return p, p + 1 },
+			"single-copy":     func(c int) (int, int) { p := c * hostN / m; return p, p },
+		}
+		t := metrics.NewTable(fmt.Sprintf("Theorem 10 on H2(n=%d, %d processors, %d segments)",
+			*n, hostN, spec.NumSegments()),
+			"strategy", "load", "case", "certified slowdown LB")
+		for name, place := range strategies {
+			owned := make([][]int, hostN)
+			for c := 0; c < m; c++ {
+				p, q := place(c)
+				owned[p] = append(owned[p], c)
+				if q != p {
+					owned[q] = append(owned[q], c)
+				}
+			}
+			a, err := assign.FromOwned(hostN, m, owned)
+			if err != nil {
+				return err
+			}
+			cert, err := lower.CertifyTwoCopy(spec, a, a.Load())
+			if err != nil {
+				return err
+			}
+			t.AddRow(name, a.Load(), cert.Case, cert.SlowdownLB)
+		}
+		t.AddNote("theorem: any <=2-copy constant-load placement pays Omega(log n); log n = %d here",
+			network.Log2Ceil(spec.N))
+		t.Fprint(os.Stdout)
+		if *showPath {
+			// the proof's 4j-pebble dependency path (Figure 6) for a
+			// small overlap run
+			j := 4
+			path, err := lower.ZigzagPath(0, j, 4*j)
+			if err != nil {
+				return err
+			}
+			if err := lower.VerifyZigzag(path); err != nil {
+				return err
+			}
+			fmt.Printf("\nFigure 6 zigzag path (j=%d, %d pebbles, dependency-checked):\n", j, len(path))
+			for k, p := range path {
+				fmt.Printf("  tau_%-2d = (col %2d, step %2d)\n", k+1, p.Col, p.Step)
+			}
+		}
+		return nil
+	default:
+		return fmt.Errorf("unknown lower-bound host %q (h1|h2)", *which)
+	}
+}

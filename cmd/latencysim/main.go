@@ -1,0 +1,403 @@
+// Command latencysim is the CLI for the latencyhide library: it inspects
+// host topologies, runs single OVERLAP simulations, sweeps parameters and
+// regenerates the paper experiments.
+//
+// Usage:
+//
+//	latencysim topo   -host mesh -n 256 [-delay exp -mean 3] [-tree] [-o host.json]
+//	latencysim run    -host random -n 256 -variant twolevel -steps 64 -check [-trace]
+//	latencysim sweep  -host line -from 128 -to 2048 -csv
+//	latencysim guest  -guest butterfly -gn 5 -host random -layout auto
+//	latencysim plan   -host @host.json
+//	latencysim lower  -host h2 -n 1024 [-path]
+//	latencysim exp    [-scale full] [-md] [-only E3]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"latencyhide/internal/embedding"
+	"latencyhide/internal/expt"
+	"latencyhide/internal/metrics"
+	"latencyhide/internal/network"
+	"latencyhide/internal/overlap"
+	"latencyhide/internal/tree"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "topo":
+		err = cmdTopo(os.Args[2:])
+	case "run":
+		err = cmdRun(os.Args[2:])
+	case "sweep":
+		err = cmdSweep(os.Args[2:])
+	case "exp", "experiments":
+		err = cmdExp(os.Args[2:])
+	case "lower":
+		err = cmdLower(os.Args[2:])
+	case "plan":
+		err = cmdPlan(os.Args[2:])
+	case "guest":
+		err = cmdGuest(os.Args[2:])
+	case "-h", "--help", "help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "latencysim: unknown command %q\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "latencysim: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `latencysim <command> [flags]
+
+commands:
+  topo    describe a host topology and its dilation-3 line embedding
+  run     run one OVERLAP simulation and print measurements
+  sweep   sweep host size and print a slowdown table (or CSV)
+  guest   simulate a tree/hypercube/butterfly/array guest via a 1-D layout
+  plan    analyse a host and recommend OVERLAP parameters
+  lower   certify the Theorem 9 / Theorem 10 lower bounds on H1 / H2
+  exp     regenerate the paper experiments (E1..E15)`)
+}
+
+// hostFlags builds a host network from common flags.
+type hostFlags struct {
+	kind  *string
+	n     *int
+	deg   *int
+	delay *string
+	mean  *float64
+	far   *int
+	p     *float64
+	seed  *int64
+}
+
+func addHostFlags(fs *flag.FlagSet) *hostFlags {
+	return &hostFlags{
+		kind:  fs.String("host", "line", "topology: line|ring|mesh|torus|hypercube|btree|random|ccc|h1|h2|cliquechain, or @file.json"),
+		n:     fs.Int("n", 256, "approximate workstation count"),
+		deg:   fs.Int("deg", 4, "max degree for random hosts"),
+		delay: fs.String("delay", "bimodal", "delay distribution: const|uniform|bimodal|pareto|exp"),
+		mean:  fs.Float64("mean", 4, "mean for exp/const delays"),
+		far:   fs.Int("far", 64, "far delay for bimodal"),
+		p:     fs.Float64("p", 0.02, "far-link probability for bimodal"),
+		seed:  fs.Int64("seed", 1, "topology seed"),
+	}
+}
+
+func (h *hostFlags) source() network.DelaySource {
+	switch *h.delay {
+	case "const":
+		return network.ConstDelay(int(*h.mean))
+	case "uniform":
+		return network.UniformDelay{Lo: 1, Hi: int(2**h.mean - 1)}
+	case "pareto":
+		return network.ParetoDelay{Alpha: 1.2, Scale: *h.mean - 1, Cap: 100 * *h.n}
+	case "exp":
+		return network.ExpDelay{Mean: *h.mean}
+	default:
+		return network.BimodalDelay{Near: 1, Far: *h.far, P: *h.p}
+	}
+}
+
+func (h *hostFlags) build() (*network.Network, error) {
+	if strings.HasPrefix(*h.kind, "@") {
+		f, err := os.Open((*h.kind)[1:])
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return network.ReadJSON(f)
+	}
+	n, seed, src := *h.n, *h.seed, h.source()
+	switch *h.kind {
+	case "line":
+		return network.Line(n, src, seed), nil
+	case "ring":
+		return network.Ring(n, src, seed), nil
+	case "mesh":
+		s := network.ISqrt(n)
+		return network.Mesh2D(s, s, src, seed), nil
+	case "torus":
+		s := network.ISqrt(n)
+		return network.Torus2D(s, s, src, seed), nil
+	case "hypercube":
+		return network.Hypercube(network.Log2Floor(n), src, seed), nil
+	case "btree":
+		h := network.Log2Floor(n+1) - 1
+		return network.CompleteBinaryTree(h, src, seed), nil
+	case "random":
+		return network.RandomNOW(n, *h.deg, src, seed), nil
+	case "ccc":
+		return network.CCC(network.Log2Floor(max(n/3, 8)), src, seed), nil
+	case "h1":
+		return network.H1(n), nil
+	case "h2":
+		return network.H2(n).Net, nil
+	case "cliquechain":
+		return network.CliqueChain(network.ISqrt(n)), nil
+	default:
+		return nil, fmt.Errorf("unknown host kind %q", *h.kind)
+	}
+}
+
+func cmdTopo(args []string) error {
+	fs := flag.NewFlagSet("topo", flag.ExitOnError)
+	hf := addHostFlags(fs)
+	out := fs.String("o", "", "also write the topology as JSON to this file")
+	showTree := fs.Bool("tree", false, "render the interval tree over the embedded line")
+	fs.Parse(args)
+	g, err := hf.build()
+	if err != nil {
+		return err
+	}
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := g.WriteJSON(f); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", *out)
+	}
+	s := g.Stats()
+	fmt.Printf("%s\n", g)
+	fmt.Printf("  nodes=%d links=%d connected=%v\n", s.Nodes, s.Links, s.Connected)
+	fmt.Printf("  d_ave=%.3f d_max=%d d_min=%d max_degree=%d\n", s.AvgDelay, s.MaxDelay, s.MinDelay, s.MaxDegree)
+	line, err := embedding.Embed(g, 0)
+	if err != nil {
+		return err
+	}
+	es := line.Stats(g)
+	fmt.Printf("  line embedding: dilation=%d line_d_ave=%.3f line_d_max=%d inflation=%.2fx\n",
+		es.Dilation, es.LineAvgDelay, es.LineMaxDelay, es.Inflation)
+	if *showTree {
+		tr := tree.Build(line.Delays, 4)
+		if err := tr.CheckLemmas(); err != nil {
+			return err
+		}
+		tr.Render(os.Stdout, 72)
+	}
+	return nil
+}
+
+func parseVariant(s string) (overlap.Variant, error) {
+	switch strings.ToLower(s) {
+	case "loadone", "load-one", "load1":
+		return overlap.LoadOne, nil
+	case "workefficient", "work-efficient", "we":
+		return overlap.WorkEfficient, nil
+	case "twolevel", "two-level", "2l":
+		return overlap.TwoLevel, nil
+	default:
+		return 0, fmt.Errorf("unknown variant %q (loadone|workefficient|twolevel)", s)
+	}
+}
+
+func cmdRun(args []string) error {
+	fs := flag.NewFlagSet("run", flag.ExitOnError)
+	hf := addHostFlags(fs)
+	variant := fs.String("variant", "twolevel", "overlap variant: loadone|workefficient|twolevel")
+	steps := fs.Int("steps", 64, "guest steps")
+	beta := fs.Int("beta", 0, "database block size (0 = default)")
+	bw := fs.Int("bw", 0, "link bandwidth in pebbles/step (0 = log n)")
+	workers := fs.Int("workers", 0, "parallel engine chunks (0 = sequential)")
+	check := fs.Bool("check", false, "verify replica digests against the reference executor")
+	seed := fs.Int64("guestseed", 7, "guest computation seed")
+	trace := fs.Bool("trace", false, "print a utilization timeline")
+	fs.Parse(args)
+
+	g, err := hf.build()
+	if err != nil {
+		return err
+	}
+	v, err := parseVariant(*variant)
+	if err != nil {
+		return err
+	}
+	opts := overlap.Options{
+		Variant: v, Steps: *steps, Beta: *beta, Seed: *seed,
+		Bandwidth: *bw, Workers: *workers, Check: *check,
+	}
+	out, err := overlap.Simulate(g, opts)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("host: %s\n", g)
+	fmt.Printf("embedding: dilation=%d line_d_ave=%.3f\n", out.Dilation, out.Dave)
+	fmt.Printf("tree: live=%d/%d killed=(%d,%d) guest_units=%d\n",
+		out.LiveProcs, out.HostN, out.KilledStage1, out.KilledStage2, out.GuestUnits)
+	fmt.Printf("assignment: variant=%s guest_cols=%d load=%d copies<=%d redundancy=%.2f\n",
+		out.Variant, out.GuestCols, out.Load, out.MaxCopies, out.Redundancy)
+	fmt.Printf("run: guest_steps=%d host_steps=%d slowdown=%.2f (bound ~ %.0f)\n",
+		out.Sim.GuestSteps, out.Sim.HostSteps, out.Sim.Slowdown, out.PredictedSlowdown)
+	if line, err2 := embedding.Embed(g, 0); err2 == nil {
+		if sched, err2 := overlap.BuildSchedule(tree.Build(line.Delays, 4), 1); err2 == nil {
+			fmt.Printf("schedule: Theorem 1 timetable bounds one round of %d steps by %d host steps (slowdown %.0f)\n",
+				sched.RoundSteps(), sched.RoundBound(), sched.SlowdownBound())
+		}
+	}
+	fmt.Printf("work: pebbles=%d redundancy=%.2f efficiency=%.2f msgs=%d hops=%d\n",
+		out.Sim.PebblesComputed, out.Sim.Redundancy, out.Efficiency(), out.Sim.Messages, out.Sim.MessageHops)
+	if out.Sim.Checked {
+		fmt.Println("check: all database replicas match the sequential reference executor")
+	}
+	if *trace {
+		if err := printTrace(g, opts, out); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// printTrace reruns the configuration with a trace window sized to ~60
+// buckets and prints compute-utilization and traffic sparklines.
+func printTrace(g *network.Network, opts overlap.Options, prev *overlap.Outcome) error {
+	window := int(prev.Sim.HostSteps / 60)
+	if window < 1 {
+		window = 1
+	}
+	line, err := embedding.Embed(g, 0)
+	if err != nil {
+		return err
+	}
+	// rerun on the embedded line with tracing (cheap relative to insight)
+	o := opts
+	o.Check = false
+	o.TraceWindow = window
+	res, err := overlap.SimulateLine(line.Delays, o)
+	if err != nil {
+		return err
+	}
+	util := res.Sim.Trace.Utilization(prev.LiveProcs)
+	fmt.Printf("trace (window = %d host steps):\n", window)
+	fmt.Printf("  compute utilization  %s\n", spark(util))
+	hops := make([]float64, len(res.Sim.Trace.Hops))
+	var hmax float64
+	for i, h := range res.Sim.Trace.Hops {
+		hops[i] = float64(h)
+		if hops[i] > hmax {
+			hmax = hops[i]
+		}
+	}
+	if hmax > 0 {
+		for i := range hops {
+			hops[i] /= hmax
+		}
+	}
+	fmt.Printf("  link traffic (rel.)  %s\n", spark(hops))
+	return nil
+}
+
+// spark renders values in [0,1] as a unicode sparkline.
+func spark(vals []float64) string {
+	ramp := []rune(" .:-=+*#%@")
+	out := make([]rune, len(vals))
+	for i, v := range vals {
+		if v < 0 {
+			v = 0
+		}
+		if v > 1 {
+			v = 1
+		}
+		out[i] = ramp[int(v*float64(len(ramp)-1)+0.5)]
+	}
+	return string(out)
+}
+
+func cmdSweep(args []string) error {
+	fs := flag.NewFlagSet("sweep", flag.ExitOnError)
+	hf := addHostFlags(fs)
+	variant := fs.String("variant", "twolevel", "overlap variant")
+	steps := fs.Int("steps", 48, "guest steps")
+	from := fs.Int("from", 128, "smallest n")
+	to := fs.Int("to", 1024, "largest n")
+	csv := fs.Bool("csv", false, "emit CSV instead of an aligned table")
+	fs.Parse(args)
+
+	v, err := parseVariant(*variant)
+	if err != nil {
+		return err
+	}
+	t := metrics.NewTable(fmt.Sprintf("sweep %s host, variant %s", *hf.kind, v),
+		"n", "d_ave", "d_max", "guest", "load", "slowdown", "efficiency")
+	var xs, ys []float64
+	for n := *from; n <= *to; n *= 2 {
+		*hf.n = n
+		g, err := hf.build()
+		if err != nil {
+			return err
+		}
+		out, err := overlap.Simulate(g, overlap.Options{Variant: v, Steps: *steps, Seed: 7})
+		if err != nil {
+			return err
+		}
+		t.AddRow(n, out.Dave, out.Dmax, out.GuestCols, out.Load, out.Sim.Slowdown, out.Efficiency())
+		xs = append(xs, float64(n))
+		ys = append(ys, out.Sim.Slowdown)
+	}
+	t.AddNote("log-log slope of slowdown vs n: %.2f", metrics.LogLogSlope(xs, ys))
+	if *csv {
+		t.CSV(os.Stdout)
+	} else {
+		t.Fprint(os.Stdout)
+	}
+	return nil
+}
+
+func cmdExp(args []string) error {
+	fs := flag.NewFlagSet("exp", flag.ExitOnError)
+	scaleStr := fs.String("scale", "quick", "experiment scale: quick|full")
+	md := fs.Bool("md", false, "emit markdown tables")
+	only := fs.String("only", "", "run a single experiment, e.g. E3")
+	fs.Parse(args)
+
+	scale, err := expt.ParseScale(*scaleStr)
+	if err != nil {
+		return err
+	}
+	if *only != "" {
+		e := expt.Get(strings.ToUpper(*only))
+		if e == nil {
+			return fmt.Errorf("unknown experiment %q", *only)
+		}
+		fmt.Printf("=== %s: %s (%s) ===\n\n", e.ID, e.Title, e.Paper)
+		tables, err := e.Run(scale)
+		if err != nil {
+			return err
+		}
+		for _, t := range tables {
+			if *md {
+				t.Markdown(os.Stdout)
+			} else {
+				t.Fprint(os.Stdout)
+				fmt.Println()
+			}
+		}
+		return nil
+	}
+	return expt.RunAll(os.Stdout, scale, *md)
+}

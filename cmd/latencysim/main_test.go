@@ -1,0 +1,143 @@
+package main
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestParseVariant(t *testing.T) {
+	good := map[string]string{
+		"loadone": "load-one", "load-one": "load-one", "load1": "load-one",
+		"workefficient": "work-efficient", "we": "work-efficient",
+		"twolevel": "two-level", "2l": "two-level", "TwoLevel": "two-level",
+	}
+	for in, want := range good {
+		v, err := parseVariant(in)
+		if err != nil || v.String() != want {
+			t.Errorf("parseVariant(%q) = %v, %v", in, v, err)
+		}
+	}
+	if _, err := parseVariant("bogus"); err == nil {
+		t.Fatal("bogus variant accepted")
+	}
+}
+
+func buildHost(t *testing.T, args ...string) *hostFlags {
+	t.Helper()
+	fs := flag.NewFlagSet("t", flag.ContinueOnError)
+	hf := addHostFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		t.Fatal(err)
+	}
+	return hf
+}
+
+func TestHostFlagsBuild(t *testing.T) {
+	for _, kind := range []string{"line", "ring", "mesh", "torus", "hypercube", "btree", "random", "ccc", "h1", "h2", "cliquechain"} {
+		hf := buildHost(t, "-host", kind, "-n", "64")
+		g, err := hf.build()
+		if err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		if g.NumNodes() < 8 {
+			t.Fatalf("%s: %d nodes", kind, g.NumNodes())
+		}
+		if !g.IsConnected() {
+			t.Fatalf("%s: disconnected", kind)
+		}
+	}
+	hf := buildHost(t, "-host", "nonsense")
+	if _, err := hf.build(); err == nil {
+		t.Fatal("unknown host accepted")
+	}
+}
+
+func TestHostFlagsDelaySources(t *testing.T) {
+	for _, d := range []string{"const", "uniform", "bimodal", "pareto", "exp"} {
+		hf := buildHost(t, "-delay", d, "-n", "32")
+		g, err := hf.build()
+		if err != nil {
+			t.Fatalf("%s: %v", d, err)
+		}
+		if g.MaxDelay() < 1 {
+			t.Fatalf("%s: no delays", d)
+		}
+	}
+}
+
+func TestHostFromJSONFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "host.json")
+	if err := os.WriteFile(path, []byte(`{"nodes":3,"links":[[0,1,2],[1,2,5]]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	hf := buildHost(t, "-host", "@"+path)
+	g, err := hf.build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 3 || g.MaxDelay() != 5 {
+		t.Fatalf("loaded %v", g)
+	}
+	hf = buildHost(t, "-host", "@"+filepath.Join(dir, "missing.json"))
+	if _, err := hf.build(); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestSpark(t *testing.T) {
+	s := spark([]float64{0, 0.5, 1, -3, 9})
+	if len([]rune(s)) != 5 {
+		t.Fatalf("spark %q", s)
+	}
+	r := []rune(s)
+	if r[0] != ' ' || r[2] != '@' || r[3] != ' ' || r[4] != '@' {
+		t.Fatalf("spark clamps wrong: %q", s)
+	}
+}
+
+// Smoke tests: drive each subcommand's implementation directly on tiny
+// inputs (they print to stdout, which `go test` captures).
+func TestSubcommandSmoke(t *testing.T) {
+	if err := cmdPlan([]string{"-host", "line", "-n", "64"}); err != nil {
+		t.Fatalf("plan: %v", err)
+	}
+	if err := cmdLower([]string{"-host", "h1", "-n", "64"}); err != nil {
+		t.Fatalf("lower h1: %v", err)
+	}
+	if err := cmdLower([]string{"-host", "h2", "-n", "64"}); err != nil {
+		t.Fatalf("lower h2: %v", err)
+	}
+	if err := cmdLower([]string{"-host", "zzz"}); err == nil {
+		t.Fatal("bad lower host accepted")
+	}
+	if err := cmdGuest([]string{"-guest", "tree", "-gn", "4", "-host", "line", "-n", "32", "-steps", "3"}); err != nil {
+		t.Fatalf("guest: %v", err)
+	}
+	if err := cmdGuest([]string{"-guest", "zzz"}); err == nil {
+		t.Fatal("bad guest accepted")
+	}
+	if err := cmdGuest([]string{"-guest", "ring", "-gn", "12", "-layout", "zzz"}); err == nil {
+		t.Fatal("bad layout accepted")
+	}
+	if err := cmdRun([]string{"-host", "line", "-n", "48", "-steps", "8", "-variant", "loadone"}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if err := cmdTopo([]string{"-host", "ring", "-n", "32", "-tree"}); err != nil {
+		t.Fatalf("topo: %v", err)
+	}
+	if err := cmdSweep([]string{"-host", "line", "-from", "32", "-to", "64", "-steps", "4", "-csv"}); err != nil {
+		t.Fatalf("sweep: %v", err)
+	}
+	if err := cmdExp([]string{"-only", "E10"}); err != nil {
+		t.Fatalf("exp: %v", err)
+	}
+	if err := cmdExp([]string{"-only", "E99"}); err == nil {
+		t.Fatal("bad experiment accepted")
+	}
+	if err := cmdExp([]string{"-scale", "zzz"}); err == nil {
+		t.Fatal("bad scale accepted")
+	}
+}

@@ -1,0 +1,79 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"latencyhide/internal/embedding"
+	"latencyhide/internal/metrics"
+	"latencyhide/internal/network"
+	"latencyhide/internal/overlap"
+	"latencyhide/internal/tree"
+)
+
+// cmdPlan analyses a host and recommends OVERLAP parameters: it embeds the
+// line, runs the interval tree, evaluates the Theorem 1 schedule bound, and
+// sizes the Theorem 4/5 replication margins to the measured delay profile.
+func cmdPlan(args []string) error {
+	fs := flag.NewFlagSet("plan", flag.ExitOnError)
+	hf := addHostFlags(fs)
+	c := fs.Int("c", 4, "tree constant (> 2)")
+	fs.Parse(args)
+
+	g, err := hf.build()
+	if err != nil {
+		return err
+	}
+	line, err := embedding.EmbedBest(g)
+	if err != nil {
+		return err
+	}
+	es := line.Stats(g)
+	tr := tree.Build(line.Delays, *c)
+	if err := tr.CheckLemmas(); err != nil {
+		return err
+	}
+	sched, err := overlap.BuildSchedule(tr, 1)
+	if err != nil {
+		return err
+	}
+
+	dmax := 0
+	for _, d := range line.Delays {
+		if d > dmax {
+			dmax = d
+		}
+	}
+	sMax := network.ISqrt(dmax)
+	sAve := network.ISqrt(int(tr.Dave + 0.5))
+	if sAve < 1 {
+		sAve = 1
+	}
+
+	fmt.Printf("host: %s\n", g)
+	fmt.Printf("embedded line: d_ave=%.2f d_max=%d dilation=%d (best of 3 roots)\n",
+		es.LineAvgDelay, dmax, es.Dilation)
+	fmt.Printf("interval tree: live=%d/%d killed=(%d,%d) guest units n'=%d\n",
+		tr.LiveCount(), tr.N, tr.KilledStage1, tr.KilledStage2, tr.GuestSize())
+	fmt.Printf("Theorem 1 schedule: one round of %d guest steps within %d host steps (slowdown bound %.0f)\n\n",
+		sched.RoundSteps(), sched.RoundBound(), sched.SlowdownBound())
+
+	t := metrics.NewTable("recommended configurations",
+		"goal", "variant", "params", "load/unit", "expected slowdown")
+	t.AddRow("min memory", "loadone", "-", 1,
+		fmt.Sprintf("~d_max = %d (no margins)", dmax))
+	t.AddRow("hide average delay", "twolevel",
+		fmt.Sprintf("-beta 2 (s=sqrt(d_ave)=%d)", sAve), (2+2)*sAve,
+		fmt.Sprintf("~5*sqrt(d_ave) = %d", 5*sAve))
+	t.AddRow("hide worst link", "twolevel",
+		fmt.Sprintf("-beta 2 (SqrtD=sqrt(d_max)=%d)", sMax), (2+2)*sMax,
+		fmt.Sprintf("~5*sqrt(d_max) = %d", 5*sMax))
+	beta := overlap.DefaultBeta(tr.Dave, tr.N, 512)
+	t.AddRow("work-preserving", "workefficient",
+		fmt.Sprintf("-beta %d", beta), beta,
+		"~load (efficiency ~1)")
+	t.Fprint(os.Stdout)
+	fmt.Println("\nnote: expected slowdowns are the mechanism's scale, not guarantees; run `latencysim run -check` to measure")
+	return nil
+}

@@ -1,0 +1,111 @@
+package latencyhide_test
+
+import (
+	"fmt"
+
+	"latencyhide"
+)
+
+// Simulating a unit-delay guest ring on a heterogeneous NOW with algorithm
+// OVERLAP, verified against the sequential reference executor.
+func Example_simulateRing() {
+	host := latencyhide.LineDelays([]int{1, 1, 64, 1, 1, 1, 64, 1, 1})
+	out, err := latencyhide.SimulateLine(hostDelays(host), latencyhide.Options{
+		Variant: latencyhide.TwoLevel,
+		Beta:    2,
+		SqrtD:   8, // replication margins sized to hide the 64-delay links
+		Steps:   16,
+		Seed:    1,
+		Check:   true,
+	})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("verified=%v load=%d copies=%d\n", out.Sim.Checked, out.Load, out.MaxCopies)
+	// Output:
+	// verified=true load=32 copies=2
+}
+
+func hostDelays(g *latencyhide.Network) []int {
+	out := make([]int, g.NumLinks())
+	for i, e := range g.Edges() {
+		out[i] = e.Delay
+	}
+	return out
+}
+
+// The Theorem 4 schedule: sqrt(d) guest steps per batch of at most 5d host
+// steps on a uniform-delay host, value-exact.
+func ExampleSimulateUniform() {
+	r, err := latencyhide.SimulateUniform(8, 64, 2, 7)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("s=%d stepsPerBatch=%d (<= 5d=%d) verified=%v\n",
+		r.S, r.StepsPerBatch, 5*r.D, r.Checked)
+	// Output:
+	// s=8 stepsPerBatch=266 (<= 5d=320) verified=true
+}
+
+// Certifying the Theorem 9 lower bound: any single-copy placement on H1
+// pays slowdown at least sqrt(n).
+func ExampleH1() {
+	h1 := latencyhide.H1(256)
+	fmt.Printf("d_ave<2: %v, d_max=%d\n", h1.AvgDelay() < 2, h1.MaxDelay())
+	// Output:
+	// d_ave<2: true, d_max=16
+}
+
+// Running a real kernel (neighborhood averaging) through the simulated NOW
+// via a custom guest op.
+func ExampleGuestSpec_customOp() {
+	op := latencyhide.GuestOp(func(_ uint64, _ int, _ int, self uint64, ns []uint64) uint64 {
+		v := self
+		for _, x := range ns {
+			v += x
+		}
+		return v / uint64(len(ns)+1)
+	})
+	a, _ := latencyhide.SingleCopyBlocks(4, 16)
+	res, err := latencyhide.RunSimulation(latencyhide.SimConfig{
+		Delays: []int{2, 2, 2},
+		Guest: latencyhide.GuestSpec{
+			Graph: latencyhide.NewGuestLine(16),
+			Steps: 8,
+			Op:    op,
+			Init:  func(node int, _ int64) uint64 { return uint64(node * 100) },
+		},
+		Assign: a,
+		Check:  true,
+	})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("verified=%v pebbles=%d\n", res.Checked, res.PebblesComputed)
+	// Output:
+	// verified=true pebbles=128
+}
+
+// A butterfly guest (the FFT pattern) on a host line, arranged by rank.
+func ExampleSimulateGuest() {
+	g := latencyhide.NewGuestButterfly(3)
+	l := latencyhide.LayoutIdentity(g.NumNodes())
+	delays := make([]int, 15)
+	for i := range delays {
+		delays[i] = 1 + i%4
+	}
+	r, err := latencyhide.SimulateGuest(g, l, delays, latencyhide.GuestLayoutOptions{
+		Steps: 4,
+		Check: true,
+	})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("%s on 16 workstations: verified=%v\n", r.Guest, r.Sim.Checked)
+	// Output:
+	// guest-butterfly(3) on 16 workstations: verified=true
+}

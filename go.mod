@@ -1,0 +1,3 @@
+module latencyhide
+
+go 1.22

@@ -1,0 +1,102 @@
+// Package baseline implements the prior latency-handling approaches the
+// paper compares against in its introduction, so that every experiment can
+// report OVERLAP's slowdown next to what the older techniques would pay on
+// the same host:
+//
+//   - SlowClock: slow the whole computation to the highest latency — the
+//     circuit-level approach. Slowdown Theta(d_max), trivially.
+//   - SingleCopy: the natural no-redundancy simulation (one replica per
+//     database, contiguous blocks). This is the regime of Theorem 9; the
+//     measured slowdown approaches d_max whenever adjacent blocks are
+//     separated by a slow link.
+//   - Contraction: preserve efficiency by using only ~n/d_max host
+//     processors, so the d_max wait amortises over a large block of local
+//     work ("the prior approaches could preserve efficiency by using only
+//     n/d_max of the processors of H").
+//
+// All baselines run on the same engine and verify values the same way, so
+// comparisons are apples to apples.
+package baseline
+
+import (
+	"fmt"
+
+	"latencyhide/internal/assign"
+	"latencyhide/internal/guest"
+	"latencyhide/internal/sim"
+)
+
+// Result is a baseline measurement.
+type Result struct {
+	Name      string
+	Sim       *sim.Result
+	UsedHosts int
+}
+
+// SlowClockSlowdown is the analytic slowdown of the global-slow-clock
+// approach: every guest step costs one compute step plus a full d_max round
+// of communication.
+func SlowClockSlowdown(delays []int) float64 {
+	dmax := 0
+	for _, d := range delays {
+		if d > dmax {
+			dmax = d
+		}
+	}
+	return float64(1 + dmax)
+}
+
+// SingleCopy simulates a guest of m columns with one replica per database in
+// contiguous blocks across all host processors.
+func SingleCopy(delays []int, m, steps int, seed int64, check bool) (*Result, error) {
+	n := len(delays) + 1
+	a, err := assign.SingleCopyBlocks(n, m)
+	if err != nil {
+		return nil, err
+	}
+	return run("single-copy", delays, a, steps, seed, check)
+}
+
+// Contraction simulates a guest of m columns using only every gap-th host
+// processor (single copies). gap <= 0 selects d_max.
+func Contraction(delays []int, m, steps, gap int, seed int64, check bool) (*Result, error) {
+	n := len(delays) + 1
+	if gap <= 0 {
+		for _, d := range delays {
+			if d > gap {
+				gap = d
+			}
+		}
+		if gap < 1 {
+			gap = 1
+		}
+	}
+	if gap >= n {
+		gap = n - 1
+	}
+	a, err := assign.Contraction(n, m, gap)
+	if err != nil {
+		return nil, err
+	}
+	return run("contraction", delays, a, steps, seed, check)
+}
+
+func run(name string, delays []int, a *assign.Assignment, steps int, seed int64, check bool) (*Result, error) {
+	if steps < 1 {
+		return nil, fmt.Errorf("baseline: steps %d < 1", steps)
+	}
+	res, err := sim.Run(sim.Config{
+		Delays: delays,
+		Guest: guest.Spec{
+			Graph: guest.NewLinearArray(a.Columns),
+			Steps: steps,
+			Seed:  seed,
+		},
+		Assign: a,
+		Check:  check,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("baseline %s: %w", name, err)
+	}
+	return &Result{Name: name, Sim: res, UsedHosts: a.UsedHosts()}, nil
+}

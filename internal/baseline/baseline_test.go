@@ -1,0 +1,81 @@
+package baseline
+
+import (
+	"testing"
+
+	"latencyhide/internal/network"
+)
+
+func delaysOf(g *network.Network) []int {
+	out := make([]int, g.NumLinks())
+	for i, e := range g.Edges() {
+		out[i] = e.Delay
+	}
+	return out
+}
+
+func TestSlowClockSlowdown(t *testing.T) {
+	if got := SlowClockSlowdown([]int{1, 9, 3}); got != 10 {
+		t.Fatalf("slow clock %f want 10", got)
+	}
+	if got := SlowClockSlowdown(nil); got != 1 {
+		t.Fatalf("empty host %f", got)
+	}
+}
+
+func TestSingleCopyRunsAndVerifies(t *testing.T) {
+	delays := delaysOf(network.H1(64))
+	r, err := SingleCopy(delays, 64, 16, 3, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Sim.Checked || r.Name != "single-copy" {
+		t.Fatalf("%+v", r)
+	}
+	if r.UsedHosts != 64 {
+		t.Fatalf("used %d", r.UsedHosts)
+	}
+	// Theorem 9 regime: slowdown near d_max = 8
+	if r.Sim.Slowdown < 4 || r.Sim.Slowdown > 16 {
+		t.Fatalf("H1 single-copy slowdown %.1f not ~sqrt(n)=8", r.Sim.Slowdown)
+	}
+}
+
+func TestContraction(t *testing.T) {
+	delays := delaysOf(network.H1(64))
+	r, err := Contraction(delays, 64, 16, 0, 3, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// gap defaults to d_max=8: 8 hosts used
+	if r.UsedHosts != 8 {
+		t.Fatalf("used %d want 8", r.UsedHosts)
+	}
+	if !r.Sim.Checked {
+		t.Fatal("unchecked")
+	}
+	// contraction trades slowdown for efficiency: each host computes 8
+	// columns per guest step, so slowdown >= 8 regardless of delays
+	if r.Sim.Slowdown < 8 {
+		t.Fatalf("slowdown %.1f below work bound", r.Sim.Slowdown)
+	}
+
+	// explicit gap
+	r2, err := Contraction(delays, 64, 8, 16, 3, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.UsedHosts != 4 {
+		t.Fatalf("used %d want 4", r2.UsedHosts)
+	}
+	// gap larger than the host clamps
+	if _, err := Contraction([]int{1, 1}, 4, 4, 100, 1, false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBaselineErrors(t *testing.T) {
+	if _, err := SingleCopy([]int{1}, 2, 0, 1, false); err == nil {
+		t.Fatal("zero steps accepted")
+	}
+}

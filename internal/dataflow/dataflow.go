@@ -1,0 +1,230 @@
+// Package dataflow implements the *dataflow model* of the companion paper
+// [2] (Andrews, Leighton, Metaxas, Zhang, "Automatic methods for hiding
+// latency in high bandwidth networks", STOC 1996), which this paper
+// contrasts with its database model throughout: in the dataflow model a
+// pebble's value depends only on the dependency pebbles — there is no local
+// database — so *any* processor that knows the inputs may compute it, and
+// computation can migrate instead of being replicated.
+//
+// The package realises the classic diamond-tiling schedule for a guest ring
+// on a uniform-delay host: each batch of s = sqrt(d) guest steps, processor
+// j computes the shrinking pyramid over its 2s-column segment (no
+// communication), ships the two-value left slope of every pyramid row one
+// hop left (2s values, delay d), and then computes the inverted-pyramid
+// wedge over the segment boundary using its own right slope and the
+// received left slope. The wedge's top row is the next batch's base, shifted
+// s columns — ownership of columns migrates, no pebble is ever computed
+// twice, and the slowdown is ~3*sqrt(d) with replication exactly 1.
+//
+// Contrast with the database model (package uniform, Theorem 4): the same
+// Theta(sqrt(d)) slowdown there *requires* threefold database replication,
+// because the wedge mixes columns from two segments and a database's
+// updates can only be applied by a processor holding a replica. That
+// difference is the paper's Section 6 conclusion, measured by experiment
+// E16.
+package dataflow
+
+import (
+	"fmt"
+
+	"latencyhide/internal/guest"
+	"latencyhide/internal/network"
+)
+
+// Result reports one diamond-schedule run.
+type Result struct {
+	HostN, D, S int
+	GuestCols   int // m = 2s * hostN, a guest ring
+	Batches     int
+	GuestSteps  int
+
+	PyramidSteps  int // s(s-1) pebbles
+	CommSteps     int // d + ceil(2s/B) - 1
+	WedgeSteps    int // s(s+1) pebbles
+	StepsPerBatch int
+	HostSteps     int64
+	Slowdown      float64
+
+	PebblesComputed int64
+	// Replication is PebblesComputed / guest work — exactly 1 here, the
+	// whole point of the model.
+	Replication float64
+	// MemoryPerProc is the values a processor holds between batches.
+	MemoryPerProc int
+	Checked       bool
+}
+
+// Run executes the diamond schedule for a guest ring of 2*s*hostN columns
+// over batches*s guest steps on a hostN-processor uniform-delay-d host, and
+// verifies the final pebble row against the sequential reference executor.
+// bandwidth <= 0 selects the paper's log n default.
+func Run(hostN, d, batches, bandwidth int, seed int64) (*Result, error) {
+	if hostN < 2 {
+		return nil, fmt.Errorf("dataflow: hostN %d < 2", hostN)
+	}
+	if d < 1 {
+		return nil, fmt.Errorf("dataflow: delay %d < 1", d)
+	}
+	if batches < 1 {
+		return nil, fmt.Errorf("dataflow: batches %d < 1", batches)
+	}
+	s := network.ISqrt(d)
+	if s < 1 {
+		s = 1
+	}
+	if bandwidth <= 0 {
+		bandwidth = network.Log2Ceil(hostN)
+		if bandwidth < 1 {
+			bandwidth = 1
+		}
+	}
+	w := 2 * s
+	m := hostN * w
+	T := batches * s
+
+	res := &Result{
+		HostN: hostN, D: d, S: s, GuestCols: m, Batches: batches, GuestSteps: T,
+		PyramidSteps:  s * (s - 1),
+		CommSteps:     d + (2*s+bandwidth-1)/bandwidth - 1,
+		WedgeSteps:    s * (s + 1),
+		MemoryPerProc: w,
+	}
+	res.StepsPerBatch = res.PyramidSteps + res.CommSteps + res.WedgeSteps
+	res.HostSteps = int64(res.StepsPerBatch) * int64(batches)
+	res.Slowdown = float64(res.HostSteps) / float64(T)
+
+	// --- value-level execution ---
+	// base[j] holds processor j's segment values; in batch b the segment
+	// covers ring columns [offset + j*w, offset + (j+1)*w), offset = b*s.
+	base := make([][]uint64, hostN)
+	for j := range base {
+		base[j] = make([]uint64, w)
+		for x := 0; x < w; x++ {
+			base[j][x] = guest.InitValue((j*w+x)%m, seed)
+		}
+	}
+	mod := func(c int) int { return ((c % m) + m) % m }
+	compute := func(col, absStep int, left, self, right uint64) uint64 {
+		// ring guest: neighbors ascending by id, with the wrap pair
+		// ordered by column id like guest.Ring does
+		a, b := mod(col-1), mod(col+1)
+		var deps []uint64
+		if a < b {
+			deps = []uint64{left, right}
+		} else if a > b {
+			deps = []uint64{right, left}
+		} else {
+			deps = []uint64{left}
+		}
+		res.PebblesComputed++
+		return guest.ComputeValue(0, mod(col), absStep, self, deps)
+	}
+
+	offset := 0
+	for b := 0; b < batches; b++ {
+		// Phase 1: pyramids. pyr[j][r] covers columns
+		// [offset + j*w + r, offset + (j+1)*w - r), r = 0..s-1; row 0 is
+		// the base.
+		pyr := make([][][]uint64, hostN)
+		for j := 0; j < hostN; j++ {
+			pyr[j] = make([][]uint64, s)
+			pyr[j][0] = base[j]
+			for r := 1; r < s; r++ {
+				width := w - 2*r
+				row := make([]uint64, width)
+				prev := pyr[j][r-1]
+				for x := 0; x < width; x++ {
+					// column offset+j*w+r+x; prev row starts one
+					// column left of this row
+					col := offset + j*w + r + x
+					row[x] = compute(col, b*s+r, prev[x], prev[x+1], prev[x+2])
+				}
+				pyr[j][r] = row
+			}
+		}
+		// Phase 2: ship left-slope pairs leftward (charged in CommSteps):
+		// slope[j][r] = the two leftmost values of pyramid j's row r.
+		slope := make([][][2]uint64, hostN)
+		for j := 0; j < hostN; j++ {
+			slope[j] = make([][2]uint64, s)
+			for r := 0; r < s; r++ {
+				row := pyr[j][r]
+				if len(row) < 2 {
+					return nil, fmt.Errorf("dataflow: pyramid row too narrow (s=%d)", s)
+				}
+				slope[j][r] = [2]uint64{row[0], row[1]}
+			}
+		}
+		// Phase 3: wedges. Processor j computes the wedge over boundary
+		// c0 = offset + (j+1)*w using its pyramid's right columns and
+		// the left slope received from j+1. Wedge row r covers
+		// [c0 - r, c0 + r), r = 1..s; its top row is the new base.
+		newBase := make([][]uint64, hostN)
+		for j := 0; j < hostN; j++ {
+			c0 := offset + (j+1)*w
+			right := slope[(j+1)%hostN]
+			// wedge rows indexed locally: wrow[r] has width 2r,
+			// covering columns c0-r .. c0+r-1
+			wrow := make([][]uint64, s+1)
+			for r := 1; r <= s; r++ {
+				row := make([]uint64, 2*r)
+				for x := 0; x < 2*r; x++ {
+					col := c0 - r + x
+					// value at (col', r-1) for col' = col-1, col, col+1
+					get := func(colq int) uint64 {
+						// sources: wedge row r-1 covers
+						// [c0-r+1, c0+r-1); pyramid j row r-1 covers
+						// [offset+j*w+r-1, c0-r+1); right slope pair
+						// covers {c0+r-1, c0+r}.
+						switch {
+						case colq >= c0-r+1 && colq < c0+r-1:
+							return wrow[r-1][colq-(c0-r+1)]
+						case colq < c0-r+1:
+							prow := pyr[j][r-1]
+							idx := colq - (offset + j*w + r - 1)
+							if idx < 0 || idx >= len(prow) {
+								panic(fmt.Sprintf("dataflow: left dep col %d outside pyramid row (r=%d)", colq, r))
+							}
+							return prow[idx]
+						default:
+							if colq == c0+r-1 {
+								return right[r-1][0]
+							}
+							if colq == c0+r {
+								return right[r-1][1]
+							}
+							panic(fmt.Sprintf("dataflow: right dep col %d unreachable (r=%d)", colq, r))
+						}
+					}
+					row[x] = compute(col, b*s+r, get(col-1), get(col), get(col+1))
+				}
+				wrow[r] = row
+			}
+			newBase[j] = wrow[s]
+		}
+		base = newBase
+		offset += s
+	}
+
+	// Verify the final row (= base rows at offset) against the reference.
+	ref, err := guest.RunDigest(guest.Spec{
+		Graph:       guest.NewRing(m),
+		Steps:       T,
+		Seed:        seed,
+		NewDatabase: guest.NewNullDB,
+	})
+	if err != nil {
+		return nil, err
+	}
+	for j := 0; j < hostN; j++ {
+		for x := 0; x < w; x++ {
+			col := mod(offset + j*w + x)
+			if base[j][x] != ref.LastRow[col] {
+				return nil, fmt.Errorf("dataflow: column %d final value mismatch", col)
+			}
+		}
+	}
+	res.Replication = float64(res.PebblesComputed) / float64(int64(m)*int64(T))
+	res.Checked = true
+	return res, nil
+}

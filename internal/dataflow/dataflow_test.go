@@ -1,0 +1,137 @@
+package dataflow
+
+import (
+	"testing"
+
+	"latencyhide/internal/uniform"
+)
+
+func TestDiamondScheduleVerifies(t *testing.T) {
+	for _, d := range []int{1, 4, 9, 16, 64, 100} {
+		r, err := Run(6, d, 3, 0, 11)
+		if err != nil {
+			t.Fatalf("d=%d: %v", d, err)
+		}
+		if !r.Checked {
+			t.Fatalf("d=%d: unchecked", d)
+		}
+		if r.Replication != 1 {
+			t.Fatalf("d=%d: replication %f != 1 (the dataflow model never recomputes)", d, r.Replication)
+		}
+		if r.GuestCols != 6*2*r.S {
+			t.Fatalf("d=%d: guest %d", d, r.GuestCols)
+		}
+	}
+}
+
+func TestDiamondSlowdownIsThetaSqrtD(t *testing.T) {
+	var prev float64
+	for _, d := range []int{16, 64, 256, 1024} {
+		r, err := Run(8, d, 2, 0, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := float64(r.S)
+		if r.Slowdown < s || r.Slowdown > 4*s {
+			t.Fatalf("d=%d: slowdown %.1f not ~3 sqrt(d)", d, r.Slowdown)
+		}
+		if r.Slowdown <= prev {
+			t.Fatalf("slowdown not increasing at d=%d", d)
+		}
+		prev = r.Slowdown
+		// batch fits in 3d + comm slack
+		if r.StepsPerBatch > 3*d+2*r.S {
+			t.Fatalf("d=%d: batch %d > 3d", d, r.StepsPerBatch)
+		}
+	}
+}
+
+// The paper's Section 6 contrast: dataflow achieves the same Theta(sqrt d)
+// as the database model's Theorem 4 but with replication 1 instead of 3.
+func TestDataflowVsDatabaseModel(t *testing.T) {
+	d := 64
+	df, err := Run(8, d, 3, 0, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := uniform.Run(8, d, 3, 0, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if df.Replication != 1 {
+		t.Fatal("dataflow replicated")
+	}
+	dbRep := float64(db.PebblesComputed) / float64(int64(db.GuestCols)*int64(db.GuestSteps))
+	if dbRep < 2 {
+		t.Fatalf("database-model replication %.2f should be ~3", dbRep)
+	}
+	// both Theta(sqrt d): within a small factor of each other
+	if df.Slowdown > db.Slowdown || db.Slowdown > 3*df.Slowdown {
+		t.Fatalf("slowdowns df=%.1f db=%.1f out of expected relation", df.Slowdown, db.Slowdown)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if _, err := Run(1, 4, 1, 0, 1); err == nil {
+		t.Fatal("hostN=1 accepted")
+	}
+	if _, err := Run(4, 0, 1, 0, 1); err == nil {
+		t.Fatal("d=0 accepted")
+	}
+	if _, err := Run(4, 4, 0, 0, 1); err == nil {
+		t.Fatal("batches=0 accepted")
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	a, err := Run(6, 25, 2, 2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(6, 25, 2, 2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.HostSteps != b.HostSteps || a.PebblesComputed != b.PebblesComputed {
+		t.Fatal("nondeterministic")
+	}
+	c, err := Run(6, 25, 2, 2, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.PebblesComputed != a.PebblesComputed {
+		t.Fatal("work should not depend on seed")
+	}
+}
+
+func TestBandwidthAffectsCommSteps(t *testing.T) {
+	wide, err := Run(4, 256, 1, 16, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	narrow, err := Run(4, 256, 1, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2s = 32 values: wide pays ceil(32/16)-1 = 1 extra, narrow 31
+	if wide.CommSteps != 256+1 {
+		t.Fatalf("wide comm %d", wide.CommSteps)
+	}
+	if narrow.CommSteps != 256+31 {
+		t.Fatalf("narrow comm %d", narrow.CommSteps)
+	}
+}
+
+func TestManyBatchesWrapTheRing(t *testing.T) {
+	// enough batches that the diamond offset wraps the ring several times
+	r, err := Run(4, 16, 10, 0, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Checked {
+		t.Fatal("unchecked after ring wrap")
+	}
+	if r.GuestSteps != 40 {
+		t.Fatalf("steps %d", r.GuestSteps)
+	}
+}

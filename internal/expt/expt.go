@@ -1,0 +1,99 @@
+// Package expt is the reproduction harness: one experiment per paper result
+// (see DESIGN.md's per-experiment index). Every experiment regenerates a
+// table whose *shape* — who wins, by what asymptotic factor, where the
+// crossovers fall — must match the corresponding theorem; EXPERIMENTS.md
+// records paper-vs-measured for each.
+package expt
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"latencyhide/internal/metrics"
+)
+
+// Scale selects experiment sizes.
+type Scale int
+
+const (
+	// Quick runs in seconds; used by tests and the default CLI.
+	Quick Scale = iota
+	// Full runs the sizes EXPERIMENTS.md reports.
+	Full
+)
+
+// ParseScale maps a CLI string to a Scale.
+func ParseScale(s string) (Scale, error) {
+	switch s {
+	case "", "quick":
+		return Quick, nil
+	case "full":
+		return Full, nil
+	default:
+		return Quick, fmt.Errorf("expt: unknown scale %q (want quick or full)", s)
+	}
+}
+
+// Experiment is one reproducible paper result.
+type Experiment struct {
+	ID    string // e.g. "E1"
+	Title string
+	Paper string // which theorem/figure it reproduces
+	Run   func(scale Scale) ([]*metrics.Table, error)
+}
+
+var registry = map[string]*Experiment{}
+
+func register(e *Experiment) {
+	if _, dup := registry[e.ID]; dup {
+		panic("expt: duplicate experiment " + e.ID)
+	}
+	registry[e.ID] = e
+}
+
+// Get returns the experiment with the given ID, or nil.
+func Get(id string) *Experiment { return registry[id] }
+
+// All returns every registered experiment, sorted by ID (E1, E2, ..., E10
+// numerically).
+func All() []*Experiment {
+	out := make([]*Experiment, 0, len(registry))
+	for _, e := range registry {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		var a, b int
+		fmt.Sscanf(out[i].ID, "E%d", &a)
+		fmt.Sscanf(out[j].ID, "E%d", &b)
+		return a < b
+	})
+	return out
+}
+
+// RunAll executes every experiment at the given scale and renders the
+// tables to w (markdown if md is true). It keeps going past individual
+// failures and returns the first error at the end.
+func RunAll(w io.Writer, scale Scale, md bool) error {
+	var firstErr error
+	for _, e := range All() {
+		fmt.Fprintf(w, "\n=== %s: %s (%s) ===\n\n", e.ID, e.Title, e.Paper)
+		tables, err := e.Run(scale)
+		if err != nil {
+			fmt.Fprintf(w, "FAILED: %v\n", err)
+			if firstErr == nil {
+				firstErr = fmt.Errorf("%s: %w", e.ID, err)
+			}
+			continue
+		}
+		for _, t := range tables {
+			if md {
+				t.Markdown(w)
+			} else {
+				t.Fprint(w)
+				fmt.Fprintln(w)
+			}
+		}
+	}
+	return firstErr
+}

@@ -1,0 +1,169 @@
+package expt
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	all := All()
+	if len(all) != 16 {
+		t.Fatalf("registry has %d experiments, want 16 (E1-E16)", len(all))
+	}
+	for i, e := range all {
+		if e.ID == "" || e.Title == "" || e.Paper == "" || e.Run == nil {
+			t.Fatalf("experiment %d incomplete: %+v", i, e)
+		}
+	}
+	// sorted numerically
+	if all[0].ID != "E1" || all[9].ID != "E10" || all[15].ID != "E16" {
+		ids := make([]string, len(all))
+		for i, e := range all {
+			ids[i] = e.ID
+		}
+		t.Fatalf("order %v", ids)
+	}
+	if Get("E3") == nil || Get("nope") != nil {
+		t.Fatal("Get")
+	}
+}
+
+func TestParseScale(t *testing.T) {
+	if s, err := ParseScale(""); err != nil || s != Quick {
+		t.Fatal("default scale")
+	}
+	if s, err := ParseScale("full"); err != nil || s != Full {
+		t.Fatal("full scale")
+	}
+	if _, err := ParseScale("huge"); err == nil {
+		t.Fatal("bad scale accepted")
+	}
+}
+
+// TestRunAllQuick executes the entire reproduction harness at quick scale —
+// every experiment must complete and emit at least one table.
+func TestRunAllQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	var buf bytes.Buffer
+	if err := RunAll(&buf, Quick, false); err != nil {
+		t.Fatalf("%v\noutput:\n%s", err, buf.String())
+	}
+	out := buf.String()
+	for _, e := range All() {
+		if !strings.Contains(out, "=== "+e.ID+":") {
+			t.Fatalf("%s missing from output", e.ID)
+		}
+	}
+	if strings.Contains(out, "FAILED") {
+		t.Fatalf("a table failed:\n%s", out)
+	}
+}
+
+// Shape assertions on individual experiments: these encode the
+// paper-vs-measured comparisons EXPERIMENTS.md reports.
+func TestE3SqrtShape(t *testing.T) {
+	tables, err := Get("E3").Run(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) == 0 || len(tables[0].Rows) < 3 {
+		t.Fatal("E3 produced no data")
+	}
+	note := strings.Join(tables[0].Notes, " ")
+	if !strings.Contains(note, "slope") {
+		t.Fatalf("E3 note: %s", note)
+	}
+}
+
+func TestE8SingleCopyPaysSqrtN(t *testing.T) {
+	tables, err := Get("E8").Run(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := tables[0].Rows
+	if len(rows) < 2 {
+		t.Fatal("E8 empty")
+	}
+	// columns: n, sqrt(n), minLB, single-copy, overlap, load
+	for _, r := range rows {
+		var sqrtn, lb float64
+		if _, err := sscan(r[1], &sqrtn); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := sscan(r[2], &lb); err != nil {
+			t.Fatal(err)
+		}
+		if lb < sqrtn {
+			t.Fatalf("certified LB %v below sqrt(n) %v", lb, sqrtn)
+		}
+	}
+}
+
+func sscan(s string, v *float64) (int, error) {
+	return fmt.Sscan(s, v)
+}
+
+func TestE16ReplicationContrast(t *testing.T) {
+	tables, err := Get("E16").Run(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := tables[0].Rows
+	if len(rows) < 3 {
+		t.Fatal("E16 empty")
+	}
+	for _, r := range rows {
+		var dfRep, dbRep float64
+		if _, err := sscan(r[3], &dfRep); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := sscan(r[5], &dbRep); err != nil {
+			t.Fatal(err)
+		}
+		if dfRep != 1 {
+			t.Fatalf("dataflow replication %v != 1", dfRep)
+		}
+		if dbRep < 2 {
+			t.Fatalf("database replication %v < 2", dbRep)
+		}
+	}
+}
+
+func TestE12RedundancyRatioAboveOne(t *testing.T) {
+	tables, err := Get("E12").Run(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range tables[0].Rows {
+		var ratio float64
+		if _, err := sscan(r[4], &ratio); err != nil {
+			t.Fatal(err)
+		}
+		if ratio <= 1.5 {
+			t.Fatalf("stripping redundancy should hurt: ratio %v", ratio)
+		}
+	}
+}
+
+func TestE6MeasuredAboveCertified(t *testing.T) {
+	tables, err := Get("E6").Run(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range tables[0].Rows {
+		var measured, lb float64
+		if _, err := sscan(r[4], &measured); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := sscan(r[5], &lb); err != nil {
+			t.Fatal(err)
+		}
+		if measured < lb {
+			t.Fatalf("clique chain measured %v below certified %v", measured, lb)
+		}
+	}
+}

@@ -1,0 +1,162 @@
+package expt
+
+import (
+	"fmt"
+
+	"latencyhide/internal/guest"
+	"latencyhide/internal/layout"
+	"latencyhide/internal/metrics"
+	"latencyhide/internal/network"
+	"latencyhide/internal/overlap"
+)
+
+// E13-E15 go beyond the paper's evaluation: E13 is the higher-dimensional
+// generalization Theorem 8 explicitly mentions; E14 and E15 implement the
+// open directions of Section 7 ("trees, arrays, butterflies and hypercubes
+// on a NOW" and "G and H with identical network structures").
+
+func init() {
+	register(&Experiment{
+		ID:    "E13",
+		Title: "Higher-dimensional guest arrays",
+		Paper: "Section 5: \"Theorem 8 can be generalized to higher dimensional arrays\"",
+		Run: func(scale Scale) ([]*metrics.Table, error) {
+			hostN := 64
+			steps := 6
+			type cse struct {
+				name string
+				g    guest.Graph
+			}
+			side := 6
+			if scale == Full {
+				side = 8
+			}
+			cases := []cse{
+				{"1-D", guest.NewArrayND(side * side * side)},
+				{"2-D", guest.NewArrayND(side*side, side)},
+				{"3-D", guest.NewArrayND(side, side, side)},
+			}
+			if scale == Full {
+				cases = append(cases, cse{"4-D", guest.NewArrayND(8, 8, 8, 8)})
+			}
+			g := network.Line(hostN, network.UniformDelay{Lo: 1, Hi: 8}, 13)
+			delays := delaysOf(g)
+			t := metrics.NewTable("E13: d-dimensional guest arrays on one NOW line (BFS layout)",
+				"guest", "nodes", "cutwidth", "max stretch", "load", "slowdown", "verified")
+			for _, c := range cases {
+				l := layout.BFS(c.g)
+				r, err := layout.Simulate(c.g, l, delays, layout.Options{
+					Steps: steps, Seed: 31, Check: c.g.NumNodes() <= 1024,
+				})
+				if err != nil {
+					return nil, err
+				}
+				t.AddRow(c.name, c.g.NumNodes(), r.Metrics.CutWidth, r.Metrics.MaxStretch,
+					r.Sim.Load, r.Sim.Slowdown, r.Sim.Checked)
+			}
+			t.AddNote("higher dimensions raise the layout cutwidth (~N^((d-1)/d)) and with it the slowdown, matching the Theorem 8 generalization")
+			return []*metrics.Table{t}, nil
+		},
+	})
+
+	register(&Experiment{
+		ID:    "E14",
+		Title: "Trees, butterflies and hypercubes on a NOW",
+		Paper: "Section 7: \"Ultimately, one is interested in simulating ... trees, arrays, butterflies and hypercubes\"",
+		Run: func(scale Scale) ([]*metrics.Table, error) {
+			steps := 6
+			hostN := 96
+			host := network.Line(hostN, network.BimodalDelay{Near: 1, Far: 24, P: 0.04}, 17)
+			delays := delaysOf(host)
+			type cse struct {
+				name string
+				g    guest.Graph
+				l    *layout.Layout
+			}
+			tr := guest.NewBinaryTree(6)
+			hc := guest.NewHypercube(6)
+			bf := guest.NewButterfly(4)
+			if scale == Full {
+				tr = guest.NewBinaryTree(8)
+				hc = guest.NewHypercube(8)
+				bf = guest.NewButterfly(6)
+			}
+			cases := []cse{
+				{"tree/level", tr, layout.LevelOrder(tr)},
+				{"tree/inorder", tr, layout.InOrder(tr)},
+				{"hypercube/id", hc, layout.Identity(hc.NumNodes())},
+				{"hypercube/gray", hc, layout.Gray(hc)},
+				{"hypercube/anneal", hc, layout.Anneal(hc, layout.Identity(hc.NumNodes()), 5, 0)},
+				{"butterfly/rank", bf, layout.RankMajor(bf)},
+				{"butterfly/bisect", bf, layout.Bisection(bf, 3)},
+				{"butterfly/anneal", bf, layout.Anneal(bf, layout.RankMajor(bf), 5, 0)},
+			}
+			t := metrics.NewTable("E14: structured guests under different 1-D layouts",
+				"guest/layout", "nodes", "cutwidth", "max stretch", "slowdown", "verified")
+			for _, c := range cases {
+				r, err := layout.Simulate(c.g, c.l, delays, layout.Options{
+					Steps: steps, Seed: 19, Check: true,
+				})
+				if err != nil {
+					return nil, fmt.Errorf("%s: %w", c.name, err)
+				}
+				t.AddRow(c.name, c.g.NumNodes(), r.Metrics.CutWidth, r.Metrics.MaxStretch,
+					r.Sim.Slowdown, r.Sim.Checked)
+			}
+			t.AddNote("the slowdown tracks the layout's MAX stretch, not its cutwidth: in-order trees halve the level-order cost, Gray code and random bisection lose by lengthening their worst edge, and annealing recovers (hypercube) or beats (butterfly) the natural orders")
+			return []*metrics.Table{t}, nil
+		},
+	})
+
+	register(&Experiment{
+		ID:    "E15",
+		Title: "Guest and host with identical structure, different delays",
+		Paper: "Section 7: \"consider the case when G and H have identical network structures ... to study the effect of latencies in isolation\"",
+		Run: func(scale Scale) ([]*metrics.Table, error) {
+			n := 256
+			steps := 32
+			if scale == Full {
+				n = 1024
+				steps = 48
+			}
+			t := metrics.NewTable("E15: guest line of size n' on host lines of the same shape",
+				"host delays", "d_ave", "d_max", "load-one", "two-level(s=sqrt dmax)")
+			type cse struct {
+				name string
+				src  network.DelaySource
+				seed int64
+			}
+			cases := []cse{
+				{"unit", network.ConstDelay(1), 1},
+				{"uniform[1,8]", network.UniformDelay{Lo: 1, Hi: 8}, 2},
+				{"bimodal far=n/8", network.BimodalDelay{Near: 1, Far: n / 8, P: 8.0 / float64(n)}, 3},
+				{"exp mean=8", network.ExpDelay{Mean: 8}, 4},
+			}
+			for _, c := range cases {
+				delays := delaysOf(network.Line(n, c.src, c.seed))
+				dmax := 0
+				for _, d := range delays {
+					if d > dmax {
+						dmax = d
+					}
+				}
+				l1, err := overlap.SimulateLine(delays, overlap.Options{
+					Variant: overlap.LoadOne, Steps: steps, Seed: 23,
+				})
+				if err != nil {
+					return nil, err
+				}
+				l2, err := overlap.SimulateLine(delays, overlap.Options{
+					Variant: overlap.TwoLevel, Beta: 2, SqrtD: network.ISqrt(dmax),
+					Steps: steps, Seed: 23,
+				})
+				if err != nil {
+					return nil, err
+				}
+				t.AddRow(c.name, l1.Dave, dmax, l1.Sim.Slowdown, l2.Sim.Slowdown)
+			}
+			t.AddNote("same structure, latency isolated: unit delays cost ~1; heterogeneous delays cost between sqrt(d_max) (with margins) and d_max (without)")
+			return []*metrics.Table{t}, nil
+		},
+	})
+}

@@ -1,0 +1,229 @@
+package expt
+
+import (
+	"math"
+
+	"latencyhide/internal/baseline"
+	"latencyhide/internal/metrics"
+	"latencyhide/internal/network"
+	"latencyhide/internal/overlap"
+)
+
+// delaysOf extracts per-link delays of a host that is a line (edge i joins
+// i and i+1 by construction of network.Line*).
+func delaysOf(g *network.Network) []int {
+	out := make([]int, g.NumLinks())
+	for i, e := range g.Edges() {
+		out[i] = e.Delay
+	}
+	return out
+}
+
+// nowDelay is the delay distribution used by the ring experiments: constant
+// average, heavy maximum — a few long-haul links in a mostly-local NOW, the
+// regime the paper targets ("the slowdown is particularly impressive when
+// d_max >> sqrt(d_ave) log^3 n").
+func nowDelay(n int) network.DelaySource {
+	far := n / 4
+	if far < 4 {
+		far = 4
+	}
+	return network.BimodalDelay{Near: 1, Far: far, P: 1.0 / float64(far)}
+}
+
+func e1Sizes(scale Scale) []int {
+	if scale == Full {
+		return []int{256, 512, 1024, 2048, 4096}
+	}
+	return []int{128, 256, 512}
+}
+
+func init() {
+	register(&Experiment{
+		ID:    "E1",
+		Title: "OVERLAP on hosts with constant d_ave and growing d_max",
+		Paper: "Theorem 2 (load-one OVERLAP, slowdown O(d_ave log^3 n)) vs prior approaches",
+		Run: func(scale Scale) ([]*metrics.Table, error) {
+			t := metrics.NewTable("E1: slowdown vs n (guest ring steps simulated, d_ave ~ const)",
+				"n", "d_ave", "d_max", "n'", "load-one", "2lvl(s=sqrt(dmax))", "bound d_ave*log3n", "single-copy", "slow-clock")
+			steps := 48
+			var xs, lo, tl, base []float64
+			for _, n := range e1Sizes(scale) {
+				g := network.Line(n, nowDelay(n), int64(n))
+				delays := delaysOf(g)
+				out, err := overlap.SimulateLine(delays, overlap.Options{
+					Variant: overlap.LoadOne, Steps: steps, Seed: 11, Check: scale == Quick,
+				})
+				if err != nil {
+					return nil, err
+				}
+				// Margins sized to hide the worst link (the Theorem 4
+				// mechanism): block side s = sqrt(d_max) gives slowdown
+				// ~5*sqrt(d_max) regardless of how slow the rare links are.
+				two, err := overlap.SimulateLine(delays, overlap.Options{
+					Variant: overlap.TwoLevel, Beta: 2, SqrtD: network.ISqrt(out.Dmax),
+					Steps: steps, Seed: 11, Workers: 4,
+				})
+				if err != nil {
+					return nil, err
+				}
+				sc, err := baseline.SingleCopy(delays, out.GuestCols, steps, 11, false)
+				if err != nil {
+					return nil, err
+				}
+				t.AddRow(n, out.Dave, out.Dmax, out.GuestCols,
+					out.Sim.Slowdown, two.Sim.Slowdown, out.PredictedSlowdown,
+					sc.Sim.Slowdown, baseline.SlowClockSlowdown(delays))
+				xs = append(xs, float64(out.Dmax))
+				lo = append(lo, out.Sim.Slowdown)
+				tl = append(tl, two.Sim.Slowdown)
+				base = append(base, sc.Sim.Slowdown)
+			}
+			t.AddNote("log-log slope vs d_max: single-copy %.2f (= Theta(d_max), the prior approaches); "+
+				"load-one %.2f (within its d_ave log^3 n bound, but the bound's 2c^2 log^3 n constant only beats d_max for n >> 10^6); "+
+				"two-level with sqrt(d_max) margins %.2f (~0.5: the Theorem 4/5 redundancy hides the slow links)",
+				metrics.LogLogSlope(xs, base), metrics.LogLogSlope(xs, lo), metrics.LogLogSlope(xs, tl))
+			return []*metrics.Table{t}, nil
+		},
+	})
+
+	register(&Experiment{
+		ID:    "E2",
+		Title: "Work-efficient OVERLAP: load and efficiency vs block size",
+		Paper: "Theorem 3 (load O(d_ave log^3 n), work-preserving)",
+		Run: func(scale Scale) ([]*metrics.Table, error) {
+			n := 512
+			steps := 32
+			betas := []int{1, 2, 4, 8}
+			if scale == Full {
+				n = 1024
+				betas = []int{1, 2, 4, 8, 16, 32}
+			}
+			g := network.Line(n, nowDelay(n), 5)
+			delays := delaysOf(g)
+			t := metrics.NewTable("E2: work-efficient OVERLAP on one host, growing beta",
+				"beta", "guest", "load", "slowdown", "efficiency", "redundancy")
+			for _, b := range betas {
+				out, err := overlap.SimulateLine(delays, overlap.Options{
+					Variant: overlap.WorkEfficient, Beta: b, Steps: steps, Seed: 21,
+					Check: scale == Quick && b <= 4,
+				})
+				if err != nil {
+					return nil, err
+				}
+				t.AddRow(b, out.GuestCols, out.Load, out.Sim.Slowdown, out.Efficiency(), out.Redundancy)
+			}
+			if scale == Full {
+				// The paper's own parameterization (beta = d_ave log^3 n,
+				// clamped to 512): efficiency reaches O(1) — the
+				// simulation is genuinely work-preserving.
+				out, err := overlap.SimulateLine(delays, overlap.Options{
+					Variant: overlap.WorkEfficient, Beta: 0, Steps: 8, Seed: 21, Workers: 4,
+				})
+				if err != nil {
+					return nil, err
+				}
+				t.AddRow("paper-beta", out.GuestCols, out.Load, out.Sim.Slowdown, out.Efficiency(), out.Redundancy)
+			}
+			t.AddNote("paper: slowdown stays O(d_ave log^3 n) while efficiency (host work / guest work) approaches O(1) as beta grows")
+			return []*metrics.Table{t}, nil
+		},
+	})
+
+	register(&Experiment{
+		ID:    "E4",
+		Title: "Improved slowdown via the two-level composition",
+		Paper: "Theorem 5 (slowdown O(sqrt(d_ave) log^3 n))",
+		Run: func(scale Scale) ([]*metrics.Table, error) {
+			n := 256
+			steps := 32
+			if scale == Full {
+				n = 1024
+				steps = 48
+			}
+			means := []float64{2, 4, 8, 16}
+			reps := []int64{1}
+			if scale == Full {
+				means = append(means, 32, 64)
+				reps = []int64{1, 2, 3} // replicate over host seeds
+			}
+			t := metrics.NewTable("E4: slowdown vs d_ave, load-one OVERLAP vs two-level",
+				"d_ave", "load1-slowdown", "2level-slowdown", "2level-load", "sqrt(dave)log3n")
+			var xs, y1, y2 []float64
+			for _, m := range means {
+				var dave, s1, s2 float64
+				var load int
+				var pred float64
+				for _, rep := range reps {
+					g := network.Line(n, network.ExpDelay{Mean: m}, rep*int64(100*m))
+					delays := delaysOf(g)
+					l1, err := overlap.SimulateLine(delays, overlap.Options{
+						Variant: overlap.LoadOne, Steps: steps, Seed: 31,
+					})
+					if err != nil {
+						return nil, err
+					}
+					l2, err := overlap.SimulateLine(delays, overlap.Options{
+						Variant: overlap.TwoLevel, Beta: 2, Steps: steps, Seed: 31,
+						Check: scale == Quick && m <= 4,
+					})
+					if err != nil {
+						return nil, err
+					}
+					dave += l1.Dave
+					s1 += l1.Sim.Slowdown
+					s2 += l2.Sim.Slowdown
+					load = l2.Load
+					pred = l2.PredictedSlowdown
+				}
+				k := float64(len(reps))
+				t.AddRow(dave/k, s1/k, s2/k, load, pred)
+				xs = append(xs, dave/k)
+				y1 = append(y1, s1/k)
+				y2 = append(y2, s2/k)
+			}
+			t.AddNote("paper: load-one grows ~d_ave (slope %.2f), two-level ~sqrt(d_ave) (slope %.2f); full scale averages %d host seeds per point",
+				metrics.LogLogSlope(xs, y1), metrics.LogLogSlope(xs, y2), len(reps))
+			return []*metrics.Table{t}, nil
+		},
+	})
+
+	register(&Experiment{
+		ID:    "E12",
+		Title: "Redundant computation is necessary",
+		Paper: "Sections 1 and 6: stripping OVERLAP's redundancy reintroduces the d_max penalty",
+		Run: func(scale Scale) ([]*metrics.Table, error) {
+			sizes := []int{128, 256, 512}
+			if scale == Full {
+				sizes = []int{256, 512, 1024, 2048}
+			}
+			steps := 48
+			t := metrics.NewTable("E12: OVERLAP with vs without redundant replicas (same tree, same host)",
+				"n", "d_max", "redundant", "stripped", "stripped/redundant")
+			for _, n := range sizes {
+				g := network.Line(n, nowDelay(n), int64(3*n))
+				delays := delaysOf(g)
+				full, err := overlap.SimulateLine(delays, overlap.Options{
+					Variant: overlap.TwoLevel, Beta: 2, Steps: steps, Seed: 41,
+				})
+				if err != nil {
+					return nil, err
+				}
+				strip, err := overlap.SimulateLine(delays, overlap.Options{
+					Variant: overlap.TwoLevel, Beta: 2, Steps: steps, Seed: 41,
+					StripRedundancy: true,
+				})
+				if err != nil {
+					return nil, err
+				}
+				ratio := math.NaN()
+				if full.Sim.Slowdown > 0 {
+					ratio = strip.Sim.Slowdown / full.Sim.Slowdown
+				}
+				t.AddRow(n, full.Dmax, full.Sim.Slowdown, strip.Sim.Slowdown, ratio)
+			}
+			t.AddNote("paper: without redundancy the slowdown reverts toward Theta(d_max); the ratio grows with d_max")
+			return []*metrics.Table{t}, nil
+		},
+	})
+}

@@ -1,0 +1,145 @@
+package expt
+
+import (
+	"latencyhide/internal/mesharray"
+	"latencyhide/internal/metrics"
+	"latencyhide/internal/network"
+	"latencyhide/internal/overlap"
+	"latencyhide/internal/uniform"
+)
+
+func init() {
+	register(&Experiment{
+		ID:    "E3",
+		Title: "Uniform-delay hosts: slowdown O(sqrt(d)), 5d steps per sqrt(d) guest steps",
+		Paper: "Theorem 4 and Figure 4",
+		Run: func(scale Scale) ([]*metrics.Table, error) {
+			hostN := 16
+			batches := 3
+			ds := []int{4, 16, 64, 256}
+			if scale == Full {
+				hostN = 32
+				ds = append(ds, 1024, 4096)
+			}
+			t := metrics.NewTable("E3: guest n*sqrt(d) on uniform-delay host, per-batch accounting",
+				"d", "sqrt(d)", "steps/batch", "5d", "phase-slowdown", "greedy-slowdown", "5sqrt(d)")
+			var xs, phase, greedy []float64
+			for _, d := range ds {
+				r, err := uniform.Run(hostN, d, batches, 0, 51)
+				if err != nil {
+					return nil, err
+				}
+				g, err := uniform.Greedy(hostN, d, batches, 0, 51, 0)
+				if err != nil {
+					return nil, err
+				}
+				t.AddRow(d, r.S, r.StepsPerBatch, 5*d, r.Slowdown, g.Slowdown, 5*float64(r.S))
+				xs = append(xs, float64(d))
+				phase = append(phase, r.Slowdown)
+				greedy = append(greedy, g.Slowdown)
+			}
+			t.AddNote("paper: slowdown Theta(sqrt(d)) — log-log slope vs d: phase %.2f, greedy %.2f (want ~0.5); every batch fits in 5d steps",
+				metrics.LogLogSlope(xs, phase), metrics.LogLogSlope(xs, greedy))
+			return []*metrics.Table{t}, nil
+		},
+	})
+
+	register(&Experiment{
+		ID:    "E5",
+		Title: "General bounded-degree hosts via the dilation-3 line embedding",
+		Paper: "Theorem 6 and Fact 3",
+		Run: func(scale Scale) ([]*metrics.Table, error) {
+			steps := 32
+			type host struct {
+				name string
+				g    *network.Network
+			}
+			src := network.ExpDelay{Mean: 3}
+			hosts := []host{
+				{"mesh 16x16", network.Mesh2D(16, 16, src, 1)},
+				{"torus 16x16", network.Torus2D(16, 16, src, 2)},
+				{"hypercube 2^8", network.Hypercube(8, src, 3)},
+				{"btree h=7", network.CompleteBinaryTree(7, src, 4)},
+				{"random NOW deg<=4", network.RandomNOW(256, 4, src, 5)},
+				{"CCC dim=6", network.CCC(6, src, 9)},
+			}
+			if scale == Full {
+				hosts = append(hosts,
+					host{"mesh 32x32", network.Mesh2D(32, 32, src, 6)},
+					host{"hypercube 2^10", network.Hypercube(10, src, 7)},
+					host{"random NOW deg<=6", network.RandomNOW(1024, 6, src, 8)},
+				)
+			}
+			t := metrics.NewTable("E5: ring guest on assorted NOW topologies",
+				"host", "deg", "d_ave(host)", "dilation", "d_ave(line)", "n'", "slowdown", "pred d_ave*log3n")
+			for _, h := range hosts {
+				out, err := overlap.Simulate(h.g, overlap.Options{
+					Variant: overlap.LoadOne, Steps: steps, Seed: 61, Check: scale == Quick,
+				})
+				if err != nil {
+					return nil, err
+				}
+				t.AddRow(h.name, h.g.Stats().MaxDegree, h.g.AvgDelay(), out.Dilation,
+					out.Dave, out.GuestCols, out.Sim.Slowdown, out.PredictedSlowdown)
+			}
+			t.AddNote("paper: dilation always <= 3 and line d_ave <= O(degree) * host d_ave; slowdown bound carries over unchanged")
+			return []*metrics.Table{t}, nil
+		},
+	})
+
+	register(&Experiment{
+		ID:    "E11",
+		Title: "Bandwidth assumption ablation",
+		Paper: "Section 2 / footnote 1: host bandwidth log n vs 1",
+		Run: func(scale Scale) ([]*metrics.Table, error) {
+			// Two faces of the bandwidth assumption. (a) Burst phases:
+			// Theorem 4's exchange ships sqrt(d) pebbles at once, paying
+			// d + ceil(sqrt(d)/B) - 1 — the log n bandwidth removes the
+			// sqrt(d) tail. (b) Steady state: a work-preserving greedy
+			// simulation computes at least one pebble per transmitted
+			// pebble per processor, so links never saturate and measured
+			// slowdowns are bandwidth-insensitive — which is precisely
+			// why the paper can buy the assumption back for a log n
+			// slowdown factor in the worst case rather than losing more.
+			hostN := 16
+			ds := []int{64, 256, 1024}
+			if scale == Full {
+				ds = append(ds, 4096, 16384)
+			}
+			logn := network.Log2Ceil(hostN * network.ISqrt(ds[len(ds)-1]))
+			t1 := metrics.NewTable("E11a: Theorem 4 exchange-phase cost, B = log n vs B = 1",
+				"d", "sqrt(d)", "exchange B=logn", "exchange B=1", "batch B=logn", "batch B=1")
+			for _, d := range ds {
+				hi, err := uniform.Run(hostN, d, 1, logn, 71)
+				if err != nil {
+					return nil, err
+				}
+				lo, err := uniform.Run(hostN, d, 1, 1, 71)
+				if err != nil {
+					return nil, err
+				}
+				t1.AddRow(d, hi.S, hi.ExchangeSteps, lo.ExchangeSteps, hi.StepsPerBatch, lo.StepsPerBatch)
+			}
+			t1.AddNote("burst cost d + ceil(sqrt(d)/B) - 1: unit bandwidth pays the extra sqrt(d) tail")
+
+			t2 := metrics.NewTable("E11b: steady-state greedy mesh run under different bandwidths",
+				"bandwidth", "slowdown", "vs log n bandwidth")
+			rows, steps := 24, 10
+			var ref float64
+			for _, bw := range []int{logn, 4, 2, 1} {
+				r, err := mesharray.OnUniformLine(8, 32, rows, mesharray.Options{
+					Rows: rows, Steps: steps, Seed: 71, Bandwidth: bw,
+				})
+				if err != nil {
+					return nil, err
+				}
+				if ref == 0 {
+					ref = r.Sim.Slowdown
+				}
+				t2.AddRow(bw, r.Sim.Slowdown, r.Sim.Slowdown/ref)
+			}
+			t2.AddNote("work-preserving simulations are compute-bound in steady state; bandwidth binds only in bursts (E11a)")
+			return []*metrics.Table{t1, t2}, nil
+		},
+	})
+}

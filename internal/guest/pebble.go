@@ -1,0 +1,64 @@
+package guest
+
+// Pebble identifies one guest computation: pebble (i, t) is the result of
+// guest processor i's step-t computation (Figure 1). Values are 64-bit
+// digests; Delta is the database update the computation produced. A pebble is
+// small by construction and is the unit of host communication.
+type Pebble struct {
+	Node  int
+	Step  int
+	Value uint64
+}
+
+// Delta returns the database update carried by the pebble.
+func (p Pebble) Delta() Update {
+	return Update{Node: p.Node, Step: p.Step, Val: p.Value}
+}
+
+const goldenGamma = 0x9e3779b97f4a7c15
+
+// mix64 is the splitmix64 finalizer: a cheap, high-quality 64-bit mixer.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// combine folds v into running digest h. It is deliberately order-sensitive:
+// combine(combine(h,a),b) != combine(combine(h,b),a) in general, so schedule
+// bugs change answers rather than hiding.
+func combine(h, v uint64) uint64 {
+	return mix64(h ^ (v*goldenGamma + 0x85ebca6bc2b2ae35))
+}
+
+// initDigest seeds the initial database digest / pebble row for a node.
+func initDigest(node int, seed int64) uint64 {
+	return mix64(uint64(seed)*goldenGamma ^ uint64(node)*0xc2b2ae3d27d4eb4f)
+}
+
+// InitValue is pebble (i, 0): the value guest processor i starts with before
+// the first step. All host processors holding a replica of b_i know it.
+func InitValue(node int, seed int64) uint64 {
+	return mix64(initDigest(node, seed) + 0x632be59bd9b4e019)
+}
+
+// ComputeValue evaluates pebble (node, step) from the database digest at
+// version step-1, the node's own value at step-1, and the neighbor values at
+// step-1 listed in increasing neighbor-id order. This single function defines
+// the guest semantics; the reference executor and every host engine call it,
+// so value equality between them certifies the host respected all
+// dependencies and database orderings.
+func ComputeValue(dbDigest uint64, node, step int, self uint64, neighbors []uint64) uint64 {
+	h := uint64(0x452821e638d01377)
+	h = combine(h, uint64(node)+1)
+	h = combine(h, uint64(step))
+	h = combine(h, dbDigest)
+	h = combine(h, self)
+	for _, v := range neighbors {
+		h = combine(h, v)
+	}
+	return h
+}

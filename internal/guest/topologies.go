@@ -1,0 +1,238 @@
+package guest
+
+import "fmt"
+
+// This file provides the guest networks Section 7 names as the ultimate
+// targets — "trees, arrays, butterflies and hypercubes" — plus
+// higher-dimensional arrays (the generalization Theorem 8 mentions). All are
+// unit-delay Graphs and run on any host through the layout package.
+
+// BinaryTree is a complete binary tree guest: node 0 is the root, node i has
+// children 2i+1 and 2i+2.
+type BinaryTree struct {
+	n     int
+	neigh [][]int
+}
+
+// NewBinaryTree returns the complete binary tree with 2^(h+1)-1 nodes.
+func NewBinaryTree(h int) *BinaryTree {
+	if h < 0 {
+		panic(fmt.Sprintf("guest: tree height %d", h))
+	}
+	n := (1 << uint(h+1)) - 1
+	t := &BinaryTree{n: n, neigh: make([][]int, n)}
+	for i := 0; i < n; i++ {
+		var ns []int
+		if i > 0 {
+			ns = append(ns, (i-1)/2)
+		}
+		if 2*i+1 < n {
+			ns = append(ns, 2*i+1)
+		}
+		if 2*i+2 < n {
+			ns = append(ns, 2*i+2)
+		}
+		sortInts(ns)
+		t.neigh[i] = ns
+	}
+	return t
+}
+
+// NumNodes implements Graph.
+func (t *BinaryTree) NumNodes() int { return t.n }
+
+// Neighbors implements Graph.
+func (t *BinaryTree) Neighbors(i int) []int { return t.neigh[i] }
+
+// Name implements Graph.
+func (t *BinaryTree) Name() string { return fmt.Sprintf("guest-btree(%d)", t.n) }
+
+// HypercubeGraph is a 2^dim-node hypercube guest.
+type HypercubeGraph struct {
+	dim   int
+	neigh [][]int
+}
+
+// NewHypercube returns the hypercube guest of the given dimension.
+func NewHypercube(dim int) *HypercubeGraph {
+	if dim < 1 {
+		panic(fmt.Sprintf("guest: hypercube dim %d", dim))
+	}
+	n := 1 << uint(dim)
+	h := &HypercubeGraph{dim: dim, neigh: make([][]int, n)}
+	for u := 0; u < n; u++ {
+		ns := make([]int, 0, dim)
+		for b := 0; b < dim; b++ {
+			ns = append(ns, u^(1<<uint(b)))
+		}
+		sortInts(ns)
+		h.neigh[u] = ns
+	}
+	return h
+}
+
+// NumNodes implements Graph.
+func (h *HypercubeGraph) NumNodes() int { return len(h.neigh) }
+
+// Neighbors implements Graph.
+func (h *HypercubeGraph) Neighbors(i int) []int { return h.neigh[i] }
+
+// Name implements Graph.
+func (h *HypercubeGraph) Name() string { return fmt.Sprintf("guest-hypercube(%d)", h.dim) }
+
+// Dim reports the hypercube dimension.
+func (h *HypercubeGraph) Dim() int { return h.dim }
+
+// Butterfly is the (levels+1) x 2^levels butterfly guest: node (l, r) has
+// index l*2^levels + r and connects to (l+1, r) and (l+1, r xor 2^l) — the
+// canonical FFT communication pattern.
+type Butterfly struct {
+	levels int
+	cols   int
+	neigh  [][]int
+}
+
+// NewButterfly returns the butterfly with the given number of levels.
+func NewButterfly(levels int) *Butterfly {
+	if levels < 1 {
+		panic(fmt.Sprintf("guest: butterfly levels %d", levels))
+	}
+	cols := 1 << uint(levels)
+	n := (levels + 1) * cols
+	b := &Butterfly{levels: levels, cols: cols, neigh: make([][]int, n)}
+	add := func(u, v int) {
+		b.neigh[u] = append(b.neigh[u], v)
+		b.neigh[v] = append(b.neigh[v], u)
+	}
+	for l := 0; l < levels; l++ {
+		for r := 0; r < cols; r++ {
+			u := l*cols + r
+			add(u, (l+1)*cols+r)
+			add(u, (l+1)*cols+(r^(1<<uint(l))))
+		}
+	}
+	for i := range b.neigh {
+		sortInts(b.neigh[i])
+	}
+	return b
+}
+
+// NumNodes implements Graph.
+func (b *Butterfly) NumNodes() int { return len(b.neigh) }
+
+// Neighbors implements Graph.
+func (b *Butterfly) Neighbors(i int) []int { return b.neigh[i] }
+
+// Name implements Graph.
+func (b *Butterfly) Name() string { return fmt.Sprintf("guest-butterfly(%d)", b.levels) }
+
+// Levels reports the butterfly's level count; it has Levels+1 ranks.
+func (b *Butterfly) Levels() int { return b.levels }
+
+// Cols reports the butterfly's rank width 2^Levels.
+func (b *Butterfly) Cols() int { return b.cols }
+
+// ArrayND is a d-dimensional array guest (the "higher dimensional arrays"
+// Theorem 8 generalizes to). Node coordinates are mixed-radix over Dims;
+// index = sum coord[i] * stride[i], row-major.
+type ArrayND struct {
+	dims   []int
+	stride []int
+	neigh  [][]int
+	name   string
+}
+
+// NewArrayND returns the array with the given per-dimension extents.
+func NewArrayND(dims ...int) *ArrayND {
+	if len(dims) == 0 {
+		panic("guest: array with no dimensions")
+	}
+	n := 1
+	for _, d := range dims {
+		if d < 1 {
+			panic(fmt.Sprintf("guest: array dim %d", d))
+		}
+		n *= d
+	}
+	a := &ArrayND{dims: append([]int(nil), dims...), stride: make([]int, len(dims))}
+	s := 1
+	for i := len(dims) - 1; i >= 0; i-- {
+		a.stride[i] = s
+		s *= dims[i]
+	}
+	a.neigh = make([][]int, n)
+	coord := make([]int, len(dims))
+	for u := 0; u < n; u++ {
+		var ns []int
+		for i := range dims {
+			if coord[i] > 0 {
+				ns = append(ns, u-a.stride[i])
+			}
+			if coord[i]+1 < dims[i] {
+				ns = append(ns, u+a.stride[i])
+			}
+		}
+		sortInts(ns)
+		a.neigh[u] = ns
+		// advance mixed-radix coordinate
+		for i := len(dims) - 1; i >= 0; i-- {
+			coord[i]++
+			if coord[i] < dims[i] {
+				break
+			}
+			coord[i] = 0
+		}
+	}
+	a.name = fmt.Sprintf("guest-array%v", dims)
+	return a
+}
+
+// NumNodes implements Graph.
+func (a *ArrayND) NumNodes() int { return len(a.neigh) }
+
+// Neighbors implements Graph.
+func (a *ArrayND) Neighbors(i int) []int { return a.neigh[i] }
+
+// Name implements Graph.
+func (a *ArrayND) Name() string { return a.name }
+
+// Dims returns the per-dimension extents. The result must not be modified.
+func (a *ArrayND) Dims() []int { return a.dims }
+
+// Torus2DGraph is the rows x cols torus guest (wraparound mesh).
+type Torus2DGraph struct {
+	rows, cols int
+	neigh      [][]int
+}
+
+// NewTorus2D returns the torus guest.
+func NewTorus2D(rows, cols int) *Torus2DGraph {
+	if rows < 3 || cols < 3 {
+		panic(fmt.Sprintf("guest: torus %dx%d (needs >= 3x3)", rows, cols))
+	}
+	t := &Torus2DGraph{rows: rows, cols: cols, neigh: make([][]int, rows*cols)}
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			u := r*cols + c
+			ns := []int{
+				((r+rows-1)%rows)*cols + c,
+				((r+1)%rows)*cols + c,
+				r*cols + (c+cols-1)%cols,
+				r*cols + (c+1)%cols,
+			}
+			sortInts(ns)
+			// dedup (possible only for tiny sizes, excluded above)
+			t.neigh[u] = ns
+		}
+	}
+	return t
+}
+
+// NumNodes implements Graph.
+func (t *Torus2DGraph) NumNodes() int { return t.rows * t.cols }
+
+// Neighbors implements Graph.
+func (t *Torus2DGraph) Neighbors(i int) []int { return t.neigh[i] }
+
+// Name implements Graph.
+func (t *Torus2DGraph) Name() string { return fmt.Sprintf("guest-torus(%dx%d)", t.rows, t.cols) }

@@ -1,0 +1,175 @@
+package guest
+
+import "testing"
+
+func checkGraph(t *testing.T, g Graph) {
+	t.Helper()
+	n := g.NumNodes()
+	for i := 0; i < n; i++ {
+		ns := g.Neighbors(i)
+		for j, v := range ns {
+			if v < 0 || v >= n || v == i {
+				t.Fatalf("%s: node %d bad neighbor %d", g.Name(), i, v)
+			}
+			if j > 0 && ns[j-1] >= v {
+				t.Fatalf("%s: node %d neighbors not strictly sorted: %v", g.Name(), i, ns)
+			}
+			// symmetry
+			found := false
+			for _, w := range g.Neighbors(v) {
+				if w == i {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Fatalf("%s: edge (%d,%d) not symmetric", g.Name(), i, v)
+			}
+		}
+	}
+}
+
+func TestBinaryTreeStructure(t *testing.T) {
+	tr := NewBinaryTree(3)
+	if tr.NumNodes() != 15 {
+		t.Fatalf("nodes %d", tr.NumNodes())
+	}
+	checkGraph(t, tr)
+	if len(tr.Neighbors(0)) != 2 {
+		t.Fatal("root degree")
+	}
+	if len(tr.Neighbors(14)) != 1 {
+		t.Fatal("leaf degree")
+	}
+	if len(tr.Neighbors(3)) != 3 {
+		t.Fatal("internal degree")
+	}
+	if NewBinaryTree(0).NumNodes() != 1 {
+		t.Fatal("h=0")
+	}
+}
+
+func TestHypercubeStructure(t *testing.T) {
+	h := NewHypercube(4)
+	if h.NumNodes() != 16 || h.Dim() != 4 {
+		t.Fatal("size")
+	}
+	checkGraph(t, h)
+	for i := 0; i < 16; i++ {
+		if len(h.Neighbors(i)) != 4 {
+			t.Fatalf("node %d degree %d", i, len(h.Neighbors(i)))
+		}
+		for _, v := range h.Neighbors(i) {
+			x := i ^ v
+			if x&(x-1) != 0 {
+				t.Fatalf("edge (%d,%d) differs in several bits", i, v)
+			}
+		}
+	}
+}
+
+func TestButterflyStructure(t *testing.T) {
+	b := NewButterfly(3)
+	if b.NumNodes() != 4*8 || b.Levels() != 3 || b.Cols() != 8 {
+		t.Fatal("size")
+	}
+	checkGraph(t, b)
+	// interior ranks have degree 4, end ranks 2
+	for r := 0; r < 8; r++ {
+		if len(b.Neighbors(r)) != 2 {
+			t.Fatalf("rank-0 node %d degree %d", r, len(b.Neighbors(r)))
+		}
+		if len(b.Neighbors(3*8+r)) != 2 {
+			t.Fatal("last-rank degree")
+		}
+		if len(b.Neighbors(8+r)) != 4 {
+			t.Fatal("interior degree")
+		}
+	}
+	// straight edge and cross edge at level 0
+	ns := b.Neighbors(0)
+	if ns[0] != 8 || ns[1] != 9 {
+		t.Fatalf("rank-0 node 0 neighbors %v", ns)
+	}
+}
+
+func TestArrayNDStructure(t *testing.T) {
+	a := NewArrayND(3, 4, 5)
+	if a.NumNodes() != 60 {
+		t.Fatal("size")
+	}
+	checkGraph(t, a)
+	// corner (0,0,0) has 3 neighbors; center has 6
+	if len(a.Neighbors(0)) != 3 {
+		t.Fatalf("corner degree %d", len(a.Neighbors(0)))
+	}
+	center := 1*20 + 1*5 + 2
+	if len(a.Neighbors(center)) != 6 {
+		t.Fatalf("center degree %d", len(a.Neighbors(center)))
+	}
+	// 1-D array matches LinearArray semantics
+	one := NewArrayND(7)
+	la := NewLinearArray(7)
+	for i := 0; i < 7; i++ {
+		a, b := one.Neighbors(i), la.Neighbors(i)
+		if len(a) != len(b) {
+			t.Fatalf("node %d: %v vs %v", i, a, b)
+		}
+		for j := range a {
+			if a[j] != b[j] {
+				t.Fatalf("node %d: %v vs %v", i, a, b)
+			}
+		}
+	}
+	// 2-D array matches Mesh
+	a2 := NewArrayND(4, 6)
+	m := NewMesh(4, 6)
+	for i := 0; i < 24; i++ {
+		x, y := a2.Neighbors(i), m.Neighbors(i)
+		if len(x) != len(y) {
+			t.Fatalf("node %d: %v vs %v", i, x, y)
+		}
+		for j := range x {
+			if x[j] != y[j] {
+				t.Fatalf("node %d: %v vs %v", i, x, y)
+			}
+		}
+	}
+	if len(a.Dims()) != 3 {
+		t.Fatal("dims")
+	}
+}
+
+func TestTorus2DStructure(t *testing.T) {
+	tr := NewTorus2D(4, 5)
+	if tr.NumNodes() != 20 {
+		t.Fatal("size")
+	}
+	checkGraph(t, tr)
+	for i := 0; i < 20; i++ {
+		if len(tr.Neighbors(i)) != 4 {
+			t.Fatalf("node %d degree %d", i, len(tr.Neighbors(i)))
+		}
+	}
+}
+
+func TestTopologyReferenceRuns(t *testing.T) {
+	graphs := []Graph{
+		NewBinaryTree(4), NewHypercube(5), NewButterfly(3),
+		NewArrayND(3, 3, 3), NewTorus2D(4, 4),
+	}
+	for _, g := range graphs {
+		if _, err := RunDigest(Spec{Graph: g, Steps: 6, Seed: 2}); err != nil {
+			t.Fatalf("%s: %v", g.Name(), err)
+		}
+	}
+}
+
+func TestTopologyPanics(t *testing.T) {
+	mustPanic(t, "tree", func() { NewBinaryTree(-1) })
+	mustPanic(t, "hypercube", func() { NewHypercube(0) })
+	mustPanic(t, "butterfly", func() { NewButterfly(0) })
+	mustPanic(t, "array", func() { NewArrayND() })
+	mustPanic(t, "array0", func() { NewArrayND(3, 0) })
+	mustPanic(t, "torus", func() { NewTorus2D(2, 5) })
+}

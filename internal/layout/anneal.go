@@ -1,0 +1,102 @@
+package layout
+
+import (
+	"math"
+	"math/rand"
+
+	"latencyhide/internal/guest"
+)
+
+// Anneal improves a layout by simulated annealing over slot swaps,
+// minimising a blend of maximum and average edge stretch (E14 shows the
+// slowdown tracks max stretch, so it is weighted heavily). Deterministic
+// for a given seed. Returns the best layout found; the input is not
+// modified.
+func Anneal(g guest.Graph, start *Layout, seed int64, iters int) *Layout {
+	n := g.NumNodes()
+	if n != len(start.Order) || n < 3 {
+		return start
+	}
+	if iters <= 0 {
+		iters = 200 * n
+	}
+	rng := rand.New(rand.NewSource(seed))
+
+	order := append([]int(nil), start.Order...)
+	posOf := append([]int(nil), start.PosOf...)
+
+	// cost: sum over edges of stretch^2 (penalises long edges steeply,
+	// a smooth proxy for max stretch that remains cheap to update).
+	edgeCost := func(u, v int) float64 {
+		d := float64(posOf[u] - posOf[v])
+		return d * d
+	}
+	var cost float64
+	for u := 0; u < n; u++ {
+		for _, v := range g.Neighbors(u) {
+			if v > u {
+				cost += edgeCost(u, v)
+			}
+		}
+	}
+
+	// delta of swapping the nodes at slots a and b
+	swapDelta := func(a, b int) float64 {
+		x, y := order[a], order[b]
+		var before, after float64
+		for _, v := range g.Neighbors(x) {
+			if v == y {
+				continue // relative distance unchanged by the swap
+			}
+			before += edgeCost(x, v)
+			d := float64(b - posOf[v])
+			after += d * d
+		}
+		for _, v := range g.Neighbors(y) {
+			if v == x {
+				continue
+			}
+			before += edgeCost(y, v)
+			d := float64(a - posOf[v])
+			after += d * d
+		}
+		return after - before
+	}
+
+	bestOrder := append([]int(nil), order...)
+	bestCost := cost
+	t0 := cost / float64(n) / 4
+	if t0 < 1 {
+		t0 = 1
+	}
+	for it := 0; it < iters; it++ {
+		// geometric cooling
+		temp := t0 * math.Pow(0.002, float64(it)/float64(iters))
+		a := rng.Intn(n)
+		// mostly local swaps: they preserve locality structure
+		span := 1 + rng.Intn(8)
+		b := a + span
+		if b >= n {
+			b = a - span
+		}
+		if b < 0 || b == a {
+			continue
+		}
+		d := swapDelta(a, b)
+		if d <= 0 || rng.Float64() < math.Exp(-d/temp) {
+			x, y := order[a], order[b]
+			order[a], order[b] = y, x
+			posOf[x], posOf[y] = b, a
+			cost += d
+			if cost < bestCost {
+				bestCost = cost
+				copy(bestOrder, order)
+			}
+		}
+	}
+	l, err := New(start.Name+"+anneal", bestOrder)
+	if err != nil {
+		return start
+	}
+	return l
+}

@@ -1,0 +1,95 @@
+package layout
+
+import (
+	"math/rand"
+	"testing"
+
+	"latencyhide/internal/guest"
+)
+
+func sumSq(g guest.Graph, l *Layout) float64 {
+	var c float64
+	for u := 0; u < g.NumNodes(); u++ {
+		for _, v := range g.Neighbors(u) {
+			if v > u {
+				d := float64(l.PosOf[u] - l.PosOf[v])
+				c += d * d
+			}
+		}
+	}
+	return c
+}
+
+func TestAnnealImprovesRandomOrder(t *testing.T) {
+	g := guest.NewMesh(8, 8)
+	// start from a deliberately bad (random) permutation
+	rng := rand.New(rand.NewSource(5))
+	order := rng.Perm(g.NumNodes())
+	start, err := New("random", order)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := Anneal(g, start, 9, 40000)
+	// valid permutation
+	seen := make([]bool, g.NumNodes())
+	for _, v := range out.Order {
+		if seen[v] {
+			t.Fatal("anneal broke the permutation")
+		}
+		seen[v] = true
+	}
+	before, after := sumSq(g, start), sumSq(g, out)
+	if after >= before {
+		t.Fatalf("anneal did not improve: %.0f -> %.0f", before, after)
+	}
+	mb, ma := Measure(g, start), Measure(g, out)
+	if ma.AvgStretch >= mb.AvgStretch {
+		t.Fatalf("avg stretch not improved: %.2f -> %.2f", mb.AvgStretch, ma.AvgStretch)
+	}
+	t.Logf("mesh 8x8 random start: maxStretch %d -> %d, avg %.2f -> %.2f",
+		mb.MaxStretch, ma.MaxStretch, mb.AvgStretch, ma.AvgStretch)
+}
+
+func TestAnnealKeepsGoodLayoutsValid(t *testing.T) {
+	g := guest.NewLinearArray(30)
+	id := Identity(30)
+	out := Anneal(g, id, 1, 5000)
+	// identity is optimal for a line; anneal must not make it invalid,
+	// and the cost must not regress
+	if sumSq(g, out) > sumSq(g, id) {
+		t.Fatal("anneal regressed an optimal layout")
+	}
+}
+
+func TestAnnealDeterministic(t *testing.T) {
+	g := guest.NewHypercube(5)
+	start := Identity(g.NumNodes())
+	a := Anneal(g, start, 3, 8000)
+	b := Anneal(g, start, 3, 8000)
+	for i := range a.Order {
+		if a.Order[i] != b.Order[i] {
+			t.Fatal("nondeterministic for equal seeds")
+		}
+	}
+}
+
+func TestAnnealTinyInputs(t *testing.T) {
+	g := guest.NewLinearArray(2)
+	l := Identity(2)
+	if out := Anneal(g, l, 1, 100); out != l {
+		t.Fatal("tiny input should return the start layout")
+	}
+}
+
+func TestAnnealEndToEnd(t *testing.T) {
+	// annealed layout must still simulate correctly
+	g := guest.NewButterfly(3)
+	l := Anneal(g, Bisection(g, 2), 7, 20000)
+	r, err := Simulate(g, l, unitLine(16), Options{Steps: 4, Seed: 3, Check: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Sim.Checked {
+		t.Fatal("unchecked")
+	}
+}

@@ -1,0 +1,305 @@
+// Package layout extends the paper's machinery to arbitrary guest networks
+// — the "trees, arrays, butterflies and hypercubes" Section 7 names as the
+// ultimate targets. The ring results of Section 3 apply to any guest once
+// its nodes are arranged along a line: the interval tree assigns contiguous
+// *slots* of the arrangement to host processors (with the usual sibling
+// overlaps), and the engine's multicast routing handles whatever dependency
+// edges the guest has.
+//
+// The quality of the arrangement decides the constants: an edge between
+// slots that are far apart forces long host paths (stretch), and a cut of
+// the line crossed by many guest edges concentrates traffic (cutwidth).
+// The package provides natural layouts for the structured guests (level
+// order for trees, Gray-code order for hypercubes, rank-major for
+// butterflies), a Cuthill-McKee-style BFS layout and a recursive-bisection
+// layout for arbitrary graphs, plus the metrics to compare them.
+package layout
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"latencyhide/internal/guest"
+)
+
+// Layout is a one-to-one arrangement of guest nodes along a line.
+type Layout struct {
+	Name string
+	// Order[slot] is the guest node at that line slot.
+	Order []int
+	// PosOf[node] is the slot of the guest node (inverse of Order).
+	PosOf []int
+}
+
+// New builds a Layout from an order, validating it is a permutation.
+func New(name string, order []int) (*Layout, error) {
+	l := &Layout{Name: name, Order: order, PosOf: make([]int, len(order))}
+	seen := make([]bool, len(order))
+	for slot, node := range order {
+		if node < 0 || node >= len(order) || seen[node] {
+			return nil, fmt.Errorf("layout: order is not a permutation at slot %d (node %d)", slot, node)
+		}
+		seen[node] = true
+		l.PosOf[node] = slot
+	}
+	return l, nil
+}
+
+// Identity returns the natural (id-order) layout.
+func Identity(n int) *Layout {
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	l, _ := New("identity", order)
+	return l
+}
+
+// BFS returns a Cuthill-McKee-style layout: breadth-first from a
+// pseudo-peripheral node, children visited in ascending id order. Good
+// locality for meshes and trees; O(V+E).
+func BFS(g guest.Graph) *Layout {
+	n := g.NumNodes()
+	start := pseudoPeripheral(g)
+	order := make([]int, 0, n)
+	seen := make([]bool, n)
+	queue := []int{start}
+	seen[start] = true
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		order = append(order, u)
+		for _, v := range g.Neighbors(u) {
+			if !seen[v] {
+				seen[v] = true
+				queue = append(queue, v)
+			}
+		}
+	}
+	// disconnected guests: append remaining components
+	for v := 0; v < n; v++ {
+		if !seen[v] {
+			seen[v] = true
+			order = append(order, v)
+		}
+	}
+	l, _ := New("bfs", order)
+	return l
+}
+
+// pseudoPeripheral finds an approximately peripheral node by double BFS.
+func pseudoPeripheral(g guest.Graph) int {
+	far := func(src int) int {
+		n := g.NumNodes()
+		seen := make([]bool, n)
+		queue := []int{src}
+		seen[src] = true
+		last := src
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			last = u
+			for _, v := range g.Neighbors(u) {
+				if !seen[v] {
+					seen[v] = true
+					queue = append(queue, v)
+				}
+			}
+		}
+		return last
+	}
+	return far(far(0))
+}
+
+// Bisection returns a recursive-bisection layout: the node set is split by
+// BFS growth from an extreme node (taking the nearer half first), and each
+// half is laid out recursively. Tends to beat plain BFS on expanders and
+// butterflies. Deterministic for a given seed.
+func Bisection(g guest.Graph, seed int64) *Layout {
+	n := g.NumNodes()
+	rng := rand.New(rand.NewSource(seed))
+	nodes := make([]int, n)
+	for i := range nodes {
+		nodes[i] = i
+	}
+	order := make([]int, 0, n)
+	var rec func(set []int)
+	rec = func(set []int) {
+		if len(set) <= 2 {
+			order = append(order, set...)
+			return
+		}
+		inSet := make(map[int]bool, len(set))
+		for _, v := range set {
+			inSet[v] = true
+		}
+		// BFS within the set from a random extreme, collecting half
+		start := set[rng.Intn(len(set))]
+		start = farWithin(g, inSet, farWithin(g, inSet, start))
+		half := len(set) / 2
+		taken := make(map[int]bool, half)
+		queue := []int{start}
+		taken[start] = true
+		var a []int
+		for len(queue) > 0 && len(a) < half {
+			u := queue[0]
+			queue = queue[1:]
+			a = append(a, u)
+			for _, v := range g.Neighbors(u) {
+				if inSet[v] && !taken[v] {
+					taken[v] = true
+					queue = append(queue, v)
+				}
+			}
+		}
+		if len(a) < half {
+			// disconnected within the set: top up arbitrarily
+			for _, v := range set {
+				if len(a) >= half {
+					break
+				}
+				if !taken[v] {
+					taken[v] = true
+					a = append(a, v)
+				}
+			}
+		}
+		aset := make(map[int]bool, len(a))
+		for _, v := range a {
+			aset[v] = true
+		}
+		var b []int
+		for _, v := range set {
+			if !aset[v] {
+				b = append(b, v)
+			}
+		}
+		sort.Ints(a)
+		sort.Ints(b)
+		rec(a)
+		rec(b)
+	}
+	rec(nodes)
+	l, _ := New("bisection", order)
+	return l
+}
+
+func farWithin(g guest.Graph, inSet map[int]bool, src int) int {
+	seen := map[int]bool{src: true}
+	queue := []int{src}
+	last := src
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		last = u
+		for _, v := range g.Neighbors(u) {
+			if inSet[v] && !seen[v] {
+				seen[v] = true
+				queue = append(queue, v)
+			}
+		}
+	}
+	return last
+}
+
+// Gray returns the Gray-code layout of a hypercube guest: consecutive slots
+// differ in one bit, so every slot boundary is crossed by exactly dim guest
+// edges and hypercube edges have stretch at most 2^(dim-1) with most edges
+// short.
+func Gray(h *guest.HypercubeGraph) *Layout {
+	n := h.NumNodes()
+	order := make([]int, n)
+	for i := 0; i < n; i++ {
+		order[i] = i ^ (i >> 1)
+	}
+	l, _ := New("gray", order)
+	return l
+}
+
+// RankMajor returns the rank-major layout of a butterfly: rank 0's nodes,
+// then rank 1's, etc. Butterfly edges connect adjacent ranks only, so
+// stretch is at most 2 * 2^levels.
+func RankMajor(b *guest.Butterfly) *Layout {
+	return Identity(b.NumNodes())
+}
+
+// LevelOrder returns the level-order (BFS-from-root) layout of a complete
+// binary tree.
+func LevelOrder(t *guest.BinaryTree) *Layout {
+	return Identity(t.NumNodes()) // ids are already level-order
+}
+
+// InOrder returns the in-order (symmetric) layout of a complete binary
+// tree: tree edges have stretch O(subtree size) but the cutwidth is
+// O(log n), the optimum for trees.
+func InOrder(t *guest.BinaryTree) *Layout {
+	n := t.NumNodes()
+	order := make([]int, 0, n)
+	var rec func(i int)
+	rec = func(i int) {
+		if i >= n {
+			return
+		}
+		rec(2*i + 1)
+		order = append(order, i)
+		rec(2*i + 2)
+	}
+	rec(0)
+	l, _ := New("inorder", order)
+	return l
+}
+
+// Metrics quantifies a layout's quality for line simulation.
+type Metrics struct {
+	Nodes int
+	Edges int
+	// MaxStretch is the largest slot distance across any guest edge —
+	// the worst-case host-path length a dependency must travel.
+	MaxStretch int
+	// AvgStretch is the mean slot distance across guest edges.
+	AvgStretch float64
+	// CutWidth is the maximum number of guest edges crossing any slot
+	// boundary — the per-boundary traffic the host links must carry.
+	CutWidth int
+}
+
+// Measure computes layout quality metrics for the guest.
+func Measure(g guest.Graph, l *Layout) Metrics {
+	n := g.NumNodes()
+	m := Metrics{Nodes: n}
+	if len(l.PosOf) != n {
+		panic("layout: size mismatch")
+	}
+	crossings := make([]int, n) // boundary after slot i
+	var total int64
+	for u := 0; u < n; u++ {
+		for _, v := range g.Neighbors(u) {
+			if v <= u {
+				continue // count each edge once
+			}
+			m.Edges++
+			a, b := l.PosOf[u], l.PosOf[v]
+			if a > b {
+				a, b = b, a
+			}
+			stretch := b - a
+			total += int64(stretch)
+			if stretch > m.MaxStretch {
+				m.MaxStretch = stretch
+			}
+			for i := a; i < b; i++ {
+				crossings[i]++
+			}
+		}
+	}
+	if m.Edges > 0 {
+		m.AvgStretch = float64(total) / float64(m.Edges)
+	}
+	for _, c := range crossings {
+		if c > m.CutWidth {
+			m.CutWidth = c
+		}
+	}
+	return m
+}

@@ -1,0 +1,269 @@
+package layout
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"latencyhide/internal/guest"
+	"latencyhide/internal/network"
+)
+
+func allGuests() map[string]guest.Graph {
+	return map[string]guest.Graph{
+		"line":      guest.NewLinearArray(40),
+		"ring":      guest.NewRing(40),
+		"mesh":      guest.NewMesh(6, 7),
+		"tree":      guest.NewBinaryTree(5),
+		"hypercube": guest.NewHypercube(5),
+		"butterfly": guest.NewButterfly(4),
+		"array3d":   guest.NewArrayND(4, 3, 5),
+		"torus":     guest.NewTorus2D(5, 6),
+	}
+}
+
+func checkPermutation(t *testing.T, l *Layout, n int) {
+	t.Helper()
+	if len(l.Order) != n {
+		t.Fatalf("%s: %d slots for %d nodes", l.Name, len(l.Order), n)
+	}
+	seen := make([]bool, n)
+	for slot, node := range l.Order {
+		if node < 0 || node >= n || seen[node] {
+			t.Fatalf("%s: bad node %d at slot %d", l.Name, node, slot)
+		}
+		seen[node] = true
+		if l.PosOf[node] != slot {
+			t.Fatalf("%s: PosOf broken", l.Name)
+		}
+	}
+}
+
+func TestLayoutsArePermutations(t *testing.T) {
+	for name, g := range allGuests() {
+		t.Run(name, func(t *testing.T) {
+			checkPermutation(t, Identity(g.NumNodes()), g.NumNodes())
+			checkPermutation(t, BFS(g), g.NumNodes())
+			checkPermutation(t, Bisection(g, 7), g.NumNodes())
+		})
+	}
+	h := guest.NewHypercube(6)
+	checkPermutation(t, Gray(h), h.NumNodes())
+	b := guest.NewButterfly(3)
+	checkPermutation(t, RankMajor(b), b.NumNodes())
+	tr := guest.NewBinaryTree(4)
+	checkPermutation(t, InOrder(tr), tr.NumNodes())
+	checkPermutation(t, LevelOrder(tr), tr.NumNodes())
+}
+
+func TestNewRejectsNonPermutation(t *testing.T) {
+	if _, err := New("x", []int{0, 0}); err == nil {
+		t.Fatal("duplicate accepted")
+	}
+	if _, err := New("x", []int{0, 5}); err == nil {
+		t.Fatal("out of range accepted")
+	}
+}
+
+func TestMeasureLine(t *testing.T) {
+	g := guest.NewLinearArray(10)
+	m := Measure(g, Identity(10))
+	if m.MaxStretch != 1 || m.CutWidth != 1 || m.Edges != 9 {
+		t.Fatalf("%+v", m)
+	}
+	// reversing is still perfect
+	rev := make([]int, 10)
+	for i := range rev {
+		rev[i] = 9 - i
+	}
+	l, _ := New("rev", rev)
+	if mm := Measure(g, l); mm.MaxStretch != 1 {
+		t.Fatalf("%+v", mm)
+	}
+}
+
+func TestMeasureRingWrap(t *testing.T) {
+	g := guest.NewRing(10)
+	m := Measure(g, Identity(10))
+	if m.MaxStretch != 9 {
+		t.Fatalf("identity ring should have the wrap edge: %+v", m)
+	}
+}
+
+func TestInOrderTreeCutwidth(t *testing.T) {
+	// in-order layout of a tree has cutwidth O(log n); level order has
+	// cutwidth Theta(n)
+	tr := guest.NewBinaryTree(7) // 255 nodes
+	in := Measure(tr, InOrder(tr))
+	lv := Measure(tr, LevelOrder(tr))
+	if in.CutWidth > 2*8 {
+		t.Fatalf("in-order cutwidth %d not O(log n)", in.CutWidth)
+	}
+	if lv.CutWidth < 4*in.CutWidth {
+		t.Fatalf("level-order cutwidth %d should be far above in-order %d", lv.CutWidth, in.CutWidth)
+	}
+}
+
+func TestGrayBeatsIdentityOnAvgStretch(t *testing.T) {
+	h := guest.NewHypercube(7)
+	gray := Measure(h, Gray(h))
+	id := Measure(h, Identity(h.NumNodes()))
+	// Gray code guarantees one edge per adjacent slot pair; overall
+	// average stretch must not be worse than identity
+	if gray.AvgStretch > id.AvgStretch*1.01 {
+		t.Fatalf("gray %.2f worse than identity %.2f", gray.AvgStretch, id.AvgStretch)
+	}
+}
+
+func TestBFSMeshLocality(t *testing.T) {
+	g := guest.NewMesh(8, 8)
+	m := Measure(g, BFS(g))
+	// BFS on a mesh keeps stretch within ~2 side lengths
+	if m.MaxStretch > 3*8 {
+		t.Fatalf("BFS mesh stretch %d", m.MaxStretch)
+	}
+}
+
+func unitLine(n int) []int {
+	d := make([]int, n-1)
+	for i := range d {
+		d[i] = 1
+	}
+	return d
+}
+
+func TestSimulateAllGuestsVerified(t *testing.T) {
+	delays := unitLine(32)
+	for name, g := range allGuests() {
+		t.Run(name, func(t *testing.T) {
+			r, err := Simulate(g, BFS(g), delays, Options{Steps: 6, Seed: 3, Check: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !r.Sim.Checked {
+				t.Fatal("unchecked")
+			}
+			if r.Sim.PebblesComputed < int64(g.NumNodes()*6) {
+				t.Fatalf("only %d pebbles", r.Sim.PebblesComputed)
+			}
+		})
+	}
+}
+
+func TestSimulateOnNOWVerified(t *testing.T) {
+	host := network.RandomNOW(48, 4, network.ExpDelay{Mean: 2}, 9)
+	g := guest.NewButterfly(3)
+	r, err := SimulateOnNOW(g, RankMajor(g), host, Options{Steps: 5, Seed: 1, Check: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Sim.Checked {
+		t.Fatal("unchecked")
+	}
+	if r.Layout != "identity" || r.Guest == "" {
+		t.Fatalf("%+v", r)
+	}
+}
+
+func TestSimulateErrors(t *testing.T) {
+	g := guest.NewRing(10)
+	if _, err := Simulate(g, Identity(9), unitLine(4), Options{Steps: 2}); err == nil {
+		t.Fatal("size mismatch accepted")
+	}
+	if _, err := Simulate(g, Identity(10), unitLine(4), Options{Steps: 0}); err == nil {
+		t.Fatal("zero steps accepted")
+	}
+}
+
+func TestSimulateTailAssignment(t *testing.T) {
+	// guest larger than nUnits*spu with spu=1: the tail must be covered
+	g := guest.NewLinearArray(100)
+	r, err := Simulate(g, Identity(100), unitLine(16), Options{Steps: 4, Seed: 2, SlotsPerUnit: 1, Check: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Sim.Checked {
+		t.Fatal("unchecked")
+	}
+}
+
+// Property: Bisection always produces a valid permutation and never has
+// cutwidth worse than edges.
+func TestBisectionProperty(t *testing.T) {
+	f := func(seed int64, sel uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 4 + int(sel%60)
+		adj := make([][]int, n)
+		for i := 0; i < 2*n; i++ {
+			u, v := r.Intn(n), r.Intn(n)
+			if u != v {
+				adj[u] = append(adj[u], v)
+				adj[v] = append(adj[v], u)
+			}
+		}
+		g := guest.NewCustom("rand", adj)
+		l := Bisection(g, seed)
+		seen := make([]bool, n)
+		for _, v := range l.Order {
+			if v < 0 || v >= n || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		m := Measure(g, l)
+		return m.CutWidth <= m.Edges
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSimulateOnNOWDisconnected(t *testing.T) {
+	host := network.New(4)
+	host.MustAddLink(0, 1, 1)
+	g := guest.NewRing(6)
+	if _, err := SimulateOnNOW(g, Identity(6), host, Options{Steps: 2}); err == nil {
+		t.Fatal("disconnected host accepted")
+	}
+}
+
+func TestSimulateWithCustomKernel(t *testing.T) {
+	// a real kernel through the general-guest path: hypercube all-max
+	g := guest.NewHypercube(4)
+	op := func(_ uint64, _ int, _ int, self uint64, ns []uint64) uint64 {
+		best := self
+		for _, v := range ns {
+			if v > best {
+				best = v
+			}
+		}
+		return best
+	}
+	init := func(node int, _ int64) uint64 { return uint64(node * 7) }
+	r, err := Simulate(g, Gray(g), unitLine(8), Options{
+		Steps: 4, Op: op, Init: init, Check: true, // diameter = dim = 4
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Sim.Checked {
+		t.Fatal("unchecked")
+	}
+}
+
+func TestSimulateParallelEngine(t *testing.T) {
+	g := guest.NewMesh(6, 6)
+	l := BFS(g)
+	delays := unitLine(24)
+	seq, err := Simulate(g, l, delays, Options{Steps: 6, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := Simulate(g, l, delays, Options{Steps: 6, Seed: 4, Workers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq.Sim.HostSteps != par.Sim.HostSteps {
+		t.Fatalf("engines disagree: %d vs %d", seq.Sim.HostSteps, par.Sim.HostSteps)
+	}
+}

@@ -1,0 +1,334 @@
+// Package lower implements the paper's lower-bound machinery (Section 6 and
+// the Section 4 counterexample):
+//
+//   - Theorem 9: on host H1 (every sqrt(n)-th link has delay sqrt(n)), any
+//     single-copy assignment forces slowdown d_max = sqrt(n). The package
+//     certifies the bound for concrete assignments by the paper's dichotomy
+//     (work bound vs adjacent-column delay) and cross-checks it on the
+//     engine.
+//
+//   - Theorem 10: on host H2 (the recursive level-box construction,
+//     Figure 5), any assignment with at most two copies per database and
+//     constant load has slowdown Omega(log n). CertifyTwoCopy implements
+//     the proof's case analysis over segments, using the Fact 4 delay
+//     bound, which itself is verified against Dijkstra distances in tests.
+//
+//   - Section 4: the clique-chain host shows Theorem 6 fails for unbounded
+//     degree: every simulation pays at least n^(1/4) even though d_ave is
+//     constant.
+//
+//   - PropagationLB: the Theorem 9 ping-pong argument generalized to any
+//     multi-copy placement and any column distance — a universal certified
+//     floor that every measured simulation must respect (and does; fuzz
+//     tests assert it).
+package lower
+
+import (
+	"fmt"
+	"math"
+
+	"latencyhide/internal/assign"
+	"latencyhide/internal/network"
+)
+
+// linePrefix returns prefix delay sums of a host line: delay between
+// positions p < q is prefix[q] - prefix[p].
+func linePrefix(delays []int) []int64 {
+	prefix := make([]int64, len(delays)+1)
+	for i, d := range delays {
+		prefix[i+1] = prefix[i] + int64(d)
+	}
+	return prefix
+}
+
+func lineDelay(prefix []int64, p, q int) int64 {
+	if p > q {
+		p, q = q, p
+	}
+	return prefix[q] - prefix[p]
+}
+
+// SingleCopyLB returns the certified slowdown lower bound of Theorem 9's
+// argument for one concrete single-copy assignment on a host line: the
+// maximum of the work bound m/used and the largest delay between holders of
+// adjacent guest columns. It errors if any database has more than one copy
+// (the argument does not apply then).
+func SingleCopyLB(delays []int, a *assign.Assignment) (int64, error) {
+	if a.MaxCopies() > 1 {
+		return 0, fmt.Errorf("lower: assignment has %d copies of some database; Theorem 9 needs one", a.MaxCopies())
+	}
+	prefix := linePrefix(delays)
+	used := a.UsedHosts()
+	if used == 0 {
+		return 0, fmt.Errorf("lower: empty assignment")
+	}
+	lb := int64((a.Columns + used - 1) / used) // work bound
+	for c := 0; c+1 < a.Columns; c++ {
+		p := a.Holders[c][0]
+		q := a.Holders[c+1][0]
+		if p == q {
+			continue
+		}
+		if d := lineDelay(prefix, p, q); d > lb {
+			lb = d
+		}
+	}
+	return lb, nil
+}
+
+// H1Adversary evaluates Theorem 9 over a family of single-copy placement
+// strategies on H1 and returns the smallest certified lower bound any of
+// them achieves — the theorem predicts it never drops below sqrt(n).
+// Strategies: contiguous blocks over all processors, blocks over every k-th
+// processor, and blocks aligned to H1's unit-delay segments.
+func H1Adversary(n, m int) (minLB int64, details []AdversaryCase, err error) {
+	h1 := network.H1(n)
+	delays := make([]int, 0, n-1)
+	for _, e := range h1.Edges() {
+		delays = append(delays, e.Delay)
+	}
+	s := network.ISqrt(n)
+	minLB = math.MaxInt64
+
+	try := func(name string, a *assign.Assignment, e error) error {
+		if e != nil {
+			return e
+		}
+		lb, e := SingleCopyLB(delays, a)
+		if e != nil {
+			return e
+		}
+		details = append(details, AdversaryCase{Name: name, LB: lb, Used: a.UsedHosts()})
+		if lb < minLB {
+			minLB = lb
+		}
+		return nil
+	}
+
+	a, e := assign.SingleCopyBlocks(n, m)
+	if err = try("blocks-all", a, e); err != nil {
+		return 0, nil, err
+	}
+	for _, gap := range []int{2, s / 2, s, 2 * s} {
+		if gap < 1 || gap >= n {
+			continue
+		}
+		a, e = assign.Contraction(n, m, gap)
+		if err = try(fmt.Sprintf("every-%d", gap), a, e); err != nil {
+			return 0, nil, err
+		}
+	}
+	// Segment-aligned: use only processors within one unit-delay segment
+	// (at most s of them) — triggers the work bound instead.
+	var hosts []int
+	for p := 0; p < s && p < n; p++ {
+		hosts = append(hosts, p)
+	}
+	a, e = assign.SingleCopyOnHosts(n, m, hosts)
+	if err = try("one-segment", a, e); err != nil {
+		return 0, nil, err
+	}
+	return minLB, details, nil
+}
+
+// AdversaryCase records one strategy's certified bound.
+type AdversaryCase struct {
+	Name string
+	LB   int64
+	Used int
+}
+
+// TwoCopyCertificate is the outcome of the Theorem 10 case analysis.
+type TwoCopyCertificate struct {
+	// SlowdownLB is the certified lower bound on the slowdown.
+	SlowdownLB float64
+	// Case is "disjoint-segments" (the proof's case 2: adjacent columns
+	// whose copies share no segment, paying an inter-segment delay every
+	// other step) or "overlap-zigzag" (case 1: the 4j-pebble zigzag path,
+	// paying at least (j/c) log n per 4j steps).
+	Case string
+	// Column is the witness column index (case 2) or the start of the
+	// overlap run (case 1).
+	Column int
+	// RunLen is j, the overlap length, for case 1.
+	RunLen int
+}
+
+// CertifyTwoCopy runs the Theorem 10 adversary against a concrete
+// assignment on the H2 host. Every database must have at most two copies and
+// the load at most loadC. The returned certificate's SlowdownLB is
+// Omega(log n) for every valid assignment; tests sweep strategies to
+// confirm.
+func CertifyTwoCopy(spec *network.H2Spec, a *assign.Assignment, loadC int) (*TwoCopyCertificate, error) {
+	if a.MaxCopies() > 2 {
+		return nil, fmt.Errorf("lower: assignment has %d copies; Theorem 10 allows two", a.MaxCopies())
+	}
+	if l := a.Load(); l > loadC {
+		return nil, fmt.Errorf("lower: load %d exceeds declared constant %d", l, loadC)
+	}
+	segOf := segmentMap(spec)
+	logn := float64(network.Log2Ceil(spec.N))
+
+	// segs(i): segments holding copies of column i.
+	segsOf := func(col int) map[int]bool {
+		out := make(map[int]bool, 2)
+		for _, p := range a.Holders[col] {
+			out[segOf[p]] = true
+		}
+		return out
+	}
+
+	prefix := make([]int64, 0)
+	{
+		delays := make([]int, 0, spec.Net.NumNodes()-1)
+		for _, e := range spec.Net.Edges() {
+			delays = append(delays, e.Delay)
+		}
+		prefix = linePrefix(delays)
+	}
+
+	// Case 2 scan: adjacent columns with segment-disjoint holder sets pay
+	// the full inter-segment delay on every information transfer between
+	// them, i.e. at least once per two guest steps.
+	for c := 0; c+1 < a.Columns; c++ {
+		si, sj := segsOf(c), segsOf(c+1)
+		disjoint := true
+		for s := range si {
+			if sj[s] {
+				disjoint = false
+				break
+			}
+		}
+		if !disjoint {
+			continue
+		}
+		// Minimum delay between any holder of c and any holder of c+1.
+		min := int64(math.MaxInt64)
+		for _, p := range a.Holders[c] {
+			for _, q := range a.Holders[c+1] {
+				if d := lineDelay(prefix, p, q); d < min {
+					min = d
+				}
+			}
+		}
+		return &TwoCopyCertificate{
+			SlowdownLB: float64(min) / 2,
+			Case:       "disjoint-segments",
+			Column:     c,
+		}, nil
+	}
+
+	// Case 1: every adjacent pair shares a segment, so overlapping runs
+	// exist. Find a maximal run of consecutive columns sharing a common
+	// segment; the zigzag path over a run of length j costs at least
+	// (j/loadC) * log n host steps per 4j guest steps.
+	bestLB, bestCol, bestRun := 0.0, -1, 0
+	c := 0
+	for c+1 < a.Columns {
+		shared := intersect(segsOf(c), segsOf(c+1))
+		if len(shared) == 0 {
+			c++
+			continue
+		}
+		// extend the run while a common segment persists
+		j := 1
+		for c+j+1 < a.Columns {
+			next := intersect(shared, segsOf(c+j+1))
+			if len(next) == 0 {
+				break
+			}
+			shared = next
+			j++
+		}
+		lb := (float64(j) / float64(loadC)) * logn / (4 * float64(j))
+		if lb > bestLB {
+			bestLB, bestCol, bestRun = lb, c, j
+		}
+		c += j
+	}
+	if bestCol < 0 {
+		return nil, fmt.Errorf("lower: no case matched (empty assignment?)")
+	}
+	return &TwoCopyCertificate{
+		SlowdownLB: bestLB,
+		Case:       "overlap-zigzag",
+		Column:     bestCol,
+		RunLen:     bestRun,
+	}, nil
+}
+
+func intersect(a, b map[int]bool) map[int]bool {
+	out := make(map[int]bool)
+	for k := range a {
+		if b[k] {
+			out[k] = true
+		}
+	}
+	return out
+}
+
+// segmentMap assigns every H2 processor a segment: its own, or for level-0
+// box endpoints the nearest segment along the line by total delay.
+func segmentMap(spec *network.H2Spec) []int {
+	n := len(spec.Segment)
+	out := make([]int, n)
+	type near struct {
+		seg  int
+		dist int64
+	}
+	// sweep left to right, then right to left, tracking nearest segment.
+	delays := make([]int, 0, n-1)
+	for _, e := range spec.Net.Edges() {
+		delays = append(delays, e.Delay)
+	}
+	left := make([]near, n)
+	cur := near{seg: -1, dist: math.MaxInt64 / 2}
+	for p := 0; p < n; p++ {
+		if p > 0 {
+			cur.dist += int64(delays[p-1])
+		}
+		if spec.Segment[p] >= 0 {
+			cur = near{seg: spec.Segment[p], dist: 0}
+		}
+		left[p] = cur
+	}
+	cur = near{seg: -1, dist: math.MaxInt64 / 2}
+	for p := n - 1; p >= 0; p-- {
+		if p < n-1 {
+			cur.dist += int64(delays[p])
+		}
+		if spec.Segment[p] >= 0 {
+			cur = near{seg: spec.Segment[p], dist: 0}
+		}
+		if spec.Segment[p] >= 0 {
+			out[p] = spec.Segment[p]
+		} else if cur.dist < left[p].dist {
+			out[p] = cur.seg
+		} else {
+			out[p] = left[p].seg
+		}
+	}
+	return out
+}
+
+// CliqueChainLB is the Section 4 argument: if a simulation of an n-step
+// guest on the clique-chain host uses m connected cliques, the slowdown is
+// at least max(sqrt(n)/m, m); minimised over m this is n^(1/4). k is the
+// clique count (n = k*k).
+func CliqueChainLB(k, cliquesUsed int) float64 {
+	n := float64(k * k)
+	m := float64(cliquesUsed)
+	if m < 1 {
+		m = 1
+	}
+	work := math.Sqrt(n) / m
+	if work > m {
+		return work
+	}
+	return m
+}
+
+// CliqueChainBestLB is min over m of CliqueChainLB: n^(1/4).
+func CliqueChainBestLB(k int) float64 {
+	return math.Pow(float64(k*k), 0.25)
+}

@@ -1,0 +1,254 @@
+package lower
+
+import (
+	"math/rand"
+	"testing"
+
+	"latencyhide/internal/assign"
+	"latencyhide/internal/network"
+)
+
+func delaysOf(g *network.Network) []int {
+	out := make([]int, g.NumLinks())
+	for i, e := range g.Edges() {
+		out[i] = e.Delay
+	}
+	return out
+}
+
+func TestSingleCopyLBBasics(t *testing.T) {
+	// two columns at opposite ends of a 3-link line
+	a, err := assign.FromOwned(4, 2, [][]int{{0}, nil, nil, {1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lb, err := SingleCopyLB([]int{2, 3, 4}, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lb != 9 {
+		t.Fatalf("LB %d want 9 (total path delay)", lb)
+	}
+}
+
+func TestSingleCopyLBWorkBound(t *testing.T) {
+	// all columns on one host: work bound m/1
+	a, err := assign.SingleCopyOnHosts(8, 40, []int{3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lb, err := SingleCopyLB(make7ones(), a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lb != 40 {
+		t.Fatalf("work bound LB %d want 40", lb)
+	}
+}
+
+func make7ones() []int {
+	d := make([]int, 7)
+	for i := range d {
+		d[i] = 1
+	}
+	return d
+}
+
+func TestSingleCopyLBRejectsMultiCopy(t *testing.T) {
+	a, err := assign.FromOwned(2, 1, [][]int{{0}, {0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := SingleCopyLB([]int{1}, a); err == nil {
+		t.Fatal("multi-copy accepted")
+	}
+}
+
+// Theorem 9: every strategy in the adversary family certifies >= sqrt(n).
+func TestH1AdversaryAlwaysSqrtN(t *testing.T) {
+	for _, n := range []int{64, 256, 1024, 4096} {
+		minLB, details, err := H1Adversary(n, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := int64(network.ISqrt(n))
+		if minLB < s {
+			t.Fatalf("n=%d: min LB %d < sqrt(n)=%d (details %+v)", n, minLB, s, details)
+		}
+		if len(details) < 4 {
+			t.Fatalf("n=%d: only %d strategies evaluated", n, len(details))
+		}
+	}
+}
+
+// Random single-copy assignments on H1 also certify >= sqrt(n) — the
+// theorem is universal, not just about our strategy family.
+func TestH1RandomAssignments(t *testing.T) {
+	n := 256
+	h1 := network.H1(n)
+	delays := delaysOf(h1)
+	s := int64(network.ISqrt(n))
+	r := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 50; trial++ {
+		// random contiguous blocks on a random subset of hosts
+		k := 1 + r.Intn(n)
+		hosts := r.Perm(n)[:k]
+		// SingleCopyOnHosts needs ascending host ids for block layout;
+		// random order models arbitrary placement
+		sortInts(hosts)
+		a, err := assign.SingleCopyOnHosts(n, n, hosts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lb, err := SingleCopyLB(delays, a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if lb < s {
+			t.Fatalf("trial %d (hosts %d): LB %d < sqrt(n) %d", trial, k, lb, s)
+		}
+	}
+}
+
+func sortInts(a []int) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
+}
+
+func twoCopyAssignment(hostN, m int, place func(c int) (int, int)) (*assign.Assignment, error) {
+	owned := make([][]int, hostN)
+	for c := 0; c < m; c++ {
+		p, q := place(c)
+		owned[p] = append(owned[p], c)
+		if q != p {
+			owned[q] = append(owned[q], c)
+		}
+	}
+	return assign.FromOwned(hostN, m, owned)
+}
+
+// Theorem 10: two-copy strategies on H2 all certify Omega(log n).
+func TestCertifyTwoCopyStrategies(t *testing.T) {
+	for _, n := range []int{256, 1024} {
+		spec := network.H2(n)
+		hostN := spec.Net.NumNodes()
+		logn := float64(network.Log2Ceil(spec.N))
+		m := hostN
+		strategies := map[string]func(c int) (int, int){
+			"mirrored-halves": func(c int) (int, int) {
+				p := c * (hostN / 2) / m
+				return p, p + hostN/2
+			},
+			"adjacent-pair": func(c int) (int, int) {
+				p := c * (hostN - 1) / m
+				return p, p + 1
+			},
+			"single-copy": func(c int) (int, int) {
+				p := c * hostN / m
+				return p, p
+			},
+		}
+		for name, place := range strategies {
+			a, err := twoCopyAssignment(hostN, m, place)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cert, err := CertifyTwoCopy(spec, a, a.Load())
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			// Omega(log n) with the proof's constant 1/(4c)
+			want := logn / (4 * float64(a.Load()))
+			if cert.SlowdownLB < want {
+				t.Fatalf("n=%d %s: LB %.2f < log n/(4c) = %.2f (case %s)",
+					n, name, cert.SlowdownLB, want, cert.Case)
+			}
+		}
+	}
+}
+
+func TestCertifyTwoCopyRejects(t *testing.T) {
+	spec := network.H2(64)
+	hostN := spec.Net.NumNodes()
+	owned := make([][]int, hostN)
+	owned[0] = []int{0}
+	owned[1] = []int{0}
+	owned[2] = []int{0}
+	for p := 3; p < hostN; p++ {
+		owned[p] = nil
+	}
+	a, err := assign.FromOwned(hostN, 1, owned)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := CertifyTwoCopy(spec, a, 5); err == nil {
+		t.Fatal("three copies accepted")
+	}
+	b, err := twoCopyAssignment(hostN, hostN, func(c int) (int, int) { return c % hostN, c % hostN })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := CertifyTwoCopy(spec, b, 0); err == nil {
+		t.Fatal("load above declared constant accepted")
+	}
+}
+
+func TestCertifyCases(t *testing.T) {
+	spec := network.H2(256)
+	hostN := spec.Net.NumNodes()
+	// disjoint-segments case: adjacent columns on far-apart processors
+	// with no shared segment
+	a, err := twoCopyAssignment(hostN, hostN/2, func(c int) (int, int) {
+		p := c * (hostN / 2) / (hostN / 2)
+		_ = p
+		return c * 2, c * 2
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cert, err := CertifyTwoCopy(spec, a, a.Load())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cert.SlowdownLB <= 0 {
+		t.Fatalf("certificate %+v", cert)
+	}
+}
+
+func TestCliqueChainBounds(t *testing.T) {
+	for _, k := range []int{4, 16, 100} {
+		best := CliqueChainBestLB(k)
+		// LB(m) >= best for all m, with equality near m = n^(1/4)
+		for m := 1; m <= k; m++ {
+			if CliqueChainLB(k, m) < best-1e-9 {
+				t.Fatalf("k=%d m=%d: LB %.3f below best %.3f", k, m, CliqueChainLB(k, m), best)
+			}
+		}
+		if CliqueChainLB(k, 0) != CliqueChainLB(k, 1) {
+			t.Fatal("m=0 clamp")
+		}
+	}
+}
+
+func TestCliqueChainBestLBValue(t *testing.T) {
+	got := CliqueChainBestLB(16) // n = 256, n^(1/4) = 4
+	if got < 3.99 || got > 4.01 {
+		t.Fatalf("best LB %f want 4", got)
+	}
+}
+
+func TestSegmentMapCoversEndpoints(t *testing.T) {
+	spec := network.H2(256)
+	m := segmentMap(spec)
+	for p, s := range m {
+		if s < 0 || s >= spec.NumSegments() {
+			t.Fatalf("processor %d mapped to segment %d", p, s)
+		}
+		if spec.SegmentOf(p) >= 0 && m[p] != spec.SegmentOf(p) {
+			t.Fatalf("processor %d in segment %d mapped to %d", p, spec.SegmentOf(p), m[p])
+		}
+	}
+}

@@ -1,0 +1,97 @@
+package lower
+
+import (
+	"math/rand"
+	"testing"
+
+	"latencyhide/internal/assign"
+	"latencyhide/internal/guest"
+	"latencyhide/internal/network"
+	"latencyhide/internal/sim"
+	"latencyhide/internal/tree"
+)
+
+func TestPropagationLBOnH1(t *testing.T) {
+	n := 256
+	delays := delaysOf(network.H1(n))
+	// single-copy blocks: the bound must reproduce Theorem 9's sqrt(n)
+	a, err := assign.SingleCopyBlocks(n, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lb, err := PropagationLB(delays, a, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lb < float64(network.ISqrt(n)) {
+		t.Fatalf("H1 single-copy propagation LB %.1f < sqrt(n)", lb)
+	}
+	// two-level margins drive the certified floor down: replication works
+	tr := tree.Build(delays, 4)
+	ov, err := assign.TwoLevel(tr, 2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lb2, err := PropagationLB(delays, ov, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lb2 >= lb/2 {
+		t.Fatalf("replicated assignment floor %.1f not far below single-copy %.1f", lb2, lb)
+	}
+}
+
+func TestPropagationLBErrors(t *testing.T) {
+	a, _ := assign.SingleCopyBlocks(4, 8)
+	if _, err := PropagationLB([]int{1, 1}, a, 0); err == nil {
+		t.Fatal("size mismatch accepted")
+	}
+}
+
+// Measured slowdowns can never fall below the certified propagation floor.
+func TestMeasuredRespectsPropagationLB(t *testing.T) {
+	r := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 12; trial++ {
+		hostN := 4 + r.Intn(12)
+		m := 4 + r.Intn(30)
+		delays := make([]int, hostN-1)
+		for i := range delays {
+			delays[i] = 1 + r.Intn(40)
+		}
+		owned := make([][]int, hostN)
+		for c := 0; c < m; c++ {
+			copies := 1 + r.Intn(2)
+			seen := map[int]bool{}
+			for k := 0; k < copies; k++ {
+				p := r.Intn(hostN)
+				if !seen[p] {
+					seen[p] = true
+					owned[p] = append(owned[p], c)
+				}
+			}
+		}
+		a, err := assign.FromOwned(hostN, m, owned)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lb, err := PropagationLB(delays, a, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		steps := 6 + r.Intn(10)
+		res, err := sim.Run(sim.Config{
+			Delays: delays,
+			Guest:  guest.Spec{Graph: guest.NewLinearArray(m), Steps: steps, Seed: int64(trial)},
+			Assign: a,
+			Check:  true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// the chained bound is asymptotic (per 2w steps); allow the
+		// one-round slack of a short run
+		if res.Slowdown < lb/2-1 {
+			t.Fatalf("trial %d: measured %.2f below certified floor %.2f", trial, res.Slowdown, lb)
+		}
+	}
+}

@@ -1,0 +1,97 @@
+package lower
+
+import "fmt"
+
+// PathStep is one triple (col, step) of the Theorem 10 proof's dependency
+// path: pebble tau_k must be known before tau_{k-1} can be computed.
+type PathStep struct {
+	Col  int
+	Step int
+}
+
+// ZigzagPath constructs the 4j-pebble path of Figure 6 for an overlap run
+// starting at column i with length j, anchored at guest step t (the paper's
+// tau_1..tau_4j, in order — the path runs backwards in time). The six
+// segments are:
+//
+//	A: (i+k,     t-k)  for k in 1..j          — diagonal into the run
+//	B: (i+j+1,   t-k)  for odd  k in j+1..2j  — zigzag on the right edge
+//	C: (i+j,     t-k)  for even k in j+1..2j
+//	D: (i-k+3j,  t-k)  for k in 2j+1..3j      — diagonal back across
+//	E: (i+1,     t-k)  for even k in 3j+1..4j — zigzag on the left edge
+//	F: (i,       t-k)  for odd  k in 3j+1..4j
+//
+// Each consecutive pair differs by one guest step and at most one column,
+// i.e. tau_k is a dependency of tau_{k-1} in the pebble grid; Verify checks
+// it. The proof charges either an inter-segment delay to each zigzag hop or
+// one long traversal, yielding the Omega(log n) bound that CertifyTwoCopy
+// computes.
+func ZigzagPath(i, j, t int) ([]PathStep, error) {
+	if j < 1 || j%2 != 0 {
+		return nil, fmt.Errorf("lower: zigzag length j=%d must be positive and even", j)
+	}
+	if t < 4*j {
+		return nil, fmt.Errorf("lower: anchor step %d too small for 4j=%d", t, 4*j)
+	}
+	var path []PathStep
+	for k := 1; k <= 4*j; k++ {
+		var col int
+		switch {
+		case k <= j: // A
+			col = i + k
+		case k <= 2*j && k%2 == 1: // B
+			col = i + j + 1
+		case k <= 2*j: // C
+			col = i + j
+		case k <= 3*j: // D
+			col = i - k + 3*j
+		case k%2 == 0: // E
+			col = i + 1
+		default: // F
+			col = i
+		}
+		path = append(path, PathStep{Col: col, Step: t - k})
+	}
+	return path, nil
+}
+
+// VerifyZigzag checks the path is dependency-consistent: tau_{k+1} must be
+// one of tau_k's pebble dependencies, i.e. one step earlier and at most one
+// column away. Returns the first violation.
+func VerifyZigzag(path []PathStep) error {
+	for k := 0; k+1 < len(path); k++ {
+		a, b := path[k], path[k+1]
+		if b.Step != a.Step-1 {
+			return fmt.Errorf("lower: tau_%d step %d -> tau_%d step %d is not one guest step",
+				k+1, a.Step, k+2, b.Step)
+		}
+		d := a.Col - b.Col
+		if d < -1 || d > 1 {
+			return fmt.Errorf("lower: tau_%d col %d -> tau_%d col %d is not a pebble dependency",
+				k+1, a.Col, k+2, b.Col)
+		}
+	}
+	return nil
+}
+
+// ZigzagColumns reports the distinct columns a path touches, ascending.
+func ZigzagColumns(path []PathStep) []int {
+	seen := map[int]bool{}
+	var out []int
+	for _, p := range path {
+		if !seen[p.Col] {
+			seen[p.Col] = true
+			out = append(out, p.Col)
+		}
+	}
+	sortInts2(out)
+	return out
+}
+
+func sortInts2(a []int) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
+}

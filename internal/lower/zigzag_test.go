@@ -1,0 +1,94 @@
+package lower
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestZigzagPathShape(t *testing.T) {
+	i, j, anchor := 10, 4, 100
+	path, err := ZigzagPath(i, j, anchor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(path) != 4*j {
+		t.Fatalf("path length %d want %d", len(path), 4*j)
+	}
+	if err := VerifyZigzag(path); err != nil {
+		t.Fatal(err)
+	}
+	// the path visits exactly the columns i..i+j+1 (the run plus its two
+	// flanking columns)
+	cols := ZigzagColumns(path)
+	if cols[0] != i || cols[len(cols)-1] != i+j+1 {
+		t.Fatalf("columns %v", cols)
+	}
+	if len(cols) != j+2 {
+		t.Fatalf("%d distinct columns, want j+2=%d", len(cols), j+2)
+	}
+	// first pebble one step below the anchor, last 4j below
+	if path[0].Step != anchor-1 || path[len(path)-1].Step != anchor-4*j {
+		t.Fatalf("steps %d..%d", path[0].Step, path[len(path)-1].Step)
+	}
+	// segment checks: B pebbles sit on column i+j+1, E on i+1, F on i
+	countAt := func(col int) int {
+		n := 0
+		for _, p := range path {
+			if p.Col == col {
+				n++
+			}
+		}
+		return n
+	}
+	if countAt(i+j+1) != j/2 {
+		t.Fatalf("B segment size %d", countAt(i+j+1))
+	}
+	// F contributes j/2 visits to column i and segment D one more
+	if countAt(i) != j/2+1 {
+		t.Fatalf("F+D visits to column i: %d", countAt(i))
+	}
+}
+
+func TestZigzagErrors(t *testing.T) {
+	if _, err := ZigzagPath(0, 3, 100); err == nil {
+		t.Fatal("odd j accepted")
+	}
+	if _, err := ZigzagPath(0, 0, 100); err == nil {
+		t.Fatal("j=0 accepted")
+	}
+	if _, err := ZigzagPath(0, 4, 10); err == nil {
+		t.Fatal("anchor below 4j accepted")
+	}
+}
+
+func TestVerifyZigzagCatchesBreaks(t *testing.T) {
+	path, _ := ZigzagPath(5, 4, 64)
+	bad := append([]PathStep(nil), path...)
+	bad[3].Col += 5
+	if VerifyZigzag(bad) == nil {
+		t.Fatal("column jump not caught")
+	}
+	bad = append([]PathStep(nil), path...)
+	bad[7].Step++
+	if VerifyZigzag(bad) == nil {
+		t.Fatal("step break not caught")
+	}
+}
+
+// Property: the construction is dependency-consistent for every valid
+// (i, j, t).
+func TestZigzagProperty(t *testing.T) {
+	f := func(iSel, jSel uint8, tSel uint16) bool {
+		i := int(iSel)
+		j := 2 * (1 + int(jSel%20))
+		anchor := 4*j + int(tSel%1000)
+		path, err := ZigzagPath(i, j, anchor)
+		if err != nil {
+			return false
+		}
+		return VerifyZigzag(path) == nil && len(path) == 4*j
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

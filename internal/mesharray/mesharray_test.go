@@ -1,0 +1,184 @@
+package mesharray
+
+import (
+	"testing"
+
+	"latencyhide/internal/network"
+)
+
+func delaysOf(g *network.Network) []int {
+	out := make([]int, g.NumLinks())
+	for i, e := range g.Edges() {
+		out[i] = e.Delay
+	}
+	return out
+}
+
+func TestOnUniformLineCase1(t *testing.T) {
+	// m <= n: one mesh column per host processor
+	r, err := OnUniformLine(8, 16, 6, Options{Rows: 6, Steps: 8, Seed: 1, Check: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Sim.Checked {
+		t.Fatal("unchecked")
+	}
+	if r.Cols != 6 || r.Rows != 6 {
+		t.Fatalf("dims %dx%d", r.Rows, r.Cols)
+	}
+	// single copy: no redundancy
+	if r.Sim.Redundancy != 1 {
+		t.Fatalf("redundancy %f", r.Sim.Redundancy)
+	}
+	// slowdown at least m (each processor computes a whole column per
+	// guest step) and roughly m + d
+	if r.Sim.Slowdown < 6 {
+		t.Fatalf("slowdown %f below work bound m", r.Sim.Slowdown)
+	}
+	if r.Sim.Slowdown > 4*(6+16) {
+		t.Fatalf("slowdown %f far above m+d", r.Sim.Slowdown)
+	}
+}
+
+func TestOnUniformLineCase2(t *testing.T) {
+	// m > n: blocks of columns
+	r, err := OnUniformLine(4, 8, 16, Options{Rows: 8, Steps: 6, Seed: 2, Check: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// each host owns 4 columns of 8 rows = 32 pebbles per guest step
+	if r.Sim.Load != 32 {
+		t.Fatalf("load %d", r.Sim.Load)
+	}
+	if r.Sim.Slowdown < 32 {
+		t.Fatalf("slowdown %f below work bound", r.Sim.Slowdown)
+	}
+}
+
+func TestOnUniformLineErrors(t *testing.T) {
+	if _, err := OnUniformLine(1, 4, 4, Options{Rows: 4, Steps: 2}); err == nil {
+		t.Fatal("hostN=1 accepted")
+	}
+	if _, err := OnUniformLine(4, 4, 0, Options{Rows: 4, Steps: 2}); err == nil {
+		t.Fatal("cols=0 accepted")
+	}
+	if _, err := OnUniformLine(4, 4, 4, Options{Rows: 0, Steps: 2}); err == nil {
+		t.Fatal("rows=0 accepted")
+	}
+}
+
+func TestOnLineTreeOverlaps(t *testing.T) {
+	g := network.Line(96, network.UniformDelay{Lo: 1, Hi: 12}, 3)
+	r, err := OnLine(delaysOf(g), Options{Rows: 5, Steps: 6, Seed: 3, Check: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Sim.Checked {
+		t.Fatal("unchecked")
+	}
+	// overlap columns are replicated
+	if r.Sim.Redundancy <= 1 {
+		t.Fatalf("redundancy %f: tree overlaps missing", r.Sim.Redundancy)
+	}
+	if r.PredictedSlowdown <= 0 {
+		t.Fatal("prediction")
+	}
+}
+
+func TestOnLineColsPerUnit(t *testing.T) {
+	g := network.Line(64, network.UniformDelay{Lo: 1, Hi: 4}, 5)
+	r1, err := OnLine(delaysOf(g), Options{Rows: 4, Steps: 4, Seed: 1, ColsPerUnit: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r3, err := OnLine(delaysOf(g), Options{Rows: 4, Steps: 4, Seed: 1, ColsPerUnit: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r3.Cols != 3*r1.Cols {
+		t.Fatalf("cols %d vs %d", r3.Cols, r1.Cols)
+	}
+}
+
+func TestOnNOW(t *testing.T) {
+	g := network.RandomNOW(64, 4, network.ExpDelay{Mean: 2}, 7)
+	r, err := OnNOW(g, Options{Rows: 4, Steps: 6, Seed: 4, Check: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Sim.Checked {
+		t.Fatal("unchecked")
+	}
+}
+
+func TestOnNOWErrors(t *testing.T) {
+	g := network.New(4)
+	g.MustAddLink(0, 1, 1)
+	if _, err := OnNOW(g, Options{Rows: 2, Steps: 2}); err == nil {
+		t.Fatal("disconnected host accepted")
+	}
+	g2 := network.Line(16, network.Unit, 1)
+	if _, err := OnNOW(g2, Options{Rows: 0, Steps: 2}); err == nil {
+		t.Fatal("rows=0 accepted")
+	}
+}
+
+func TestMeshOwnedClipping(t *testing.T) {
+	ids := meshOwned(3, 5, -2, 99)
+	if len(ids) != 15 {
+		t.Fatalf("clipped expansion has %d ids", len(ids))
+	}
+	ids = meshOwned(2, 4, 1, 3)
+	want := []int{1, 2, 5, 6}
+	if len(ids) != len(want) {
+		t.Fatalf("ids %v", ids)
+	}
+	for i := range want {
+		if ids[i] != want[i] {
+			t.Fatalf("ids %v want %v", ids, want)
+		}
+	}
+}
+
+func TestParallelEngineOnMesh(t *testing.T) {
+	seq, err := OnUniformLine(8, 8, 8, Options{Rows: 8, Steps: 6, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := OnUniformLine(8, 8, 8, Options{Rows: 8, Steps: 6, Seed: 9, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq.Sim.HostSteps != par.Sim.HostSteps {
+		t.Fatalf("engines disagree: %d vs %d", seq.Sim.HostSteps, par.Sim.HostSteps)
+	}
+}
+
+func TestSingleRowMesh(t *testing.T) {
+	// a 1-row mesh degenerates to a linear array guest
+	r, err := OnUniformLine(4, 4, 8, Options{Rows: 1, Steps: 5, Seed: 1, Check: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Sim.Checked {
+		t.Fatal("unchecked")
+	}
+}
+
+func TestMeshBandwidthOverride(t *testing.T) {
+	a, err := OnUniformLine(4, 8, 8, Options{Rows: 16, Steps: 4, Seed: 2, Bandwidth: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := OnUniformLine(4, 8, 8, Options{Rows: 16, Steps: 4, Seed: 2, Bandwidth: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// narrow bandwidth can only slow things down (equal in steady state)
+	if a.Sim.HostSteps < b.Sim.HostSteps {
+		t.Fatalf("B=1 faster (%d) than B=32 (%d)", a.Sim.HostSteps, b.Sim.HostSteps)
+	}
+	if a.Sim.Bandwidth != 1 || b.Sim.Bandwidth != 32 {
+		t.Fatal("bandwidth not recorded")
+	}
+}

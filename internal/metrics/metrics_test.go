@@ -1,0 +1,163 @@
+package metrics
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("demo", "a", "bbbb", "c")
+	tb.AddRow(1, 2.5, "x")
+	tb.AddRow(100000, 0.001234, "yyyy")
+	tb.AddNote("note %d", 7)
+
+	var buf bytes.Buffer
+	tb.Fprint(&buf)
+	out := buf.String()
+	if !strings.Contains(out, "## demo") || !strings.Contains(out, "note: note 7") {
+		t.Fatalf("text render:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 6 { // title, header, sep, 2 rows, note
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+
+	buf.Reset()
+	tb.Markdown(&buf)
+	md := buf.String()
+	if !strings.Contains(md, "| a | bbbb | c |") || !strings.Contains(md, "| --- | --- | --- |") {
+		t.Fatalf("markdown render:\n%s", md)
+	}
+	if !strings.Contains(md, "*note 7*") {
+		t.Fatalf("markdown note:\n%s", md)
+	}
+
+	buf.Reset()
+	tb.CSV(&buf)
+	csv := buf.String()
+	if !strings.HasPrefix(csv, "a,bbbb,c\n") {
+		t.Fatalf("csv render:\n%s", csv)
+	}
+}
+
+func TestFormatCell(t *testing.T) {
+	cases := map[interface{}]string{
+		"s":            "s",
+		0:              "0",
+		float64(0):     "0",
+		12345.6:        "12346",
+		float64(42.25): "42.2",
+		float32(2):     "2.000",
+		1.5:            "1.500",
+	}
+	for in, want := range cases {
+		if got := formatCell(in); got != want {
+			t.Errorf("formatCell(%v) = %q want %q", in, got, want)
+		}
+	}
+}
+
+func TestSlopeExact(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	ys := []float64{3, 5, 7, 9} // slope 2
+	if got := Slope(xs, ys); math.Abs(got-2) > 1e-12 {
+		t.Fatalf("slope %f", got)
+	}
+	if !math.IsNaN(Slope([]float64{1}, []float64{2})) {
+		t.Fatal("one point should be NaN")
+	}
+	if !math.IsNaN(Slope([]float64{2, 2}, []float64{1, 5})) {
+		t.Fatal("vertical should be NaN")
+	}
+}
+
+func TestLogLogSlopePowerLaw(t *testing.T) {
+	// y = 3 x^1.5 exactly
+	var xs, ys []float64
+	for _, x := range []float64{1, 2, 4, 8, 16, 100} {
+		xs = append(xs, x)
+		ys = append(ys, 3*math.Pow(x, 1.5))
+	}
+	if got := LogLogSlope(xs, ys); math.Abs(got-1.5) > 1e-9 {
+		t.Fatalf("slope %f want 1.5", got)
+	}
+	// non-positive points are skipped
+	xs = append(xs, -1, 0)
+	ys = append(ys, 5, 5)
+	if got := LogLogSlope(xs, ys); math.Abs(got-1.5) > 1e-9 {
+		t.Fatalf("slope with junk points %f", got)
+	}
+}
+
+func TestSummaryStats(t *testing.T) {
+	xs := []float64{4, 1, 9}
+	if Mean(xs) != 14.0/3 {
+		t.Fatal("mean")
+	}
+	if Median(xs) != 4 {
+		t.Fatal("median odd")
+	}
+	if Median([]float64{1, 3}) != 2 {
+		t.Fatal("median even")
+	}
+	if Max(xs) != 9 {
+		t.Fatal("max")
+	}
+	if g := GeoMean([]float64{1, 8}); math.Abs(g-math.Sqrt(8)) > 1e-12 {
+		t.Fatalf("geomean %f", g)
+	}
+	if Mean(nil) != 0 || Median(nil) != 0 || Max(nil) != 0 || GeoMean(nil) != 0 {
+		t.Fatal("empty inputs")
+	}
+	if GeoMean([]float64{-1, 0}) != 0 {
+		t.Fatal("geomean of nonpositives")
+	}
+}
+
+// Property: Slope recovers the coefficient of any non-degenerate linear
+// relation.
+func TestSlopeProperty(t *testing.T) {
+	f := func(a, b float64, n uint8) bool {
+		if math.IsNaN(a) || math.IsNaN(b) || math.IsInf(a, 0) || math.IsInf(b, 0) {
+			return true
+		}
+		if math.Abs(b) > 1e6 || math.Abs(a) > 1e6 {
+			return true
+		}
+		m := 3 + int(n%20)
+		xs := make([]float64, m)
+		ys := make([]float64, m)
+		for i := range xs {
+			xs[i] = float64(i)
+			ys[i] = a + b*float64(i)
+		}
+		got := Slope(xs, ys)
+		return math.Abs(got-b) < 1e-6*(1+math.Abs(b))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTableEmptyAndMismatchedRows(t *testing.T) {
+	tb := NewTable("", "a", "b")
+	var buf bytes.Buffer
+	tb.Fprint(&buf)
+	if strings.Contains(buf.String(), "##") {
+		t.Fatal("untitled table printed a title")
+	}
+	// a short row must not panic rendering
+	tb.Rows = append(tb.Rows, []string{"only-one"})
+	buf.Reset()
+	tb.Fprint(&buf)
+	if !strings.Contains(buf.String(), "only-one") {
+		t.Fatal("short row lost")
+	}
+	buf.Reset()
+	tb.Markdown(&buf)
+	buf.Reset()
+	tb.CSV(&buf)
+}

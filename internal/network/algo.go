@@ -1,0 +1,142 @@
+package network
+
+import (
+	"container/heap"
+	"math"
+)
+
+// InfDelay is the distance reported by ShortestDelays for unreachable nodes.
+const InfDelay = math.MaxInt64
+
+// ShortestDelays runs Dijkstra from src and returns, for every node, the
+// minimum total link delay of any path from src. Unreachable nodes report
+// InfDelay.
+func (g *Network) ShortestDelays(src int) []int64 {
+	dist := make([]int64, g.n)
+	for i := range dist {
+		dist[i] = InfDelay
+	}
+	if src < 0 || src >= g.n {
+		return dist
+	}
+	dist[src] = 0
+	pq := &delayHeap{{node: src, d: 0}}
+	for pq.Len() > 0 {
+		it := heap.Pop(pq).(delayItem)
+		if it.d > dist[it.node] {
+			continue
+		}
+		for _, h := range g.adj[it.node] {
+			nd := it.d + int64(h.Delay)
+			if nd < dist[h.Peer] {
+				dist[h.Peer] = nd
+				heap.Push(pq, delayItem{node: h.Peer, d: nd})
+			}
+		}
+	}
+	return dist
+}
+
+// Delay returns the minimum total delay between u and v, or InfDelay if v is
+// unreachable from u.
+func (g *Network) Delay(u, v int) int64 {
+	return g.ShortestDelays(u)[v]
+}
+
+type delayItem struct {
+	node int
+	d    int64
+}
+
+type delayHeap []delayItem
+
+func (h delayHeap) Len() int            { return len(h) }
+func (h delayHeap) Less(i, j int) bool  { return h[i].d < h[j].d }
+func (h delayHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *delayHeap) Push(x interface{}) { *h = append(*h, x.(delayItem)) }
+func (h *delayHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// BFSOrder returns the nodes reachable from src in breadth-first order
+// (hop-count order, ignoring delays).
+func (g *Network) BFSOrder(src int) []int {
+	seen := make([]bool, g.n)
+	order := make([]int, 0, g.n)
+	queue := []int{src}
+	seen[src] = true
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		order = append(order, u)
+		for _, h := range g.adj[u] {
+			if !seen[h.Peer] {
+				seen[h.Peer] = true
+				queue = append(queue, h.Peer)
+			}
+		}
+	}
+	return order
+}
+
+// SpanningTree returns a spanning tree of the connected component of root as
+// a parent array: parent[root] = -1, and parent[u] = -2 for nodes outside the
+// component. It prefers low-delay links (it is a shortest-delay-path tree).
+func (g *Network) SpanningTree(root int) []int {
+	parent := make([]int, g.n)
+	for i := range parent {
+		parent[i] = -2
+	}
+	dist := make([]int64, g.n)
+	for i := range dist {
+		dist[i] = InfDelay
+	}
+	parent[root] = -1
+	dist[root] = 0
+	pq := &delayHeap{{node: root, d: 0}}
+	for pq.Len() > 0 {
+		it := heap.Pop(pq).(delayItem)
+		if it.d > dist[it.node] {
+			continue
+		}
+		for _, h := range g.adj[it.node] {
+			nd := it.d + int64(h.Delay)
+			if nd < dist[h.Peer] {
+				dist[h.Peer] = nd
+				parent[h.Peer] = it.node
+				heap.Push(pq, delayItem{node: h.Peer, d: nd})
+			}
+		}
+	}
+	return parent
+}
+
+// TreeChildren converts a parent array (as returned by SpanningTree) into a
+// children adjacency list, with each child list sorted ascending.
+func TreeChildren(parent []int) [][]int {
+	children := make([][]int, len(parent))
+	for u, p := range parent {
+		if p >= 0 {
+			children[p] = append(children[p], u)
+		}
+	}
+	return children
+}
+
+// Diameter returns the maximum over nodes u of the maximum finite shortest
+// delay from u. It is O(n * (m log n)) and intended for modest test sizes.
+func (g *Network) Diameter() int64 {
+	var best int64
+	for u := 0; u < g.n; u++ {
+		for _, d := range g.ShortestDelays(u) {
+			if d != InfDelay && d > best {
+				best = d
+			}
+		}
+	}
+	return best
+}

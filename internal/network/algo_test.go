@@ -1,0 +1,166 @@
+package network
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// bruteDelays is a reference Bellman-Ford for cross-checking Dijkstra.
+func bruteDelays(g *Network, src int) []int64 {
+	n := g.NumNodes()
+	dist := make([]int64, n)
+	for i := range dist {
+		dist[i] = InfDelay
+	}
+	dist[src] = 0
+	for iter := 0; iter < n; iter++ {
+		changed := false
+		for _, e := range g.Edges() {
+			if dist[e.U] != InfDelay && dist[e.U]+int64(e.Delay) < dist[e.V] {
+				dist[e.V] = dist[e.U] + int64(e.Delay)
+				changed = true
+			}
+			if dist[e.V] != InfDelay && dist[e.V]+int64(e.Delay) < dist[e.U] {
+				dist[e.U] = dist[e.V] + int64(e.Delay)
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	return dist
+}
+
+func TestShortestDelaysAgainstBellmanFord(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 20; trial++ {
+		n := 5 + r.Intn(40)
+		g := New(n)
+		// random connected-ish graph (may be disconnected: also tested)
+		for i := 0; i < 2*n; i++ {
+			u, v := r.Intn(n), r.Intn(n)
+			if u != v {
+				g.MustAddLink(u, v, 1+r.Intn(20))
+			}
+		}
+		src := r.Intn(n)
+		got := g.ShortestDelays(src)
+		want := bruteDelays(g, src)
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d: dist[%d]=%d want %d", trial, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestShortestDelaysLine(t *testing.T) {
+	g := LineDelays([]int{2, 3, 5})
+	d := g.ShortestDelays(0)
+	want := []int64{0, 2, 5, 10}
+	for i := range want {
+		if d[i] != want[i] {
+			t.Fatalf("dist[%d]=%d want %d", i, d[i], want[i])
+		}
+	}
+	if g.Delay(3, 1) != 8 {
+		t.Fatalf("Delay(3,1)=%d", g.Delay(3, 1))
+	}
+}
+
+func TestShortestDelaysUnreachable(t *testing.T) {
+	g := New(3)
+	g.MustAddLink(0, 1, 1)
+	d := g.ShortestDelays(0)
+	if d[2] != InfDelay {
+		t.Fatalf("unreachable dist=%d", d[2])
+	}
+	d = g.ShortestDelays(-1)
+	for _, x := range d {
+		if x != InfDelay {
+			t.Fatal("invalid source should give all-inf")
+		}
+	}
+}
+
+func TestBFSOrder(t *testing.T) {
+	g := LineDelays([]int{1, 1, 1, 1})
+	order := g.BFSOrder(2)
+	if order[0] != 2 {
+		t.Fatalf("BFS must start at source: %v", order)
+	}
+	if len(order) != 5 {
+		t.Fatalf("BFS visited %d of 5", len(order))
+	}
+	seen := map[int]bool{}
+	for _, v := range order {
+		if seen[v] {
+			t.Fatalf("duplicate %d in %v", v, order)
+		}
+		seen[v] = true
+	}
+}
+
+func TestSpanningTree(t *testing.T) {
+	g := Mesh2D(4, 4, UniformDelay{Lo: 1, Hi: 5}, 7)
+	parent := g.SpanningTree(0)
+	if parent[0] != -1 {
+		t.Fatalf("root parent %d", parent[0])
+	}
+	// every node reaches the root
+	for v := 0; v < g.NumNodes(); v++ {
+		u, hops := v, 0
+		for u != 0 {
+			if parent[u] < 0 {
+				t.Fatalf("node %d does not reach root (parent %d)", v, parent[u])
+			}
+			// tree edges must exist in the graph
+			if g.LinkDelay(u, parent[u]) == 0 {
+				t.Fatalf("tree edge (%d,%d) not in graph", u, parent[u])
+			}
+			u = parent[u]
+			if hops++; hops > g.NumNodes() {
+				t.Fatalf("cycle reaching root from %d", v)
+			}
+		}
+	}
+	// shortest-path-tree property: tree distance == Dijkstra distance
+	dist := g.ShortestDelays(0)
+	for v := 0; v < g.NumNodes(); v++ {
+		var td int64
+		for u := v; u != 0; u = parent[u] {
+			td += int64(g.LinkDelay(u, parent[u]))
+		}
+		if td != dist[v] {
+			t.Fatalf("node %d: tree delay %d != shortest %d", v, td, dist[v])
+		}
+	}
+}
+
+func TestSpanningTreeDisconnected(t *testing.T) {
+	g := New(4)
+	g.MustAddLink(0, 1, 1)
+	parent := g.SpanningTree(0)
+	if parent[2] != -2 || parent[3] != -2 {
+		t.Fatalf("unreachable nodes should have parent -2: %v", parent)
+	}
+}
+
+func TestTreeChildren(t *testing.T) {
+	parent := []int{-1, 0, 0, 1}
+	ch := TreeChildren(parent)
+	if len(ch[0]) != 2 || ch[0][0] != 1 || ch[0][1] != 2 {
+		t.Fatalf("children of 0: %v", ch[0])
+	}
+	if len(ch[1]) != 1 || ch[1][0] != 3 {
+		t.Fatalf("children of 1: %v", ch[1])
+	}
+}
+
+func TestDiameter(t *testing.T) {
+	g := LineDelays([]int{1, 2, 3})
+	if d := g.Diameter(); d != 6 {
+		t.Fatalf("diameter %d want 6", d)
+	}
+}

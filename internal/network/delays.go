@@ -1,0 +1,182 @@
+package network
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// A DelaySource produces link delays for topology generators. Sources are
+// deterministic given the generator's seed: the generator passes each source
+// a private *rand.Rand.
+type DelaySource interface {
+	// Delay returns the delay for the next link. Implementations must
+	// return a value >= 1.
+	Delay(r *rand.Rand) int
+	// String describes the distribution for reports.
+	String() string
+}
+
+// ConstDelay assigns the same delay to every link.
+type ConstDelay int
+
+// Delay implements DelaySource.
+func (c ConstDelay) Delay(*rand.Rand) int {
+	if c < 1 {
+		return 1
+	}
+	return int(c)
+}
+
+func (c ConstDelay) String() string { return fmt.Sprintf("const(%d)", int(c)) }
+
+// Unit is the unit-delay source, for guest-like networks.
+var Unit DelaySource = ConstDelay(1)
+
+// UniformDelay draws delays uniformly from [Lo, Hi].
+type UniformDelay struct {
+	Lo, Hi int
+}
+
+// Delay implements DelaySource.
+func (u UniformDelay) Delay(r *rand.Rand) int {
+	lo, hi := u.Lo, u.Hi
+	if lo < 1 {
+		lo = 1
+	}
+	if hi < lo {
+		hi = lo
+	}
+	return lo + r.Intn(hi-lo+1)
+}
+
+func (u UniformDelay) String() string { return fmt.Sprintf("uniform[%d,%d]", u.Lo, u.Hi) }
+
+// ParetoDelay draws heavy-tailed delays: 1 + floor(Scale * (U^(-1/Alpha) - 1)),
+// capped at Cap. This models the NOW setting the paper emphasises, where a few
+// links (long-haul or multi-hop) have delays far above the average, so that
+// d_max >> d_ave. Alpha around 1.2 with a generous cap gives a constant
+// average with d_max growing with the sample size.
+type ParetoDelay struct {
+	Alpha float64 // tail exponent, > 0; smaller is heavier
+	Scale float64 // scale of the excess over 1
+	Cap   int     // maximum delay; 0 means no cap
+}
+
+// Delay implements DelaySource.
+func (p ParetoDelay) Delay(r *rand.Rand) int {
+	alpha := p.Alpha
+	if alpha <= 0 {
+		alpha = 1.2
+	}
+	scale := p.Scale
+	if scale <= 0 {
+		scale = 1
+	}
+	u := r.Float64()
+	if u <= 0 {
+		u = math.SmallestNonzeroFloat64
+	}
+	d := 1 + int(scale*(math.Pow(u, -1/alpha)-1))
+	if d < 1 {
+		d = 1
+	}
+	if p.Cap > 0 && d > p.Cap {
+		d = p.Cap
+	}
+	return d
+}
+
+func (p ParetoDelay) String() string {
+	return fmt.Sprintf("pareto(alpha=%.2f,scale=%.1f,cap=%d)", p.Alpha, p.Scale, p.Cap)
+}
+
+// BimodalDelay returns Far with probability P and Near otherwise: most links
+// are fast local links, a fraction are slow long-haul links. This is the
+// cleanest way to hold d_ave constant while making d_max large.
+type BimodalDelay struct {
+	Near, Far int
+	P         float64
+}
+
+// Delay implements DelaySource.
+func (b BimodalDelay) Delay(r *rand.Rand) int {
+	near, far := b.Near, b.Far
+	if near < 1 {
+		near = 1
+	}
+	if far < near {
+		far = near
+	}
+	if r.Float64() < b.P {
+		return far
+	}
+	return near
+}
+
+func (b BimodalDelay) String() string {
+	return fmt.Sprintf("bimodal(near=%d,far=%d,p=%.3f)", b.Near, b.Far, b.P)
+}
+
+// ExpDelay draws 1 + floor(Exp(Mean-1)) so the mean is about Mean.
+type ExpDelay struct {
+	Mean float64
+}
+
+// Delay implements DelaySource.
+func (e ExpDelay) Delay(r *rand.Rand) int {
+	m := e.Mean
+	if m < 1 {
+		m = 1
+	}
+	d := 1 + int(r.ExpFloat64()*(m-1))
+	if d < 1 {
+		d = 1
+	}
+	return d
+}
+
+func (e ExpDelay) String() string { return fmt.Sprintf("exp(mean=%.1f)", e.Mean) }
+
+// Log2Ceil returns ceil(log2(n)) for n >= 1 and 0 for n <= 1. It is the
+// "log n" used throughout the paper's formulas (bandwidth factor, m_k, D_k).
+func Log2Ceil(n int) int {
+	if n <= 1 {
+		return 0
+	}
+	k := 0
+	for v := n - 1; v > 0; v >>= 1 {
+		k++
+	}
+	return k
+}
+
+// Log2Floor returns floor(log2(n)) for n >= 1; it panics for n < 1.
+func Log2Floor(n int) int {
+	if n < 1 {
+		panic(fmt.Sprintf("network: Log2Floor(%d)", n))
+	}
+	k := -1
+	for v := n; v > 0; v >>= 1 {
+		k++
+	}
+	return k
+}
+
+// ISqrt returns floor(sqrt(n)) for n >= 0.
+func ISqrt(n int) int {
+	if n < 0 {
+		panic(fmt.Sprintf("network: ISqrt(%d)", n))
+	}
+	if n < 2 {
+		return n
+	}
+	x := int(math.Sqrt(float64(n)))
+	for x*x > n {
+		x--
+	}
+	for (x+1)*(x+1) <= n {
+		x++
+	}
+	return x
+}

@@ -1,0 +1,63 @@
+package network
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// wireNetwork is the JSON shape of a Network: {"name": ..., "nodes": N,
+// "links": [[u, v, delay], ...]}. Compact enough for hand-editing and for
+// the CLI's @file host specifications.
+type wireNetwork struct {
+	Name  string   `json:"name,omitempty"`
+	Nodes int      `json:"nodes"`
+	Links [][3]int `json:"links"`
+}
+
+// MarshalJSON implements json.Marshaler.
+func (g *Network) MarshalJSON() ([]byte, error) {
+	w := wireNetwork{Name: g.name, Nodes: g.n, Links: make([][3]int, 0, len(g.edges))}
+	for _, e := range g.edges {
+		w.Links = append(w.Links, [3]int{e.U, e.V, e.Delay})
+	}
+	return json.Marshal(w)
+}
+
+// UnmarshalJSON implements json.Unmarshaler: the network is rebuilt and
+// validated link by link.
+func (g *Network) UnmarshalJSON(data []byte) error {
+	var w wireNetwork
+	if err := json.Unmarshal(data, &w); err != nil {
+		return fmt.Errorf("network: decode: %w", err)
+	}
+	if w.Nodes < 0 {
+		return fmt.Errorf("network: negative node count %d", w.Nodes)
+	}
+	*g = Network{name: w.Name, n: w.Nodes, adj: make([][]Half, w.Nodes)}
+	for i, l := range w.Links {
+		if err := g.AddLink(l[0], l[1], l[2]); err != nil {
+			return fmt.Errorf("network: link %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// WriteJSON encodes the network to w with indentation.
+func (g *Network) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(g)
+}
+
+// ReadJSON decodes a network from r and validates it.
+func ReadJSON(r io.Reader) (*Network, error) {
+	var g Network
+	if err := json.NewDecoder(r).Decode(&g); err != nil {
+		return nil, err
+	}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	return &g, nil
+}

@@ -1,0 +1,71 @@
+package network
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestJSONRoundTrip(t *testing.T) {
+	hosts := []*Network{
+		Line(12, UniformDelay{Lo: 1, Hi: 9}, 1),
+		RandomNOW(30, 4, ExpDelay{Mean: 3}, 2),
+		H1(25),
+		New(3), // no links
+	}
+	for _, g := range hosts {
+		var buf bytes.Buffer
+		if err := g.WriteJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		back, err := ReadJSON(&buf)
+		if err != nil {
+			t.Fatalf("%s: %v", g.Name(), err)
+		}
+		if back.NumNodes() != g.NumNodes() || back.NumLinks() != g.NumLinks() {
+			t.Fatalf("%s: size mismatch", g.Name())
+		}
+		if g.NumLinks() > 0 && back.Name() != g.Name() {
+			t.Fatalf("name %q != %q", back.Name(), g.Name())
+		}
+		ea, eb := g.Edges(), back.Edges()
+		for i := range ea {
+			if ea[i] != eb[i] {
+				t.Fatalf("%s: edge %d differs", g.Name(), i)
+			}
+		}
+		if err := back.Validate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestJSONDecodeErrors(t *testing.T) {
+	cases := []string{
+		`{`,
+		`{"nodes": -1, "links": []}`,
+		`{"nodes": 2, "links": [[0, 5, 1]]}`,
+		`{"nodes": 2, "links": [[0, 1, 0]]}`,
+		`{"nodes": 2, "links": [[0, 0, 1]]}`,
+	}
+	for _, c := range cases {
+		if _, err := ReadJSON(strings.NewReader(c)); err == nil {
+			t.Errorf("decoded invalid input %q", c)
+		}
+	}
+}
+
+func TestJSONShape(t *testing.T) {
+	g := New(2)
+	g.SetName("tiny")
+	g.MustAddLink(0, 1, 7)
+	b, err := json.Marshal(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `{"name":"tiny","nodes":2,"links":[[0,1,7]]}`
+	if string(b) != want {
+		t.Fatalf("json %s want %s", b, want)
+	}
+}

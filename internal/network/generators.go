@@ -1,0 +1,232 @@
+package network
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Line returns a linear array of n workstations: links (i, i+1) for
+// 0 <= i < n-1, with delays drawn from src using the given seed.
+func Line(n int, src DelaySource, seed int64) *Network {
+	g := New(n)
+	g.SetName(fmt.Sprintf("line[%s]", src))
+	r := rand.New(rand.NewSource(seed))
+	for i := 0; i+1 < n; i++ {
+		g.MustAddLink(i, i+1, src.Delay(r))
+	}
+	return g
+}
+
+// LineDelays returns a linear array whose i-th link (i, i+1) has delay
+// delays[i]. len(delays) must be n-1 for an n-node array.
+func LineDelays(delays []int) *Network {
+	g := New(len(delays) + 1)
+	g.SetName("line[explicit]")
+	for i, d := range delays {
+		g.MustAddLink(i, i+1, d)
+	}
+	return g
+}
+
+// Ring returns an n-node ring with delays drawn from src.
+func Ring(n int, src DelaySource, seed int64) *Network {
+	g := New(n)
+	g.SetName(fmt.Sprintf("ring[%s]", src))
+	r := rand.New(rand.NewSource(seed))
+	for i := 0; i < n; i++ {
+		g.MustAddLink(i, (i+1)%n, src.Delay(r))
+	}
+	return g
+}
+
+// Mesh2D returns an rows x cols 2-dimensional array (grid, no wraparound).
+// Node (r, c) has index r*cols + c.
+func Mesh2D(rows, cols int, src DelaySource, seed int64) *Network {
+	g := New(rows * cols)
+	g.SetName(fmt.Sprintf("mesh%dx%d[%s]", rows, cols, src))
+	rng := rand.New(rand.NewSource(seed))
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			u := r*cols + c
+			if c+1 < cols {
+				g.MustAddLink(u, u+1, src.Delay(rng))
+			}
+			if r+1 < rows {
+				g.MustAddLink(u, u+cols, src.Delay(rng))
+			}
+		}
+	}
+	return g
+}
+
+// Torus2D returns an rows x cols torus (grid with wraparound links).
+func Torus2D(rows, cols int, src DelaySource, seed int64) *Network {
+	g := New(rows * cols)
+	g.SetName(fmt.Sprintf("torus%dx%d[%s]", rows, cols, src))
+	rng := rand.New(rand.NewSource(seed))
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			u := r*cols + c
+			if cols > 1 {
+				g.MustAddLink(u, r*cols+(c+1)%cols, src.Delay(rng))
+			}
+			if rows > 1 {
+				g.MustAddLink(u, ((r+1)%rows)*cols+c, src.Delay(rng))
+			}
+		}
+	}
+	return g
+}
+
+// Hypercube returns a 2^dim-node hypercube; nodes differ in one bit per link.
+func Hypercube(dim int, src DelaySource, seed int64) *Network {
+	n := 1 << uint(dim)
+	g := New(n)
+	g.SetName(fmt.Sprintf("hypercube%d[%s]", dim, src))
+	rng := rand.New(rand.NewSource(seed))
+	for u := 0; u < n; u++ {
+		for b := 0; b < dim; b++ {
+			v := u ^ (1 << uint(b))
+			if u < v {
+				g.MustAddLink(u, v, src.Delay(rng))
+			}
+		}
+	}
+	return g
+}
+
+// CompleteBinaryTree returns a complete binary tree with 2^(h+1)-1 nodes
+// (height h). Node 0 is the root; node i has children 2i+1 and 2i+2.
+func CompleteBinaryTree(h int, src DelaySource, seed int64) *Network {
+	n := (1 << uint(h+1)) - 1
+	g := New(n)
+	g.SetName(fmt.Sprintf("btree%d[%s]", h, src))
+	rng := rand.New(rand.NewSource(seed))
+	for i := 1; i < n; i++ {
+		g.MustAddLink((i-1)/2, i, src.Delay(rng))
+	}
+	return g
+}
+
+// RandomNOW returns a connected random network of n workstations with
+// degree at most maxDeg (>= 2): a random spanning tree plus extra random
+// links, with delays drawn from src. This models an unstructured NOW.
+func RandomNOW(n, maxDeg int, src DelaySource, seed int64) *Network {
+	if maxDeg < 2 {
+		maxDeg = 2
+	}
+	g := New(n)
+	g.SetName(fmt.Sprintf("randnow(deg<=%d)[%s]", maxDeg, src))
+	r := rand.New(rand.NewSource(seed))
+	if n == 0 {
+		return g
+	}
+	// Random spanning tree: attach each node i >= 1 to a uniformly random
+	// earlier node with spare degree.
+	perm := r.Perm(n)
+	deg := make([]int, n)
+	for i := 1; i < n; i++ {
+		u := perm[i]
+		// pick an earlier node with spare degree; fall back to a chain
+		// if the sampled candidates are saturated.
+		var v int
+		ok := false
+		for try := 0; try < 32; try++ {
+			v = perm[r.Intn(i)]
+			if deg[v] < maxDeg-1 { // keep one slot spare for extras
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			v = perm[i-1]
+		}
+		g.MustAddLink(u, v, src.Delay(r))
+		deg[u]++
+		deg[v]++
+	}
+	// Extra links: up to n/2 attempts, respecting the degree bound.
+	for t := 0; t < n/2; t++ {
+		u, v := r.Intn(n), r.Intn(n)
+		if u == v || deg[u] >= maxDeg || deg[v] >= maxDeg {
+			continue
+		}
+		g.MustAddLink(u, v, src.Delay(r))
+		deg[u]++
+		deg[v]++
+	}
+	return g
+}
+
+// CCC returns the cube-connected-cycles network of dimension dim: each
+// hypercube corner becomes a cycle of dim nodes, so every workstation has
+// degree exactly 3 — the canonical constant-degree stand-in for a hypercube
+// and a natural NOW topology for Theorem 6. Node (corner, pos) has index
+// corner*dim + pos.
+func CCC(dim int, src DelaySource, seed int64) *Network {
+	if dim < 3 {
+		// dim < 3 degenerates (multi-edges in the cycle); promote
+		dim = 3
+	}
+	n := (1 << uint(dim)) * dim
+	g := New(n)
+	g.SetName(fmt.Sprintf("ccc%d[%s]", dim, src))
+	rng := rand.New(rand.NewSource(seed))
+	id := func(corner, pos int) int { return corner*dim + pos }
+	for corner := 0; corner < 1<<uint(dim); corner++ {
+		for pos := 0; pos < dim; pos++ {
+			// cycle link
+			g.MustAddLink(id(corner, pos), id(corner, (pos+1)%dim), src.Delay(rng))
+			// hypercube link along dimension pos (added once)
+			other := corner ^ (1 << uint(pos))
+			if corner < other {
+				g.MustAddLink(id(corner, pos), id(other, pos), src.Delay(rng))
+			}
+		}
+	}
+	return g
+}
+
+// H1 returns the Theorem 9 host: an n-processor linear array in which every
+// sqrt(n)-th link has delay sqrt(n) and all other links have unit delay.
+// d_ave is constant (< 2) while d_max = sqrt(n).
+func H1(n int) *Network {
+	s := ISqrt(n)
+	if s < 1 {
+		s = 1
+	}
+	g := New(n)
+	g.SetName(fmt.Sprintf("H1(n=%d,sqrt=%d)", n, s))
+	for i := 0; i+1 < n; i++ {
+		d := 1
+		if (i+1)%s == 0 {
+			d = s
+		}
+		g.MustAddLink(i, i+1, d)
+	}
+	return g
+}
+
+// CliqueChain returns the Section 4 counterexample: a linear array of k
+// cliques, each of k nodes. Clique edges have delay 1; each pair of adjacent
+// cliques is connected by a single edge of delay n = k*k. The network has
+// constant average delay but unbounded degree, and no simulation can beat
+// slowdown n^(1/4).
+func CliqueChain(k int) *Network {
+	n := k * k
+	g := New(n)
+	g.SetName(fmt.Sprintf("cliquechain(k=%d)", k))
+	for c := 0; c < k; c++ {
+		base := c * k
+		for i := 0; i < k; i++ {
+			for j := i + 1; j < k; j++ {
+				g.MustAddLink(base+i, base+j, 1)
+			}
+		}
+		if c+1 < k {
+			// connect last node of clique c to first node of clique c+1
+			g.MustAddLink(base+k-1, base+k, n)
+		}
+	}
+	return g
+}

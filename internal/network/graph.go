@@ -1,0 +1,277 @@
+// Package network models the host "network of workstations" (NOW) from
+// Andrews, Leighton, Metaxas and Zhang, "Improved Methods for Hiding Latency
+// in High Bandwidth Networks" (SPAA 1996).
+//
+// A Network is an undirected multigraph whose nodes are workstations and
+// whose links carry integer delays (latencies, in simulation steps). The
+// package provides the standard topologies used throughout the paper (linear
+// arrays, rings, meshes, hypercubes, trees, random bounded-degree NOWs) as
+// well as the special constructions from the lower-bound sections: the host
+// H1 of Theorem 9, the recursive level-box host H2 of Theorem 10 (Figure 5),
+// and the clique-chain counterexample of Section 4.
+//
+// Delay conventions follow the paper: a link with delay d delivers a packet
+// injected at step s at step s+d. The average delay d_ave of a network is the
+// total link delay divided by the number of links, so that a network with n-1
+// links has total delay (n-1)*d_ave.
+package network
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Half is one endpoint's view of an undirected link: the peer node, the link
+// delay, and the index of the link in the network's edge list.
+type Half struct {
+	Peer  int // the node at the other end
+	Delay int // link delay in steps (>= 1)
+	Edge  int // index into Edges()
+}
+
+// Edge is an undirected link between workstations U and V with the given
+// delay.
+type Edge struct {
+	U, V  int
+	Delay int
+}
+
+// Network is an undirected multigraph of workstations. The zero value is an
+// empty network; use New to create one with a fixed node count.
+type Network struct {
+	name  string
+	n     int
+	edges []Edge
+	adj   [][]Half
+
+	// cached stats; invalidated on mutation
+	statsValid bool
+	stats      Stats
+}
+
+// New returns an empty network with n workstations and no links.
+// It panics if n < 0.
+func New(n int) *Network {
+	if n < 0 {
+		panic(fmt.Sprintf("network: negative node count %d", n))
+	}
+	return &Network{n: n, adj: make([][]Half, n)}
+}
+
+// ErrBadLink is returned by AddLink for out-of-range endpoints, self loops or
+// non-positive delays.
+var ErrBadLink = errors.New("network: invalid link")
+
+// AddLink adds an undirected link between u and v with the given delay.
+// Multi-edges are permitted (they arise naturally in some constructions);
+// self loops are not.
+func (g *Network) AddLink(u, v, delay int) error {
+	if u < 0 || u >= g.n || v < 0 || v >= g.n {
+		return fmt.Errorf("%w: endpoint out of range (%d,%d) with n=%d", ErrBadLink, u, v, g.n)
+	}
+	if u == v {
+		return fmt.Errorf("%w: self loop at %d", ErrBadLink, u)
+	}
+	if delay < 1 {
+		return fmt.Errorf("%w: delay %d < 1", ErrBadLink, delay)
+	}
+	id := len(g.edges)
+	g.edges = append(g.edges, Edge{U: u, V: v, Delay: delay})
+	g.adj[u] = append(g.adj[u], Half{Peer: v, Delay: delay, Edge: id})
+	g.adj[v] = append(g.adj[v], Half{Peer: u, Delay: delay, Edge: id})
+	g.statsValid = false
+	return nil
+}
+
+// MustAddLink is AddLink but panics on error. Topology generators use it for
+// links that are correct by construction.
+func (g *Network) MustAddLink(u, v, delay int) {
+	if err := g.AddLink(u, v, delay); err != nil {
+		panic(err)
+	}
+}
+
+// SetName records a human-readable name for the topology (used in reports).
+func (g *Network) SetName(name string) { g.name = name }
+
+// Name reports the topology's name, or "network" if unset.
+func (g *Network) Name() string {
+	if g.name == "" {
+		return "network"
+	}
+	return g.name
+}
+
+// NumNodes reports the number of workstations.
+func (g *Network) NumNodes() int { return g.n }
+
+// NumLinks reports the number of links.
+func (g *Network) NumLinks() int { return len(g.edges) }
+
+// Edges returns the link list. The returned slice is owned by the network and
+// must not be modified.
+func (g *Network) Edges() []Edge { return g.edges }
+
+// Neighbors returns u's incident half-edges. The returned slice is owned by
+// the network and must not be modified.
+func (g *Network) Neighbors(u int) []Half { return g.adj[u] }
+
+// Degree reports the number of links incident to u.
+func (g *Network) Degree(u int) int { return len(g.adj[u]) }
+
+// LinkDelay returns the delay of the link between u and v, or 0 if no such
+// link exists. If there are multiple links it returns the smallest delay.
+func (g *Network) LinkDelay(u, v int) int {
+	best := 0
+	for _, h := range g.adj[u] {
+		if h.Peer == v && (best == 0 || h.Delay < best) {
+			best = h.Delay
+		}
+	}
+	return best
+}
+
+// Clone returns a deep copy of the network.
+func (g *Network) Clone() *Network {
+	c := New(g.n)
+	c.name = g.name
+	c.edges = append([]Edge(nil), g.edges...)
+	for u := range g.adj {
+		c.adj[u] = append([]Half(nil), g.adj[u]...)
+	}
+	return c
+}
+
+// Stats summarises the delay structure of a network, in the paper's terms.
+type Stats struct {
+	Nodes      int
+	Links      int
+	TotalDelay int64
+	AvgDelay   float64 // d_ave: total delay / number of links
+	MaxDelay   int     // d_max
+	MinDelay   int
+	MaxDegree  int
+	Connected  bool
+}
+
+// Stats computes (and caches) summary statistics.
+func (g *Network) Stats() Stats {
+	if g.statsValid {
+		return g.stats
+	}
+	s := Stats{Nodes: g.n, Links: len(g.edges)}
+	s.MinDelay = 0
+	for _, e := range g.edges {
+		s.TotalDelay += int64(e.Delay)
+		if e.Delay > s.MaxDelay {
+			s.MaxDelay = e.Delay
+		}
+		if s.MinDelay == 0 || e.Delay < s.MinDelay {
+			s.MinDelay = e.Delay
+		}
+	}
+	if len(g.edges) > 0 {
+		s.AvgDelay = float64(s.TotalDelay) / float64(len(g.edges))
+	}
+	for u := range g.adj {
+		if d := len(g.adj[u]); d > s.MaxDegree {
+			s.MaxDegree = d
+		}
+	}
+	s.Connected = g.IsConnected()
+	g.stats = s
+	g.statsValid = true
+	return s
+}
+
+// AvgDelay reports d_ave.
+func (g *Network) AvgDelay() float64 { return g.Stats().AvgDelay }
+
+// MaxDelay reports d_max.
+func (g *Network) MaxDelay() int { return g.Stats().MaxDelay }
+
+// IsConnected reports whether every workstation is reachable from node 0.
+// The empty network and the single-node network are connected.
+func (g *Network) IsConnected() bool {
+	if g.n <= 1 {
+		return true
+	}
+	seen := make([]bool, g.n)
+	stack := []int{0}
+	seen[0] = true
+	count := 1
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, h := range g.adj[u] {
+			if !seen[h.Peer] {
+				seen[h.Peer] = true
+				count++
+				stack = append(stack, h.Peer)
+			}
+		}
+	}
+	return count == g.n
+}
+
+// Validate checks structural invariants: adjacency lists consistent with the
+// edge list, positive delays, no self loops. It returns the first violation
+// found, or nil.
+func (g *Network) Validate() error {
+	if len(g.adj) != g.n {
+		return fmt.Errorf("network: adjacency size %d != n %d", len(g.adj), g.n)
+	}
+	halves := 0
+	for u := range g.adj {
+		for _, h := range g.adj[u] {
+			if h.Peer < 0 || h.Peer >= g.n {
+				return fmt.Errorf("network: node %d has neighbor %d out of range", u, h.Peer)
+			}
+			if h.Peer == u {
+				return fmt.Errorf("network: self loop at %d", u)
+			}
+			if h.Edge < 0 || h.Edge >= len(g.edges) {
+				return fmt.Errorf("network: node %d references edge %d out of range", u, h.Edge)
+			}
+			e := g.edges[h.Edge]
+			if e.Delay != h.Delay {
+				return fmt.Errorf("network: half-edge delay %d != edge delay %d", h.Delay, e.Delay)
+			}
+			if !(e.U == u && e.V == h.Peer) && !(e.V == u && e.U == h.Peer) {
+				return fmt.Errorf("network: half-edge (%d,%d) inconsistent with edge %v", u, h.Peer, e)
+			}
+			halves++
+		}
+	}
+	if halves != 2*len(g.edges) {
+		return fmt.Errorf("network: %d half-edges for %d edges", halves, len(g.edges))
+	}
+	for i, e := range g.edges {
+		if e.Delay < 1 {
+			return fmt.Errorf("network: edge %d has delay %d < 1", i, e.Delay)
+		}
+	}
+	return nil
+}
+
+// String renders a short description such as
+// "ring(64): 64 links, d_ave=3.25, d_max=17".
+func (g *Network) String() string {
+	s := g.Stats()
+	return fmt.Sprintf("%s(%d): %d links, d_ave=%.2f, d_max=%d",
+		g.Name(), g.n, s.Links, s.AvgDelay, s.MaxDelay)
+}
+
+// SortedNeighbors returns u's neighbors sorted by peer id (then delay).
+// Useful for deterministic iteration in tests and schedulers.
+func (g *Network) SortedNeighbors(u int) []Half {
+	hs := append([]Half(nil), g.adj[u]...)
+	sort.Slice(hs, func(i, j int) bool {
+		if hs[i].Peer != hs[j].Peer {
+			return hs[i].Peer < hs[j].Peer
+		}
+		return hs[i].Delay < hs[j].Delay
+	})
+	return hs
+}

@@ -1,0 +1,348 @@
+package network
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewAndAddLink(t *testing.T) {
+	g := New(4)
+	if g.NumNodes() != 4 || g.NumLinks() != 0 {
+		t.Fatalf("fresh network: nodes=%d links=%d", g.NumNodes(), g.NumLinks())
+	}
+	if err := g.AddLink(0, 1, 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddLink(1, 2, 1); err != nil {
+		t.Fatal(err)
+	}
+	if g.NumLinks() != 2 {
+		t.Fatalf("links=%d", g.NumLinks())
+	}
+	if d := g.LinkDelay(0, 1); d != 3 {
+		t.Fatalf("LinkDelay(0,1)=%d", d)
+	}
+	if d := g.LinkDelay(0, 2); d != 0 {
+		t.Fatalf("LinkDelay(0,2)=%d, want 0 (absent)", d)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAddLinkErrors(t *testing.T) {
+	g := New(3)
+	cases := []struct{ u, v, d int }{
+		{-1, 0, 1}, {0, 3, 1}, {1, 1, 1}, {0, 1, 0}, {0, 1, -5},
+	}
+	for _, c := range cases {
+		if err := g.AddLink(c.u, c.v, c.d); err == nil {
+			t.Errorf("AddLink(%d,%d,%d): want error", c.u, c.v, c.d)
+		}
+	}
+	if g.NumLinks() != 0 {
+		t.Fatalf("failed links were recorded: %d", g.NumLinks())
+	}
+}
+
+func TestMultiEdgeAllowed(t *testing.T) {
+	g := New(2)
+	g.MustAddLink(0, 1, 2)
+	g.MustAddLink(0, 1, 7)
+	if g.NumLinks() != 2 {
+		t.Fatalf("links=%d", g.NumLinks())
+	}
+	if d := g.LinkDelay(0, 1); d != 2 {
+		t.Fatalf("LinkDelay should pick min: %d", d)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStats(t *testing.T) {
+	g := LineDelays([]int{1, 5, 2})
+	s := g.Stats()
+	if s.Nodes != 4 || s.Links != 3 {
+		t.Fatalf("stats %+v", s)
+	}
+	if s.TotalDelay != 8 || s.MaxDelay != 5 || s.MinDelay != 1 {
+		t.Fatalf("delay stats %+v", s)
+	}
+	if s.AvgDelay != 8.0/3.0 {
+		t.Fatalf("avg %f", s.AvgDelay)
+	}
+	if s.MaxDegree != 2 || !s.Connected {
+		t.Fatalf("structure stats %+v", s)
+	}
+}
+
+func TestStatsCacheInvalidation(t *testing.T) {
+	g := New(3)
+	g.MustAddLink(0, 1, 1)
+	if g.MaxDelay() != 1 {
+		t.Fatal("initial max delay")
+	}
+	g.MustAddLink(1, 2, 9)
+	if g.MaxDelay() != 9 {
+		t.Fatal("stats cache not invalidated by AddLink")
+	}
+}
+
+func TestConnectivity(t *testing.T) {
+	g := New(4)
+	g.MustAddLink(0, 1, 1)
+	g.MustAddLink(2, 3, 1)
+	if g.IsConnected() {
+		t.Fatal("two components reported connected")
+	}
+	g.MustAddLink(1, 2, 1)
+	if !g.IsConnected() {
+		t.Fatal("connected graph reported disconnected")
+	}
+	if !New(0).IsConnected() || !New(1).IsConnected() {
+		t.Fatal("trivial networks should be connected")
+	}
+	if New(2).IsConnected() {
+		t.Fatal("two isolated nodes reported connected")
+	}
+}
+
+func TestClone(t *testing.T) {
+	g := Ring(8, ConstDelay(2), 1)
+	c := g.Clone()
+	c.MustAddLink(0, 4, 9)
+	if g.NumLinks() == c.NumLinks() {
+		t.Fatal("clone shares link storage with original")
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStringAndName(t *testing.T) {
+	g := New(2)
+	if g.Name() != "network" {
+		t.Fatalf("default name %q", g.Name())
+	}
+	g.SetName("test")
+	g.MustAddLink(0, 1, 4)
+	if !strings.Contains(g.String(), "test(2)") {
+		t.Fatalf("String() = %q", g.String())
+	}
+}
+
+func TestSortedNeighbors(t *testing.T) {
+	g := New(4)
+	g.MustAddLink(2, 0, 1)
+	g.MustAddLink(2, 3, 1)
+	g.MustAddLink(2, 1, 1)
+	ns := g.SortedNeighbors(2)
+	for i := 1; i < len(ns); i++ {
+		if ns[i-1].Peer > ns[i].Peer {
+			t.Fatalf("not sorted: %v", ns)
+		}
+	}
+}
+
+// Property: every generator produces a connected, valid network of the
+// requested size with delays >= 1.
+func TestGeneratorsProduceValidNetworks(t *testing.T) {
+	cases := []struct {
+		name string
+		g    *Network
+		n    int
+	}{
+		{"line", Line(17, UniformDelay{Lo: 1, Hi: 9}, 1), 17},
+		{"ring", Ring(16, ExpDelay{Mean: 3}, 2), 16},
+		{"mesh", Mesh2D(4, 5, ConstDelay(2), 3), 20},
+		{"torus", Torus2D(4, 4, ConstDelay(1), 4), 16},
+		{"hypercube", Hypercube(5, ParetoDelay{Alpha: 1.3, Scale: 2, Cap: 100}, 5), 32},
+		{"btree", CompleteBinaryTree(4, BimodalDelay{Near: 1, Far: 10, P: 0.3}, 6), 31},
+		{"randnow", RandomNOW(64, 4, Unit, 7), 64},
+		{"ccc", CCC(4, Unit, 8), 64},
+		{"h1", H1(64), 64},
+		{"cliquechain", CliqueChain(4), 16},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if c.g.NumNodes() != c.n {
+				t.Fatalf("nodes=%d want %d", c.g.NumNodes(), c.n)
+			}
+			if err := c.g.Validate(); err != nil {
+				t.Fatal(err)
+			}
+			if !c.g.IsConnected() {
+				t.Fatal("not connected")
+			}
+			for _, e := range c.g.Edges() {
+				if e.Delay < 1 {
+					t.Fatalf("edge %v has delay < 1", e)
+				}
+			}
+		})
+	}
+}
+
+func TestCCCDegreeExactlyThree(t *testing.T) {
+	g := CCC(5, UniformDelay{Lo: 1, Hi: 4}, 3)
+	for u := 0; u < g.NumNodes(); u++ {
+		if g.Degree(u) != 3 {
+			t.Fatalf("node %d degree %d != 3", u, g.Degree(u))
+		}
+	}
+	if g.NumNodes() != 32*5 {
+		t.Fatalf("nodes %d", g.NumNodes())
+	}
+	// dim < 3 is promoted to 3, still valid
+	small := CCC(1, Unit, 1)
+	if err := small.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGeneratorsDeterministic(t *testing.T) {
+	a := RandomNOW(64, 4, ExpDelay{Mean: 5}, 42)
+	b := RandomNOW(64, 4, ExpDelay{Mean: 5}, 42)
+	ea, eb := a.Edges(), b.Edges()
+	if len(ea) != len(eb) {
+		t.Fatal("different edge counts for same seed")
+	}
+	for i := range ea {
+		if ea[i] != eb[i] {
+			t.Fatalf("edge %d differs: %v vs %v", i, ea[i], eb[i])
+		}
+	}
+}
+
+func TestRandomNOWDegreeBound(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		g := RandomNOW(100, 4, Unit, seed)
+		if d := g.Stats().MaxDegree; d > 4 {
+			t.Fatalf("seed %d: degree %d > 4", seed, d)
+		}
+		if !g.IsConnected() {
+			t.Fatalf("seed %d: disconnected", seed)
+		}
+	}
+}
+
+func TestH1Structure(t *testing.T) {
+	n := 256
+	g := H1(n)
+	s := ISqrt(n)
+	slow := 0
+	for i, e := range g.Edges() {
+		want := 1
+		if (i+1)%s == 0 {
+			want = s
+		}
+		if e.Delay != want {
+			t.Fatalf("link %d delay %d want %d", i, e.Delay, want)
+		}
+		if e.Delay == s {
+			slow++
+		}
+	}
+	if g.MaxDelay() != s {
+		t.Fatalf("d_max=%d want %d", g.MaxDelay(), s)
+	}
+	if g.AvgDelay() >= 2 {
+		t.Fatalf("d_ave=%f should be < 2", g.AvgDelay())
+	}
+	if slow != (n-1)/s {
+		t.Fatalf("%d slow links, want %d", slow, (n-1)/s)
+	}
+}
+
+func TestCliqueChainStructure(t *testing.T) {
+	k := 6
+	g := CliqueChain(k)
+	n := k * k
+	if g.NumNodes() != n {
+		t.Fatalf("nodes=%d", g.NumNodes())
+	}
+	// average delay must be constant (paper: < 4)
+	if g.AvgDelay() >= 4 {
+		t.Fatalf("d_ave=%f >= 4", g.AvgDelay())
+	}
+	// degree is unbounded: clique members have degree ~k
+	if g.Stats().MaxDegree < k-1 {
+		t.Fatalf("degree %d < k-1", g.Stats().MaxDegree)
+	}
+	if g.MaxDelay() != n {
+		t.Fatalf("d_max=%d want %d", g.MaxDelay(), n)
+	}
+}
+
+// Property: delay sources always return >= 1.
+func TestDelaySourcesPositive(t *testing.T) {
+	srcs := []DelaySource{
+		ConstDelay(0), ConstDelay(-3), ConstDelay(5),
+		UniformDelay{Lo: -2, Hi: 1}, UniformDelay{Lo: 5, Hi: 2},
+		ParetoDelay{}, ParetoDelay{Alpha: 0.8, Scale: 3, Cap: 50},
+		BimodalDelay{Near: 0, Far: -1, P: 0.5},
+		ExpDelay{Mean: 0.1}, ExpDelay{Mean: 20},
+	}
+	r := rand.New(rand.NewSource(9))
+	for _, s := range srcs {
+		for i := 0; i < 500; i++ {
+			if d := s.Delay(r); d < 1 {
+				t.Fatalf("%s returned %d", s, d)
+			}
+		}
+	}
+	capped := ParetoDelay{Alpha: 1, Scale: 1, Cap: 7}
+	for i := 0; i < 200; i++ {
+		if capped.Delay(r) > 7 {
+			t.Fatal("cap not enforced")
+		}
+	}
+}
+
+func TestLogHelpers(t *testing.T) {
+	cases := []struct{ n, ceil, floor int }{
+		{1, 0, 0}, {2, 1, 1}, {3, 2, 1}, {4, 2, 2}, {5, 3, 2},
+		{8, 3, 3}, {9, 4, 3}, {1024, 10, 10}, {1025, 11, 10},
+	}
+	for _, c := range cases {
+		if got := Log2Ceil(c.n); got != c.ceil {
+			t.Errorf("Log2Ceil(%d)=%d want %d", c.n, got, c.ceil)
+		}
+		if got := Log2Floor(c.n); got != c.floor {
+			t.Errorf("Log2Floor(%d)=%d want %d", c.n, got, c.floor)
+		}
+	}
+	if Log2Ceil(0) != 0 || Log2Ceil(-4) != 0 {
+		t.Error("Log2Ceil of non-positive should be 0")
+	}
+}
+
+func TestISqrtProperty(t *testing.T) {
+	f := func(x uint16) bool {
+		n := int(x)
+		s := ISqrt(n)
+		return s*s <= n && (s+1)*(s+1) > n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLineDelaysMapping(t *testing.T) {
+	d := []int{4, 1, 7, 2}
+	g := LineDelays(d)
+	if g.NumNodes() != 5 {
+		t.Fatalf("nodes=%d", g.NumNodes())
+	}
+	for i, want := range d {
+		if got := g.LinkDelay(i, i+1); got != want {
+			t.Fatalf("link %d delay %d want %d", i, got, want)
+		}
+	}
+}

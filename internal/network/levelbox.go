@@ -1,0 +1,137 @@
+package network
+
+import "fmt"
+
+// H2Spec describes the recursive level-box host of Theorem 10 (Figure 5).
+//
+// The extended abstract defines H2 recursively: a level-0 box is a single
+// edge of delay d; a level-l box consists of two level-(l-1) boxes connected
+// by 2^l*d/log n edges of delay 1 whose processors form a "segment". We
+// realise the construction as a linear array (the delay word below), which
+// preserves every property the lower-bound proof uses and lets the same
+// simulation machinery run on it:
+//
+//	W_0 = [d]
+//	W_l = W_{l-1} ++ 1^(s_l+1) ++ W_{l-1},   s_l = max(1, 2^l*d/ceil(log2 n))
+//
+// A level-l segment is a run of s_l processors between two sub-boxes. Any
+// path leaving a segment immediately crosses the delay-d edge of the adjacent
+// level-0 box, and reaching a level-l' segment crosses a whole
+// W_(min(l,l')-1) block, so the Fact 4 delay bound
+//
+//	delay(p, q) >= min(u, v) * log n / 2     (u, v segment sizes)
+//
+// holds; tests certify it with Dijkstra.
+type H2Spec struct {
+	N int // the parameter n; d = sqrt(n), k = log2(n/d) levels
+	D int // the big delay d = floor(sqrt(n))
+	K int // number of levels
+	// Segment[i] is the segment id of processor i, or -1 for level-0 box
+	// endpoints. Segment ids are dense in [0, NumSegments()) and each
+	// physical segment (run of connector processors) has its own id.
+	Segment []int
+	// SegLevel[s] and SegSize[s] give the level and processor count of
+	// segment s.
+	SegLevel []int
+	SegSize  []int
+	// Net is the realised network (a linear array).
+	Net *Network
+}
+
+// H2 builds the Theorem 10 host for parameter n. The realised network has
+// Theta(n) processors, constant average delay, and link delays in {1, d}.
+func H2(n int) *H2Spec {
+	if n < 16 {
+		n = 16
+	}
+	d := ISqrt(n)
+	logn := Log2Ceil(n)
+	if logn < 1 {
+		logn = 1
+	}
+	k := Log2Floor(n/d + 1)
+	if k < 1 {
+		k = 1
+	}
+	spec := &H2Spec{N: n, D: d, K: k}
+
+	// Build the delay word bottom-up. levels[i] is the segment level of
+	// node i, or 0 for level-0 box endpoints (segments have level >= 1).
+	delays := []int{d}
+	levels := []int{0, 0}
+	for l := 1; l <= k; l++ {
+		s := (1 << uint(l)) * d / logn
+		if s < 1 {
+			s = 1
+		}
+		nd := make([]int, 0, 2*len(delays)+s+1)
+		nl := make([]int, 0, 2*len(levels)+s)
+		nd = append(nd, delays...)
+		nl = append(nl, levels...)
+		for i := 0; i < s; i++ {
+			nd = append(nd, 1)
+			nl = append(nl, l)
+		}
+		nd = append(nd, 1)
+		nd = append(nd, delays...)
+		nl = append(nl, levels...)
+		delays, levels = nd, nl
+	}
+
+	// Assign a fresh segment id to each maximal run of connector nodes.
+	// Runs of distinct physical segments never touch, because every
+	// sub-word begins and ends with a level-0 box endpoint.
+	spec.Segment = make([]int, len(levels))
+	for i, l := range levels {
+		if l == 0 {
+			spec.Segment[i] = -1
+			continue
+		}
+		if i > 0 && levels[i-1] != 0 {
+			spec.Segment[i] = spec.Segment[i-1]
+			spec.SegSize[spec.Segment[i]]++
+			continue
+		}
+		spec.Segment[i] = len(spec.SegLevel)
+		spec.SegLevel = append(spec.SegLevel, l)
+		spec.SegSize = append(spec.SegSize, 1)
+	}
+
+	spec.Net = LineDelays(delays)
+	spec.Net.SetName(fmt.Sprintf("H2(n=%d,d=%d,k=%d)", n, d, k))
+	return spec
+}
+
+// NumSegments reports the number of segments in the construction.
+func (s *H2Spec) NumSegments() int { return len(s.SegLevel) }
+
+// SegmentOf reports the segment containing processor p, or -1 if p is a
+// level-0 box endpoint.
+func (s *H2Spec) SegmentOf(p int) int { return s.Segment[p] }
+
+// Fact4Bound returns the Fact 4 lower bound on the delay between processors
+// of two distinct segments a and b: min(u, v) * log n / 2, where u and v are
+// the segment sizes. It panics if a == b or either id is out of range.
+func (s *H2Spec) Fact4Bound(a, b int) int {
+	if a == b {
+		panic("levelbox: Fact4Bound of a segment with itself")
+	}
+	u, v := s.SegSize[a], s.SegSize[b]
+	m := u
+	if v < m {
+		m = v
+	}
+	logn := Log2Ceil(s.N)
+	return m * logn / 2
+}
+
+// SegmentMembers returns the processor ids in segment id, in array order.
+func (s *H2Spec) SegmentMembers(id int) []int {
+	var out []int
+	for p, sid := range s.Segment {
+		if sid == id {
+			out = append(out, p)
+		}
+	}
+	return out
+}

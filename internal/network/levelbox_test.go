@@ -1,0 +1,199 @@
+package network
+
+import "testing"
+
+func TestH2Basics(t *testing.T) {
+	for _, n := range []int{64, 256, 1024, 4096} {
+		spec := H2(n)
+		g := spec.Net
+		if err := g.Validate(); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if !g.IsConnected() {
+			t.Fatalf("n=%d: disconnected", n)
+		}
+		// Theta(n) processors: within [n/8, 2n].
+		if p := g.NumNodes(); p < n/8 || p > 2*n {
+			t.Fatalf("n=%d: %d processors not Theta(n)", n, p)
+		}
+		// constant average delay (paper: O(1)); generous bound 8
+		if g.AvgDelay() > 8 {
+			t.Fatalf("n=%d: d_ave=%f not constant-ish", n, g.AvgDelay())
+		}
+		// delays are only 1 or d
+		for _, e := range g.Edges() {
+			if e.Delay != 1 && e.Delay != spec.D {
+				t.Fatalf("n=%d: delay %d not in {1, %d}", n, e.Delay, spec.D)
+			}
+		}
+		// a level-k box has 2^k level-0 (delay-d) edges
+		dEdges := 0
+		for _, e := range g.Edges() {
+			if e.Delay == spec.D {
+				dEdges++
+			}
+		}
+		if dEdges != 1<<uint(spec.K) {
+			t.Fatalf("n=%d: %d delay-d edges, want 2^%d", n, dEdges, spec.K)
+		}
+	}
+}
+
+func TestH2SegmentAnnotation(t *testing.T) {
+	spec := H2(1024)
+	// Segment ids must be dense, sizes must match, and each segment must
+	// be one contiguous run.
+	counts := make([]int, spec.NumSegments())
+	lastSeen := make([]int, spec.NumSegments())
+	for i := range lastSeen {
+		lastSeen[i] = -2
+	}
+	for p, s := range spec.Segment {
+		if s == -1 {
+			continue
+		}
+		if s < 0 || s >= spec.NumSegments() {
+			t.Fatalf("segment id %d out of range", s)
+		}
+		if counts[s] > 0 && lastSeen[s] != p-1 {
+			t.Fatalf("segment %d is not contiguous (at %d after %d)", s, p, lastSeen[s])
+		}
+		counts[s]++
+		lastSeen[s] = p
+	}
+	for s, c := range counts {
+		if c == 0 {
+			t.Fatalf("segment %d has no members", s)
+		}
+		if c != spec.SegSize[s] {
+			t.Fatalf("segment %d size %d != recorded %d", s, c, spec.SegSize[s])
+		}
+		if got := spec.SegmentMembers(s); len(got) != c {
+			t.Fatalf("SegmentMembers(%d) has %d members, want %d", s, len(got), c)
+		}
+	}
+	// segment sizes are max(1, 2^l d / log n)
+	logn := Log2Ceil(spec.N)
+	for s := range counts {
+		l := spec.SegLevel[s]
+		want := (1 << uint(l)) * spec.D / logn
+		if want < 1 {
+			want = 1
+		}
+		if spec.SegSize[s] != want {
+			t.Fatalf("segment %d (level %d) size %d want %d", s, l, spec.SegSize[s], want)
+		}
+	}
+	// number of segments at level l is 2^(k-l)
+	perLevel := make(map[int]int)
+	for _, l := range spec.SegLevel {
+		perLevel[l]++
+	}
+	for l := 1; l <= spec.K; l++ {
+		if perLevel[l] != 1<<uint(spec.K-l) {
+			t.Fatalf("level %d has %d segments, want %d", l, perLevel[l], 1<<uint(spec.K-l))
+		}
+	}
+}
+
+// TestH2Fact4 certifies Fact 4 with real shortest-path distances: the delay
+// between processors of two distinct segments is at least
+// min(u,v) * log n / 2.
+func TestH2Fact4(t *testing.T) {
+	for _, n := range []int{64, 256, 1024} {
+		spec := H2(n)
+		g := spec.Net
+		// For each segment pick a representative from each end plus the
+		// middle; check against all other segments' representatives.
+		reps := make([][]int, spec.NumSegments())
+		for s := 0; s < spec.NumSegments(); s++ {
+			m := spec.SegmentMembers(s)
+			reps[s] = []int{m[0], m[len(m)/2], m[len(m)-1]}
+		}
+		for a := 0; a < spec.NumSegments(); a++ {
+			for _, p := range reps[a] {
+				dist := g.ShortestDelays(p)
+				for b := 0; b < spec.NumSegments(); b++ {
+					if a == b {
+						continue
+					}
+					bound := int64(spec.Fact4Bound(a, b))
+					for _, q := range reps[b] {
+						if dist[q] < bound {
+							t.Fatalf("n=%d: delay(%d in seg %d, %d in seg %d) = %d < Fact4 bound %d",
+								n, p, a, q, b, dist[q], bound)
+						}
+					}
+				}
+			}
+		}
+		// "In particular, the delay between p and q is at least d":
+		// check the minimum cross-segment distance is >= D.
+	}
+}
+
+func TestH2CrossSegmentMinimumIsD(t *testing.T) {
+	spec := H2(256)
+	g := spec.Net
+	min := int64(1 << 60)
+	for p := 0; p < g.NumNodes(); p++ {
+		if spec.SegmentOf(p) < 0 {
+			continue
+		}
+		dist := g.ShortestDelays(p)
+		for q := 0; q < g.NumNodes(); q++ {
+			sq := spec.SegmentOf(q)
+			if sq < 0 || sq == spec.SegmentOf(p) {
+				continue
+			}
+			if dist[q] < min {
+				min = dist[q]
+			}
+		}
+	}
+	if min < int64(spec.D) {
+		t.Fatalf("min cross-segment delay %d < d=%d", min, spec.D)
+	}
+}
+
+func TestH2Fact4BoundPanics(t *testing.T) {
+	spec := H2(64)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Fact4Bound(a,a) should panic")
+		}
+	}()
+	spec.Fact4Bound(0, 0)
+}
+
+func TestH2TinyInput(t *testing.T) {
+	spec := H2(1) // clamped to 16
+	if spec.N != 16 {
+		t.Fatalf("tiny n not clamped: %d", spec.N)
+	}
+	if err := spec.Net.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestH2SegmentLevelsSumToTheta(t *testing.T) {
+	// the construction's processor count decomposes into segment members
+	// plus 2^(k+1) level-0 endpoints
+	spec := H2(4096)
+	segTotal := 0
+	for _, s := range spec.SegSize {
+		segTotal += s
+	}
+	endpoints := 0
+	for _, id := range spec.Segment {
+		if id == -1 {
+			endpoints++
+		}
+	}
+	if segTotal+endpoints != spec.Net.NumNodes() {
+		t.Fatalf("%d + %d != %d", segTotal, endpoints, spec.Net.NumNodes())
+	}
+	if endpoints != 2<<uint(spec.K) {
+		t.Fatalf("endpoints %d want 2^(k+1)=%d", endpoints, 2<<uint(spec.K))
+	}
+}

@@ -1,0 +1,49 @@
+package overlap
+
+import (
+	"testing"
+
+	"latencyhide/internal/network"
+)
+
+// The paper: "a linear array can simulate a ring with slowdown 2, [so] the
+// distinction is not important". Running the ring guest directly, the wrap
+// columns multicast across the whole line; the cost stays within a small
+// constant of the linear-array run.
+func TestRingGuestOption(t *testing.T) {
+	delays := delaysOf(network.Line(128, network.UniformDelay{Lo: 1, Hi: 8}, 3))
+	lineRun, err := SimulateLine(delays, Options{Variant: TwoLevel, Beta: 2, Steps: 24, Seed: 7, Check: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ringRun, err := SimulateLine(delays, Options{Variant: TwoLevel, Beta: 2, Steps: 24, Seed: 7, Check: true, Ring: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ringRun.Sim.Checked {
+		t.Fatal("ring run not verified")
+	}
+	if ringRun.GuestCols != lineRun.GuestCols {
+		t.Fatalf("guest sizes differ: %d vs %d", ringRun.GuestCols, lineRun.GuestCols)
+	}
+	// wrap traffic costs at most a few line crossings per round; allow a
+	// generous constant over the linear-array run
+	if ringRun.Sim.Slowdown > 6*lineRun.Sim.Slowdown+float64(lineRun.HostN) {
+		t.Fatalf("ring slowdown %.1f >> line slowdown %.1f", ringRun.Sim.Slowdown, lineRun.Sim.Slowdown)
+	}
+	// the ring actually exercised wrap communication
+	if ringRun.Sim.MessageHops <= lineRun.Sim.MessageHops {
+		t.Fatal("ring run should generate extra wrap traffic")
+	}
+}
+
+func TestRingGuestOnNOW(t *testing.T) {
+	g := network.RandomNOW(96, 4, network.ExpDelay{Mean: 2}, 11)
+	out, err := Simulate(g, Options{Variant: LoadOne, Steps: 16, Seed: 5, Check: true, Ring: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Sim.Checked {
+		t.Fatal("unchecked")
+	}
+}

@@ -1,0 +1,160 @@
+package overlap
+
+import (
+	"testing"
+
+	"latencyhide/internal/network"
+	"latencyhide/internal/tree"
+)
+
+func unitLine(n int) []int {
+	d := make([]int, n-1)
+	for i := range d {
+		d[i] = 1
+	}
+	return d
+}
+
+func TestScheduleRecurrenceMatchesClosedForm(t *testing.T) {
+	for _, n := range []int{256, 1024, 4096} {
+		tr := tree.Build(unitLine(n), 4)
+		s, err := BuildSchedule(tr, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := float64(s.RoundBound())
+		want := float64(s.Closed())
+		// The closed form assumes m_k halves exactly; integer m_k peel
+		// up to one extra half-box per level, so agreement is within a
+		// constant factor, not exact.
+		if got < want/4 || got > want*4 {
+			t.Fatalf("n=%d: recurrence %v vs closed form %v", n, got, want)
+		}
+		// Theorem 2 proof's bound (same integer-peeling caveat):
+		// m_0 + 2 c d_ave n log^2 n.
+		logn := float64(tr.LogN)
+		proof := float64(tr.Mk(0)) + 2*4*tr.Dave*float64(n)*logn*logn
+		if got > proof*4 {
+			t.Fatalf("n=%d: s_m0 %v far exceeds the proof bound %v", n, got, proof)
+		}
+		if got < proof/64 {
+			t.Fatalf("n=%d: s_m0 %v suspiciously far below the proof bound %v", n, got, proof)
+		}
+	}
+}
+
+func TestScheduleStRules(t *testing.T) {
+	tr := tree.Build(unitLine(512), 4)
+	s, err := BuildSchedule(tr, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// base level: s_t = t * base
+	kmax := s.KMax
+	for tt := 1; tt <= tr.Mk(kmax); tt++ {
+		v, err := s.St(kmax, tt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v != int64(tt) {
+			t.Fatalf("s_%d^(kmax) = %d", tt, v)
+		}
+	}
+	// rule 2: s_t^(k) = s_t^(k+1) + D_k for t <= m_{k+1}
+	for k := 0; k < kmax; k++ {
+		m1 := tr.Mk(k + 1)
+		for _, tt := range []int{1, m1 / 2, m1} {
+			if tt < 1 {
+				continue
+			}
+			a, err := s.St(k, tt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := s.St(k+1, tt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if a != b+int64(tr.Dk(k)) {
+				t.Fatalf("rule 2 broken at k=%d t=%d: %d vs %d + D_k", k, tt, a, b)
+			}
+		}
+	}
+	// rule 3: s_{m_k}^(k) = 2 s_{m_{k+1}}^(k) ... via SAtM consistency
+	for k := 0; k <= kmax; k++ {
+		v, err := s.St(k, tr.Mk(k))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v != s.SAtM[k] {
+			t.Fatalf("SAtM[%d] = %d but St gives %d", k, s.SAtM[k], v)
+		}
+	}
+	// monotone in t
+	prev := int64(0)
+	for tt := 1; tt <= tr.Mk(0); tt += tr.Mk(0)/7 + 1 {
+		v, err := s.St(0, tt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v <= prev {
+			t.Fatalf("s_t not increasing at t=%d", tt)
+		}
+		prev = v
+	}
+	// out-of-range errors
+	if _, err := s.St(0, 0); err == nil {
+		t.Fatal("t=0 accepted")
+	}
+	if _, err := s.St(kmax+1, 1); err == nil {
+		t.Fatal("k beyond kmax accepted")
+	}
+	if _, err := BuildSchedule(tr, 0); err == nil {
+		t.Fatal("base 0 accepted")
+	}
+}
+
+// The greedy engine must finish one outer round no later than the schedule
+// Theorem 1 constructs (greedy executes a superset of feasible orders).
+func TestGreedyBeatsSchedule(t *testing.T) {
+	hosts := map[string][]int{
+		"unit":    unitLine(256),
+		"uniform": delaysOf(network.Line(256, network.UniformDelay{Lo: 1, Hi: 16}, 3)),
+		"bimodal": delaysOf(network.Line(256, network.BimodalDelay{Near: 1, Far: 64, P: 0.02}, 4)),
+	}
+	for name, delays := range hosts {
+		tr := tree.Build(delays, 4)
+		s, err := BuildSchedule(tr, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := SimulateLine(delays, Options{Variant: LoadOne, Steps: s.RoundSteps(), Seed: 5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out.Sim.HostSteps > s.RoundBound() {
+			t.Fatalf("%s: greedy %d steps > schedule bound %d", name, out.Sim.HostSteps, s.RoundBound())
+		}
+		if out.Sim.Slowdown > s.SlowdownBound() {
+			t.Fatalf("%s: greedy slowdown %.1f > schedule %.1f", name, out.Sim.Slowdown, s.SlowdownBound())
+		}
+	}
+}
+
+func TestScheduleBlockedBase(t *testing.T) {
+	tr := tree.Build(unitLine(256), 4)
+	s1, _ := BuildSchedule(tr, 1)
+	s8, _ := BuildSchedule(tr, 8)
+	if s8.RoundBound() <= s1.RoundBound() {
+		t.Fatal("blocked base must lengthen the round")
+	}
+	// the work term scales with the base, the delay term does not
+	if s8.RoundBound()-s1.RoundBound() != 7*(s1.RoundBound()-2*int64(s1.KMax)*int64(tr.Dk(0))) {
+		// per the closed form: difference = (base-1) * 2^kmax * m_kmax
+		diff := s8.RoundBound() - s1.RoundBound()
+		want := int64(7) * (int64(1) << uint(s1.KMax)) * int64(tr.Mk(s1.KMax))
+		if diff != want {
+			t.Fatalf("base scaling: diff %d want %d", diff, want)
+		}
+	}
+}

@@ -1,0 +1,661 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+
+	"latencyhide/internal/guest"
+)
+
+// kkey packs a (column, step) pair into a map key for knowledge tables.
+func kkey(col, step int32) uint64 { return uint64(uint32(col))<<32 | uint64(uint32(step)) }
+
+// msg is one pebble value in transit along a route.
+type msg struct {
+	route int32 // index into routeTable.routes
+	di    int32 // next destination index within the route
+	step  int32
+	value uint64
+}
+
+// timedMsg is a transmitted message with its stamped arrival step.
+type timedMsg struct {
+	arrive int64
+	m      msg
+}
+
+// dlink is one directed link: a FIFO queue awaiting injection (bandwidth
+// limited) and a FIFO of in-flight messages ordered by arrival step.
+type dlink struct {
+	delay    int
+	bw       int
+	queue    []msg
+	qh       int
+	peakQ    int // high-water mark of the injection queue
+	inflight []timedMsg
+	ih       int
+}
+
+func (l *dlink) qlen() int { return len(l.queue) - l.qh }
+
+func (l *dlink) enqueue(m msg) {
+	l.queue = append(l.queue, m)
+	if q := l.qlen(); q > l.peakQ {
+		l.peakQ = q
+	}
+}
+
+func (l *dlink) popQueue() msg {
+	m := l.queue[l.qh]
+	l.qh++
+	if l.qh > 64 && l.qh*2 > len(l.queue) {
+		n := copy(l.queue, l.queue[l.qh:])
+		l.queue = l.queue[:n]
+		l.qh = 0
+	}
+	return m
+}
+
+func (l *dlink) pushInflight(t timedMsg) { l.inflight = append(l.inflight, t) }
+
+func (l *dlink) headArrival() (int64, bool) {
+	if l.ih >= len(l.inflight) {
+		return 0, false
+	}
+	return l.inflight[l.ih].arrive, true
+}
+
+func (l *dlink) popInflight() msg {
+	m := l.inflight[l.ih].m
+	l.ih++
+	if l.ih > 64 && l.ih*2 > len(l.inflight) {
+		n := copy(l.inflight, l.inflight[l.ih:])
+		l.inflight = l.inflight[:n]
+		l.ih = 0
+	}
+	return m
+}
+
+// ownedCol is one database replica held by a workstation, together with the
+// greedy progress state for its pebble column.
+type ownedCol struct {
+	col       int32
+	next      int32  // next guest step to compute (1-based; T+1 when done)
+	missing   int32  // unknown dependencies for step `next`
+	lastVal   uint64 // value at step next-1 (own column, computed locally)
+	db        guest.Database
+	neighbors []int32 // guest-neighbor columns, ascending
+	routes    []int32 // routes this position feeds for this column
+}
+
+// readyHeap orders computable pebbles by (step, owned-column index).
+type readyHeap []uint64
+
+func readyKey(step int32, idx int32) uint64 { return uint64(uint32(step))<<32 | uint64(uint32(idx)) }
+
+func (h readyHeap) Len() int            { return len(h) }
+func (h readyHeap) Less(i, j int) bool  { return h[i] < h[j] }
+func (h readyHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *readyHeap) Push(x interface{}) { *h = append(*h, x.(uint64)) }
+func (h *readyHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	v := old[n-1]
+	*h = old[:n-1]
+	return v
+}
+
+// proc is the state of one workstation.
+type proc struct {
+	pos       int32
+	cols      []ownedCol
+	colIndex  map[int32]int32 // column id -> index in cols
+	known     *u64map
+	waiting   map[uint64][]int32 // (col,step) -> owned indexes blocked on it
+	consumers map[int32][]int32  // column id -> owned indexes that consume its values
+	ready     readyHeap
+	active    bool // member of the chunk's active list
+	computed  int64
+	remaining int64 // pebbles this workstation still has to compute
+}
+
+// calEntry orders same-step deliveries deterministically: by step, then by
+// (position, from-left-before-from-right).
+type calEntry struct {
+	step int64
+	key  int32 // position*2 (+1 for delivery from the right)
+}
+
+type calendar []calEntry
+
+func (c calendar) Len() int { return len(c) }
+func (c calendar) Less(i, j int) bool {
+	if c[i].step != c[j].step {
+		return c[i].step < c[j].step
+	}
+	return c[i].key < c[j].key
+}
+func (c calendar) Swap(i, j int)       { c[i], c[j] = c[j], c[i] }
+func (c *calendar) Push(x interface{}) { *c = append(*c, x.(calEntry)) }
+func (c *calendar) Pop() interface{} {
+	old := *c
+	n := len(old)
+	v := old[n-1]
+	*c = old[:n-1]
+	return v
+}
+
+// chunk simulates a contiguous slice [lo, hi) of the host line. The
+// sequential engine uses a single chunk covering everything; the parallel
+// engine runs one chunk per goroutine with conservative synchronisation.
+type chunk struct {
+	cfg *Config
+	rt  *routeTable
+
+	lo, hi int
+	hostN  int
+	T      int32
+	cps    int
+
+	now   int64
+	procs []proc
+
+	// right[i-lo] is link (i -> i+1) for lo <= i < hi (nil entry when the
+	// link does not exist); left[i-lo] is link (i -> i-1). Links whose
+	// sender position is in the chunk are owned by the chunk: their
+	// queueing, bandwidth and arrival stamping happen here.
+	right []*dlink
+	left  []*dlink
+	// inLeft receives messages crossing the boundary link (lo-1 -> lo);
+	// inRight receives messages crossing (hi -> hi-1).
+	inLeft, inRight dlink
+
+	cal        calendar
+	activeList []int32 // positions with non-empty ready heaps
+	txActive   []int32 // encoded links with queued messages: pos*2 (+1 left)
+	txFlag     map[int32]bool
+
+	// outbound boundary batches (parallel engine)
+	outLeft, outRight []timedMsg
+
+	remaining       int64
+	lastComputeStep int64
+
+	// stats
+	messages, hops, delivered, duplicates int64
+
+	// trace accumulation (Config.TraceWindow > 0)
+	traceWindow   int
+	traceComputes []int64
+	traceHops     []int64
+
+	// scratch
+	neighVals []uint64
+}
+
+// newChunk builds chunk state for positions [lo, hi).
+func newChunk(cfg *Config, rt *routeTable, lo, hi int) *chunk {
+	n := cfg.hostN()
+	c := &chunk{
+		cfg: cfg, rt: rt, lo: lo, hi: hi, hostN: n,
+		T:           int32(cfg.Guest.Steps),
+		cps:         cfg.computePerStep(),
+		now:         1,
+		txFlag:      make(map[int32]bool),
+		traceWindow: cfg.TraceWindow,
+	}
+	c.procs = make([]proc, hi-lo)
+	factory := cfg.Guest.Factory()
+	for pos := lo; pos < hi; pos++ {
+		p := &c.procs[pos-lo]
+		p.pos = int32(pos)
+		owned := cfg.Assign.Owned[pos]
+		p.cols = make([]ownedCol, len(owned))
+		p.colIndex = make(map[int32]int32, len(owned))
+		p.known = newU64map()
+		p.waiting = make(map[uint64][]int32)
+		p.consumers = make(map[int32][]int32)
+		for i, col := range owned {
+			oc := &p.cols[i]
+			oc.col = int32(col)
+			oc.next = 1
+			oc.db = factory(col, cfg.Guest.Seed)
+			for _, nb := range cfg.Guest.Graph.Neighbors(col) {
+				oc.neighbors = append(oc.neighbors, int32(nb))
+			}
+			oc.routes = rt.bySender[pos][i]
+			p.colIndex[int32(col)] = int32(i)
+			p.remaining += int64(c.T)
+		}
+		// consumers: owned column c' consumes its own values and its
+		// guest neighbors' values.
+		for i := range p.cols {
+			oc := &p.cols[i]
+			p.consumers[oc.col] = append(p.consumers[oc.col], int32(i))
+			for _, nb := range oc.neighbors {
+				p.consumers[nb] = append(p.consumers[nb], int32(i))
+			}
+		}
+		// All step-0 values are initial state, known everywhere, so every
+		// column starts ready (when T >= 1).
+		if c.T >= 1 {
+			for i := range p.cols {
+				heap.Push(&p.ready, readyKey(1, int32(i)))
+			}
+			if len(p.cols) > 0 {
+				p.active = true
+				c.activeList = append(c.activeList, int32(pos))
+			}
+		}
+		c.remaining += p.remaining
+	}
+	// Links.
+	c.right = make([]*dlink, hi-lo)
+	c.left = make([]*dlink, hi-lo)
+	for pos := lo; pos < hi; pos++ {
+		if pos < n-1 {
+			c.right[pos-lo] = &dlink{delay: cfg.Delays[pos], bw: cfg.linkBandwidth(pos)}
+		}
+		if pos > 0 {
+			c.left[pos-lo] = &dlink{delay: cfg.Delays[pos-1], bw: cfg.linkBandwidth(pos - 1)}
+		}
+	}
+	return c
+}
+
+func (c *chunk) proc(pos int) *proc { return &c.procs[pos-c.lo] }
+
+// linkCode encodes a directed link owned by this chunk for the txActive set.
+func linkCode(pos int, leftward bool) int32 {
+	v := int32(pos) * 2
+	if leftward {
+		v++
+	}
+	return v
+}
+
+func (c *chunk) markTx(pos int, leftward bool) {
+	code := linkCode(pos, leftward)
+	if !c.txFlag[code] {
+		c.txFlag[code] = true
+		c.txActive = append(c.txActive, code)
+	}
+}
+
+// enqueueFrom places m on the outgoing link from pos in direction dir.
+func (c *chunk) enqueueFrom(pos int, dir int8, m msg) {
+	if dir > 0 {
+		l := c.right[pos-c.lo]
+		if l == nil {
+			panic(fmt.Sprintf("sim: rightward send from line end %d", pos))
+		}
+		l.enqueue(m)
+		c.markTx(pos, false)
+	} else {
+		l := c.left[pos-c.lo]
+		if l == nil {
+			panic(fmt.Sprintf("sim: leftward send from line start %d", pos))
+		}
+		l.enqueue(m)
+		c.markTx(pos, true)
+	}
+}
+
+// handleArrival processes message m arriving at position pos: deliver if pos
+// is the current route destination, then relay onward if destinations
+// remain.
+func (c *chunk) handleArrival(pos int, m msg) {
+	r := &c.rt.routes[m.route]
+	if int(r.dests[m.di]) == pos {
+		c.deliverValue(pos, r.col, m.step, m.value)
+		m.di++
+		if int(m.di) >= len(r.dests) {
+			return
+		}
+	}
+	c.enqueueFrom(pos, r.dir, m)
+}
+
+// deliverValue records (col, step) = value at pos and unblocks waiters.
+func (c *chunk) deliverValue(pos int, col, step int32, value uint64) {
+	p := c.proc(pos)
+	key := kkey(col, step)
+	if p.known.has(key) {
+		c.duplicates++
+		return
+	}
+	c.delivered++
+	c.recordValue(p, key, value)
+}
+
+// recordValue inserts a known value and unblocks any owned columns waiting
+// on it. Used both for network deliveries and locally computed pebbles.
+func (c *chunk) recordValue(p *proc, key uint64, value uint64) {
+	p.known.put(key, value)
+	if ws, ok := p.waiting[key]; ok {
+		for _, idx := range ws {
+			oc := &p.cols[idx]
+			oc.missing--
+			if oc.missing == 0 {
+				heap.Push(&p.ready, readyKey(oc.next, idx))
+				if !p.active {
+					p.active = true
+					c.activeList = append(c.activeList, p.pos)
+				}
+			}
+		}
+		delete(p.waiting, key)
+	}
+}
+
+// computeOne pops and computes the lowest-(step, column) ready pebble at p.
+// It returns false if nothing is ready.
+func (c *chunk) computeOne(p *proc) bool {
+	if len(p.ready) == 0 {
+		return false
+	}
+	k := heap.Pop(&p.ready).(uint64)
+	idx := int32(uint32(k))
+	t := int32(uint32(k >> 32))
+	oc := &p.cols[idx]
+	if t != oc.next {
+		panic(fmt.Sprintf("sim: ready entry step %d != next %d for col %d at pos %d",
+			t, oc.next, oc.col, p.pos))
+	}
+	// Gather dependency values at step t-1.
+	var self uint64
+	nv := c.neighVals[:0]
+	if t == 1 {
+		self = c.cfg.Guest.InitialValue(int(oc.col))
+		for _, nb := range oc.neighbors {
+			nv = append(nv, c.cfg.Guest.InitialValue(int(nb)))
+		}
+	} else {
+		self = oc.lastVal
+		for _, nb := range oc.neighbors {
+			v, ok := p.known.get(kkey(nb, t-1))
+			if !ok {
+				panic(fmt.Sprintf("sim: missing dep (%d,%d) at pos %d", nb, t-1, p.pos))
+			}
+			nv = append(nv, v)
+		}
+	}
+	c.neighVals = nv
+	v := c.cfg.Guest.Compute(oc.db.Digest(), int(oc.col), int(t), self, nv)
+	oc.db.Apply(guest.Update{Node: int(oc.col), Step: int(t), Val: v})
+	oc.lastVal = v
+	p.computed++
+	p.remaining--
+	c.remaining--
+	c.lastComputeStep = c.now
+	if c.traceWindow > 0 {
+		c.traceAdd(&c.traceComputes, 1)
+	}
+
+	// Values at the final step have no consumers anywhere (they would
+	// only feed step T+1), so skip both retention and transmission.
+	if t < c.T {
+		c.recordValue(p, kkey(oc.col, t), v)
+		for _, rid := range oc.routes {
+			r := &c.rt.routes[rid]
+			c.enqueueFrom(int(p.pos), r.dir, msg{route: rid, di: 0, step: t, value: v})
+			c.messages++
+		}
+	}
+
+	// Release step t-1 dependency values no local column still needs.
+	if t >= 2 {
+		c.release(p, oc.col, t-1)
+		for _, nb := range oc.neighbors {
+			c.release(p, nb, t-1)
+		}
+	}
+
+	// Advance to step t+1.
+	oc.next = t + 1
+	if oc.next > c.T {
+		return true
+	}
+	missing := int32(0)
+	// Self value (oc.col, t) was stored above (t < T here since next <= T).
+	for _, nb := range oc.neighbors {
+		if !p.known.has(kkey(nb, t)) {
+			missing++
+			wk := kkey(nb, t)
+			p.waiting[wk] = append(p.waiting[wk], idx)
+		}
+	}
+	oc.missing = missing
+	if missing == 0 {
+		heap.Push(&p.ready, readyKey(oc.next, idx))
+	}
+	return true
+}
+
+// release deletes (col, step) from p.known once every local consumer has
+// advanced past needing it (a consumer needs step s values while its next
+// computed step is <= s+1).
+func (c *chunk) release(p *proc, col, step int32) {
+	for _, idx := range p.consumers[col] {
+		if p.cols[idx].next <= step+1 {
+			return
+		}
+	}
+	p.known.del(kkey(col, step))
+}
+
+// deliveriesFor pops every message on l arriving exactly at step `now` and
+// handles it at pos.
+func (c *chunk) deliveriesFor(l *dlink, pos int) bool {
+	did := false
+	for {
+		a, ok := l.headArrival()
+		if !ok || a > c.now {
+			break
+		}
+		if a < c.now {
+			panic(fmt.Sprintf("sim: missed arrival at step %d (now %d) at pos %d", a, c.now, pos))
+		}
+		c.handleArrival(pos, l.popInflight())
+		did = true
+	}
+	return did
+}
+
+// runDeliveries processes all calendar entries scheduled for the current
+// step, in deterministic (position, from-left-first) order.
+func (c *chunk) runDeliveries() bool {
+	did := false
+	for len(c.cal) > 0 && c.cal[0].step == c.now {
+		e := heap.Pop(&c.cal).(calEntry)
+		pos := int(e.key / 2)
+		fromRight := e.key%2 == 1
+		var l *dlink
+		if fromRight {
+			// delivery at pos from link (pos+1 -> pos)
+			if pos+1 >= c.hi {
+				l = &c.inRight
+			} else {
+				l = c.left[pos+1-c.lo]
+			}
+		} else {
+			// delivery at pos from link (pos-1 -> pos)
+			if pos-1 < c.lo {
+				l = &c.inLeft
+			} else {
+				l = c.right[pos-1-c.lo]
+			}
+		}
+		if c.deliveriesFor(l, pos) {
+			did = true
+		}
+	}
+	return did
+}
+
+// runCompute lets every active workstation compute up to cps pebbles.
+func (c *chunk) runCompute() bool {
+	did := false
+	// The active list is rebuilt each step: workstations stay on it only
+	// while their ready heap is non-empty. Order does not affect state
+	// (workstations interact only through links, whose effects land in
+	// later steps), so no sorting is needed.
+	cur := c.activeList
+	c.activeList = c.activeList[len(c.activeList):]
+	for _, pos := range cur {
+		p := c.proc(int(pos))
+		for i := 0; i < c.cps; i++ {
+			if !c.computeOne(p) {
+				break
+			}
+			did = true
+		}
+		if len(p.ready) > 0 {
+			c.activeList = append(c.activeList, pos)
+		} else {
+			p.active = false
+		}
+	}
+	return did
+}
+
+// runTransmit injects up to bw queued messages on every backlogged link and
+// stamps their arrivals.
+func (c *chunk) runTransmit() bool {
+	did := false
+	cur := c.txActive
+	c.txActive = c.txActive[len(c.txActive):]
+	for _, code := range cur {
+		pos := int(code / 2)
+		leftward := code%2 == 1
+		var l *dlink
+		if leftward {
+			l = c.left[pos-c.lo]
+		} else {
+			l = c.right[pos-c.lo]
+		}
+		for i := 0; i < l.bw && l.qlen() > 0; i++ {
+			m := l.popQueue()
+			arrive := c.now + int64(l.delay)
+			c.hops++
+			if c.traceWindow > 0 {
+				c.traceAdd(&c.traceHops, 1)
+			}
+			did = true
+			switch {
+			case leftward && pos == c.lo:
+				c.outLeft = append(c.outLeft, timedMsg{arrive: arrive, m: m})
+			case !leftward && pos == c.hi-1:
+				c.outRight = append(c.outRight, timedMsg{arrive: arrive, m: m})
+			case leftward:
+				l.pushInflight(timedMsg{arrive: arrive, m: m})
+				heap.Push(&c.cal, calEntry{step: arrive, key: linkDeliveryKey(pos-1, true)})
+			default:
+				l.pushInflight(timedMsg{arrive: arrive, m: m})
+				heap.Push(&c.cal, calEntry{step: arrive, key: linkDeliveryKey(pos+1, false)})
+			}
+		}
+		if l.qlen() > 0 {
+			c.txFlag[code] = true // stays flagged
+			c.txActive = append(c.txActive, code)
+		} else {
+			delete(c.txFlag, code)
+		}
+	}
+	return did
+}
+
+// traceAdd accumulates a trace counter into the window containing the
+// current step.
+func (c *chunk) traceAdd(arr *[]int64, v int64) {
+	w := int((c.now - 1) / int64(c.traceWindow))
+	for len(*arr) <= w {
+		*arr = append(*arr, 0)
+	}
+	(*arr)[w] += v
+}
+
+// linkDeliveryKey encodes "delivery at position pos from the right/left" for
+// calendar ordering.
+func linkDeliveryKey(pos int, fromRight bool) int32 {
+	v := int32(pos) * 2
+	if fromRight {
+		v++
+	}
+	return v
+}
+
+// step executes one host step (deliver, compute, transmit) and reports
+// whether anything happened.
+func (c *chunk) step() bool {
+	d1 := c.runDeliveries()
+	d2 := c.runCompute()
+	d3 := c.runTransmit()
+	return d1 || d2 || d3
+}
+
+// nextEvent returns the earliest step at which something can happen after
+// `now`, or 0,false if the chunk is locally quiescent.
+func (c *chunk) nextEvent() (int64, bool) {
+	if len(c.activeList) > 0 || len(c.txActive) > 0 {
+		return c.now + 1, true
+	}
+	if len(c.cal) > 0 {
+		return c.cal[0].step, true
+	}
+	return 0, false
+}
+
+// receiveBoundary appends a batch of boundary arrivals (already stamped by
+// the sending chunk) and schedules their deliveries.
+func (c *chunk) receiveBoundary(fromLeft bool, batch []timedMsg) {
+	if len(batch) == 0 {
+		return
+	}
+	if fromLeft {
+		for _, tm := range batch {
+			c.inLeft.pushInflight(tm)
+			heap.Push(&c.cal, calEntry{step: tm.arrive, key: linkDeliveryKey(c.lo, false)})
+		}
+	} else {
+		for _, tm := range batch {
+			c.inRight.pushInflight(tm)
+			heap.Push(&c.cal, calEntry{step: tm.arrive, key: linkDeliveryKey(c.hi-1, true)})
+		}
+	}
+}
+
+// finalDigests collects (column, digest) pairs for every replica in the
+// chunk, for verification against the reference executor.
+func (c *chunk) finalDigests() []replicaDigest {
+	var out []replicaDigest
+	for i := range c.procs {
+		p := &c.procs[i]
+		for j := range p.cols {
+			oc := &p.cols[j]
+			out = append(out, replicaDigest{
+				pos: int(p.pos), col: int(oc.col), digest: oc.db.Digest(), version: oc.db.Version(),
+			})
+		}
+	}
+	return out
+}
+
+// peakQueue reports the chunk's deepest injection queue (bandwidth
+// pressure).
+func (c *chunk) peakQueue() int {
+	best := 0
+	for _, ls := range [][]*dlink{c.right, c.left} {
+		for _, l := range ls {
+			if l != nil && l.peakQ > best {
+				best = l.peakQ
+			}
+		}
+	}
+	return best
+}
+
+type replicaDigest struct {
+	pos, col, version int
+	digest            uint64
+}

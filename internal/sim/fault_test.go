@@ -1,0 +1,126 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"latencyhide/internal/assign"
+	"latencyhide/internal/guest"
+)
+
+// The verifier must catch corrupted replicas: these tests drive the chunk
+// machinery directly (same code path as Run) and then sabotage state before
+// verification.
+
+func faultConfig(t *testing.T) (*Config, *routeTable) {
+	t.Helper()
+	a, err := assign.UniformBlocks(8, 2, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := &Config{
+		Delays: []int{1, 2, 1, 3, 1, 2, 1},
+		Guest:  guest.Spec{Graph: guest.NewLinearArray(a.Columns), Steps: 8, Seed: 9},
+		Assign: a,
+		Check:  true,
+	}
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return cfg, buildRoutes(cfg.Guest.Graph, cfg.Assign)
+}
+
+func runChunkToCompletion(t *testing.T, cfg *Config, rt *routeTable) *chunk {
+	t.Helper()
+	c := newChunk(cfg, rt, 0, cfg.hostN())
+	for c.remaining > 0 {
+		if c.step() {
+			c.now++
+			continue
+		}
+		next, ok := c.nextEvent()
+		if !ok {
+			t.Fatal("stalled")
+		}
+		c.now = next
+	}
+	return c
+}
+
+func TestVerifyCatchesExtraUpdate(t *testing.T) {
+	cfg, rt := faultConfig(t)
+	c := runChunkToCompletion(t, cfg, rt)
+	// sabotage: one replica applies a bogus extra update
+	oc := &c.procs[3].cols[0]
+	oc.db.Apply(guest.Update{Node: int(oc.col), Step: cfg.Guest.Steps + 1, Val: 0xdead})
+	err := verify(cfg, []*chunk{c})
+	if err == nil || !strings.Contains(err.Error(), "version") {
+		t.Fatalf("corruption not caught: %v", err)
+	}
+}
+
+func TestVerifyCatchesWrongHistory(t *testing.T) {
+	cfg, rt := faultConfig(t)
+	c := runChunkToCompletion(t, cfg, rt)
+	// sabotage: replace a replica's database with one that applied a
+	// different value at some step (same version, different digest)
+	oc := &c.procs[2].cols[1]
+	bad := guest.NewMixDB(int(oc.col), cfg.Guest.Seed)
+	for s := 1; s <= cfg.Guest.Steps; s++ {
+		bad.Apply(guest.Update{Node: int(oc.col), Step: s, Val: uint64(s) * 7})
+	}
+	oc.db = bad
+	err := verify(cfg, []*chunk{c})
+	if err == nil || !strings.Contains(err.Error(), "digest") {
+		t.Fatalf("corruption not caught: %v", err)
+	}
+}
+
+func TestVerifyPassesCleanRun(t *testing.T) {
+	cfg, rt := faultConfig(t)
+	c := runChunkToCompletion(t, cfg, rt)
+	if err := verify(cfg, []*chunk{c}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDuplicateDeliveryDetected(t *testing.T) {
+	cfg, rt := faultConfig(t)
+	c := newChunk(cfg, rt, 0, cfg.hostN())
+	// inject the same value twice at a position that consumes it
+	if len(rt.routes) == 0 {
+		t.Skip("no routes")
+	}
+	r := rt.routes[0]
+	pos := int(r.dests[0])
+	c.deliverValue(pos, r.col, 1, 42)
+	c.deliverValue(pos, r.col, 1, 42)
+	if c.duplicates != 1 {
+		t.Fatalf("duplicates %d", c.duplicates)
+	}
+	// collect() must turn duplicates into an error
+	c.remaining = 0
+	if _, err := collect(&Config{Delays: cfg.Delays, Assign: cfg.Assign, Guest: cfg.Guest}, []*chunk{c}); err == nil {
+		t.Fatal("duplicate delivery not reported")
+	}
+}
+
+// Work bound: a workstation computes one pebble per step, so HostSteps is at
+// least load * guest steps for fully-loaded processors.
+func TestWorkBoundHolds(t *testing.T) {
+	a, err := assign.UniformBlocks(4, 4, 8, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(Config{
+		Delays: []int{1, 1, 1},
+		Guest:  guest.Spec{Graph: guest.NewLinearArray(a.Columns), Steps: 10, Seed: 1},
+		Assign: a,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.HostSteps < int64(a.Load())*10 {
+		t.Fatalf("host steps %d below work bound %d", res.HostSteps, a.Load()*10)
+	}
+}

@@ -1,0 +1,151 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"latencyhide/internal/assign"
+	"latencyhide/internal/guest"
+)
+
+// randomGuest builds a random connected bounded-degree guest graph.
+func randomGuest(r *rand.Rand, n int) guest.Graph {
+	adj := make([][]int, n)
+	perm := r.Perm(n)
+	for i := 1; i < n; i++ {
+		u, v := perm[i], perm[r.Intn(i)]
+		adj[u] = append(adj[u], v)
+		adj[v] = append(adj[v], u)
+	}
+	extra := r.Intn(n)
+	for i := 0; i < extra; i++ {
+		u, v := r.Intn(n), r.Intn(n)
+		if u != v && len(adj[u]) < 6 && len(adj[v]) < 6 {
+			adj[u] = append(adj[u], v)
+			adj[v] = append(adj[v], u)
+		}
+	}
+	return guest.NewCustom("fuzz", adj)
+}
+
+// randomAssignment places every column on 1-3 random hosts.
+func randomAssignment(r *rand.Rand, hostN, m int) (*assign.Assignment, error) {
+	owned := make([][]int, hostN)
+	used := make([]map[int]bool, hostN)
+	for i := range used {
+		used[i] = map[int]bool{}
+	}
+	for c := 0; c < m; c++ {
+		copies := 1 + r.Intn(3)
+		for k := 0; k < copies; k++ {
+			p := r.Intn(hostN)
+			if !used[p][c] {
+				used[p][c] = true
+				owned[p] = append(owned[p], c)
+			}
+		}
+	}
+	return assign.FromOwned(hostN, m, owned)
+}
+
+// TestFuzzEngineVerifiesRandomWorkloads is the engine's acid test: arbitrary
+// guest dependency structures, arbitrary replica placements, arbitrary
+// delays — every database replica must still match the sequential reference,
+// and both engines must agree.
+func TestFuzzEngineVerifiesRandomWorkloads(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		hostN := 2 + r.Intn(14)
+		m := 1 + r.Intn(40)
+		steps := 1 + r.Intn(10)
+		g := randomGuest(r, m)
+		a, err := randomAssignment(r, hostN, m)
+		if err != nil {
+			t.Logf("seed %d: assignment: %v", seed, err)
+			return false
+		}
+		delays := make([]int, hostN-1)
+		for i := range delays {
+			delays[i] = 1 + r.Intn(1<<uint(r.Intn(8)))
+		}
+		var dbf guest.Factory
+		if r.Intn(2) == 0 {
+			dbf = guest.KVFactory(1 + r.Intn(16))
+		}
+		cfg := Config{
+			Delays: delays,
+			Guest: guest.Spec{
+				Graph: g, Steps: steps, Seed: seed, NewDatabase: dbf,
+			},
+			Assign:    a,
+			Bandwidth: 1 + r.Intn(4),
+			Check:     true,
+		}
+		seq, err := Run(cfg)
+		if err != nil {
+			t.Logf("seed %d: seq: %v", seed, err)
+			return false
+		}
+		if !seq.Checked {
+			return false
+		}
+		cfg.Workers = 2 + r.Intn(4)
+		par, err := Run(cfg)
+		if err != nil {
+			t.Logf("seed %d: par: %v", seed, err)
+			return false
+		}
+		if seq.HostSteps != par.HostSteps || seq.PebblesComputed != par.PebblesComputed ||
+			seq.Messages != par.Messages {
+			t.Logf("seed %d: engines disagree: seq=%d/%d/%d par=%d/%d/%d", seed,
+				seq.HostSteps, seq.PebblesComputed, seq.Messages,
+				par.HostSteps, par.PebblesComputed, par.Messages)
+			return false
+		}
+		return true
+	}
+	cfgq := &quick.Config{MaxCount: 60}
+	if testing.Short() {
+		cfgq.MaxCount = 15
+	}
+	if err := quick.Check(f, cfgq); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFuzzCustomOps runs random workloads under a non-default op to make
+// sure the op plumbing reaches every replica identically.
+func TestFuzzCustomOps(t *testing.T) {
+	op := func(db uint64, node, step int, self uint64, ns []uint64) uint64 {
+		v := db ^ self ^ (uint64(node+1) * uint64(step+1))
+		for i, x := range ns {
+			v = v*31 + x + uint64(i)
+		}
+		return v
+	}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		hostN := 2 + r.Intn(8)
+		m := 2 + r.Intn(20)
+		g := randomGuest(r, m)
+		a, err := randomAssignment(r, hostN, m)
+		if err != nil {
+			return false
+		}
+		delays := make([]int, hostN-1)
+		for i := range delays {
+			delays[i] = 1 + r.Intn(16)
+		}
+		res, err := Run(Config{
+			Delays: delays,
+			Guest:  guest.Spec{Graph: g, Steps: 6, Seed: seed, Op: op},
+			Assign: a,
+			Check:  true,
+		})
+		return err == nil && res.Checked
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,363 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// The parallel engine is a conservative parallel discrete-event simulator:
+// the host line is split into contiguous chunks, one goroutine each, and
+// chunks synchronise with the classic null-message protocol. The lookahead
+// between adjacent chunks is the boundary link delay: a chunk whose clock is
+// at step s cannot send anything that arrives before s + d_boundary, so its
+// neighbor may safely simulate up to that horizon. Splits are nudged onto
+// the highest-delay links nearby, because lookahead — and therefore
+// parallelism — scales with the boundary delay.
+//
+// The engine is bit-identical to the sequential one: chunk-local step
+// semantics are shared (chunk.go), boundary messages carry the same stamped
+// arrival steps they would have had on a local link, and same-step delivery
+// order is fixed by the calendar's (position, from-left-first) key.
+
+// bupdate is one boundary message between adjacent chunks: a batch of
+// stamped messages plus the sender's new clock (the null-message part).
+type bupdate struct {
+	clock int64
+	batch []timedMsg
+}
+
+const farFuture = math.MaxInt64 / 4
+
+type worker struct {
+	c                     *chunk
+	leftIn, rightIn       <-chan bupdate
+	leftOut, rightOut     chan<- bupdate
+	leftClock             int64
+	rightClock            int64
+	leftDelay, rightDelay int64
+	sentClock             int64
+
+	global   *int64 // remaining pebbles across all chunks
+	done     chan struct{}
+	doneOnce *sync.Once
+	errMu    *sync.Mutex
+	err      *error
+}
+
+func (w *worker) setErr(e error) {
+	w.errMu.Lock()
+	if *w.err == nil {
+		*w.err = e
+	}
+	w.errMu.Unlock()
+	w.doneOnce.Do(func() { close(w.done) })
+}
+
+// horizon is the largest step the chunk may safely simulate, exclusive.
+func (w *worker) horizon() int64 {
+	h := w.leftClock + w.leftDelay
+	if r := w.rightClock + w.rightDelay; r < h {
+		h = r
+	}
+	if h > farFuture {
+		h = farFuture
+	}
+	return h
+}
+
+func (w *worker) apply(fromLeft bool, u bupdate) {
+	if fromLeft {
+		w.c.receiveBoundary(true, u.batch)
+		if u.clock > w.leftClock {
+			w.leftClock = u.clock
+		}
+	} else {
+		w.c.receiveBoundary(false, u.batch)
+		if u.clock > w.rightClock {
+			w.rightClock = u.clock
+		}
+	}
+}
+
+// drain consumes pending inbox updates without blocking.
+func (w *worker) drain() {
+	for {
+		progressed := false
+		if w.leftIn != nil {
+			select {
+			case u := <-w.leftIn:
+				w.apply(true, u)
+				progressed = true
+			default:
+			}
+		}
+		if w.rightIn != nil {
+			select {
+			case u := <-w.rightIn:
+				w.apply(false, u)
+				progressed = true
+			default:
+			}
+		}
+		if !progressed {
+			return
+		}
+	}
+}
+
+// send delivers u without deadlocking: while the channel is full it keeps
+// draining its own inboxes so the neighbor (possibly blocked sending to us)
+// can make progress.
+func (w *worker) send(ch chan<- bupdate, u bupdate) bool {
+	for {
+		select {
+		case ch <- u:
+			return true
+		case <-w.done:
+			return false
+		default:
+			w.drain()
+			runtime.Gosched()
+		}
+	}
+}
+
+// flush ships accumulated boundary batches and the current clock to both
+// neighbors. Clock-only (null) updates are sent only when the clock moved.
+func (w *worker) flush() bool {
+	clock := w.c.now
+	moved := clock > w.sentClock
+	if w.leftOut != nil && (moved || len(w.c.outLeft) > 0) {
+		batch := w.c.outLeft
+		w.c.outLeft = nil
+		if !w.send(w.leftOut, bupdate{clock: clock, batch: batch}) {
+			return false
+		}
+	}
+	if w.rightOut != nil && (moved || len(w.c.outRight) > 0) {
+		batch := w.c.outRight
+		w.c.outRight = nil
+		if !w.send(w.rightOut, bupdate{clock: clock, batch: batch}) {
+			return false
+		}
+	}
+	w.sentClock = clock
+	return true
+}
+
+// runUntil simulates local steps strictly below h, decrementing the global
+// remaining counter as pebbles complete. Returns false on error.
+func (w *worker) runUntil(h, maxSteps int64) bool {
+	c := w.c
+	for c.now < h {
+		if c.now > maxSteps {
+			w.setErr(fmt.Errorf("sim: parallel chunk [%d,%d) exceeded step cap %d", c.lo, c.hi, maxSteps))
+			return false
+		}
+		before := c.remaining
+		did := c.step()
+		if delta := before - c.remaining; delta > 0 {
+			if atomic.AddInt64(w.global, -delta) == 0 {
+				w.doneOnce.Do(func() { close(w.done) })
+			}
+		}
+		if did {
+			c.now++
+			continue
+		}
+		next, ok := c.nextEvent()
+		if !ok || next > h {
+			next = h
+		}
+		if next <= c.now {
+			next = c.now + 1
+		}
+		c.now = next
+	}
+	return true
+}
+
+func (w *worker) run(maxSteps int64, wg *sync.WaitGroup) {
+	defer wg.Done()
+	for {
+		if atomic.LoadInt64(w.global) == 0 {
+			return
+		}
+		w.drain()
+		h := w.horizon()
+		if w.c.now < h {
+			if !w.runUntil(h, maxSteps) {
+				return
+			}
+			if !w.flush() {
+				return
+			}
+			continue
+		}
+		// Blocked at the horizon: wait for a neighbor update or global
+		// completion.
+		if w.leftIn == nil && w.rightIn == nil {
+			// Single chunk can never block on neighbors.
+			w.setErr(fmt.Errorf("sim: single parallel chunk stalled at step %d", w.c.now))
+			return
+		}
+		var li, ri <-chan bupdate
+		li, ri = w.leftIn, w.rightIn
+		select {
+		case u := <-li:
+			w.apply(true, u)
+		case u := <-ri:
+			w.apply(false, u)
+		case <-w.done:
+			return
+		}
+	}
+}
+
+// splitPositions splits [0, n) into w contiguous chunks, nudging each cut
+// onto the largest-delay link within a window around the even split (larger
+// boundary delay = larger lookahead).
+func splitPositions(delays []int, w int) []int {
+	n := len(delays) + 1
+	cuts := []int{0}
+	window := n / (4 * w)
+	for i := 1; i < w; i++ {
+		target := i * n / w
+		lo, hi := target-window, target+window
+		if lo < cuts[len(cuts)-1]+1 {
+			lo = cuts[len(cuts)-1] + 1
+		}
+		if hi > n-(w-i) {
+			hi = n - (w - i)
+		}
+		best, bestD := target, -1
+		for p := lo; p <= hi && p-1 < len(delays); p++ {
+			if p < 1 {
+				continue
+			}
+			if d := delays[p-1]; d > bestD {
+				best, bestD = p, d
+			}
+		}
+		cuts = append(cuts, best)
+	}
+	cuts = append(cuts, n)
+	return cuts
+}
+
+// runParallel executes the simulation with cfg.Workers conservative chunks.
+func runParallel(cfg *Config, rt *routeTable) (*Result, error) {
+	n := cfg.hostN()
+	w := cfg.Workers
+	if w > n/2 {
+		w = n / 2
+	}
+	if w < 2 {
+		return runSequential(cfg, rt)
+	}
+	cuts := splitPositions(cfg.Delays, w)
+	chunks := make([]*chunk, w)
+	var global int64
+	for i := 0; i < w; i++ {
+		chunks[i] = newChunk(cfg, rt, cuts[i], cuts[i+1])
+		global += chunks[i].remaining
+	}
+	if global == 0 {
+		return collect(cfg, chunks)
+	}
+
+	chans := make([]chan bupdate, w-1) // rightward: i -> i+1
+	back := make([]chan bupdate, w-1)  // leftward: i+1 -> i
+	for i := range chans {
+		chans[i] = make(chan bupdate, 256)
+		back[i] = make(chan bupdate, 256)
+	}
+	done := make(chan struct{})
+	var doneOnce sync.Once
+	var errMu sync.Mutex
+	var firstErr error
+
+	workers := make([]*worker, w)
+	for i := 0; i < w; i++ {
+		wk := &worker{
+			c: chunks[i], global: &global, done: done, doneOnce: &doneOnce,
+			errMu: &errMu, err: &firstErr,
+			leftClock: farFuture, rightClock: farFuture,
+			leftDelay: 1, rightDelay: 1,
+		}
+		if i > 0 {
+			wk.leftIn = chans[i-1]
+			wk.leftOut = back[i-1]
+			wk.leftClock = 1 // neighbors start at step 1
+			wk.leftDelay = int64(cfg.Delays[cuts[i]-1])
+		}
+		if i < w-1 {
+			wk.rightIn = back[i]
+			wk.rightOut = chans[i]
+			wk.rightClock = 1
+			wk.rightDelay = int64(cfg.Delays[cuts[i+1]-1])
+		}
+		workers[i] = wk
+	}
+
+	// Watchdog: if no pebble completes for several seconds the dataflow is
+	// deadlocked (a correct run is compute-bound and never wall-clock
+	// idle).
+	watchStop := make(chan struct{})
+	go func() {
+		last := atomic.LoadInt64(&global)
+		idle := 0
+		ticker := time.NewTicker(2 * time.Second)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-watchStop:
+				return
+			case <-ticker.C:
+				cur := atomic.LoadInt64(&global)
+				if cur == 0 {
+					return
+				}
+				if cur == last {
+					idle++
+					if idle >= 3 {
+						errMu.Lock()
+						if firstErr == nil {
+							firstErr = fmt.Errorf("sim: parallel engine made no progress with %d pebbles remaining (deadlock)", cur)
+						}
+						errMu.Unlock()
+						doneOnce.Do(func() { close(done) })
+						return
+					}
+				} else {
+					idle = 0
+					last = cur
+				}
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	maxSteps := cfg.maxSteps()
+	for _, wk := range workers {
+		wg.Add(1)
+		go wk.run(maxSteps, &wg)
+	}
+	wg.Wait()
+	close(watchStop)
+
+	errMu.Lock()
+	err := firstErr
+	errMu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	if rem := atomic.LoadInt64(&global); rem != 0 {
+		return nil, fmt.Errorf("sim: parallel engine finished with %d pebbles remaining", rem)
+	}
+	return collect(cfg, chunks)
+}

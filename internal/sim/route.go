@@ -1,0 +1,147 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+
+	"latencyhide/internal/assign"
+	"latencyhide/internal/guest"
+)
+
+// A route is a static multicast chain for one guest column's pebble stream:
+// whenever the sender computes pebble (col, t), the value travels in
+// direction dir and is delivered at every position in dests, in travel
+// order. Routes are computed once per simulation.
+//
+// Destinations of a column are the holders of its guest-neighbor columns
+// that do not hold the column itself (holders compute their own copy — that
+// is the redundant computation doing its job). Each destination is served by
+// its nearest holder, so a value crosses each link at most twice (once per
+// direction) per guest step.
+type route struct {
+	col    int32
+	dir    int8 // +1 rightward, -1 leftward
+	sender int32
+	dests  []int32 // positions in travel order
+}
+
+type routeTable struct {
+	routes []route
+	// bySender[p] lists, for each guest column p holds, the route ids p
+	// must feed; indexed parallel to assign.Owned[p].
+	bySender [][][]int32
+	// needs[p] lists the guest columns whose values position p consumes
+	// (its own columns' dependency sets); used for sanity checks.
+}
+
+// buildRoutes derives the multicast routing table from the guest graph and
+// the assignment.
+func buildRoutes(g guest.Graph, a *assign.Assignment) *routeTable {
+	rt := &routeTable{bySender: make([][][]int32, a.HostN)}
+	for p := range rt.bySender {
+		rt.bySender[p] = make([][]int32, len(a.Owned[p]))
+	}
+
+	// senderFor returns the holder of col nearest to dest (ties toward the
+	// left) using binary search over the sorted holder list.
+	senderFor := func(col, dest int) int {
+		hs := a.Holders[col]
+		i := sort.SearchInts(hs, dest)
+		switch {
+		case i == 0:
+			return hs[0]
+		case i == len(hs):
+			return hs[len(hs)-1]
+		default:
+			if dest-hs[i-1] <= hs[i]-dest {
+				return hs[i-1]
+			}
+			return hs[i]
+		}
+	}
+
+	type chainKey struct {
+		sender int
+		dir    int8
+	}
+	for col := 0; col < a.Columns; col++ {
+		// Destination set: holders of neighbor columns minus holders of
+		// col.
+		destSet := make(map[int]bool)
+		for _, nb := range g.Neighbors(col) {
+			for _, p := range a.Holders[nb] {
+				destSet[p] = true
+			}
+		}
+		for _, p := range a.Holders[col] {
+			delete(destSet, p)
+		}
+		if len(destSet) == 0 {
+			continue
+		}
+		chains := make(map[chainKey][]int32)
+		for dest := range destSet {
+			s := senderFor(col, dest)
+			dir := int8(1)
+			if dest < s {
+				dir = -1
+			}
+			k := chainKey{sender: s, dir: dir}
+			chains[k] = append(chains[k], int32(dest))
+		}
+		// Deterministic route order: sort keys.
+		keys := make([]chainKey, 0, len(chains))
+		for k := range chains {
+			keys = append(keys, k)
+		}
+		sort.Slice(keys, func(i, j int) bool {
+			if keys[i].sender != keys[j].sender {
+				return keys[i].sender < keys[j].sender
+			}
+			return keys[i].dir < keys[j].dir
+		})
+		for _, k := range keys {
+			dests := chains[k]
+			if k.dir > 0 {
+				sort.Slice(dests, func(i, j int) bool { return dests[i] < dests[j] })
+			} else {
+				sort.Slice(dests, func(i, j int) bool { return dests[i] > dests[j] })
+			}
+			id := int32(len(rt.routes))
+			rt.routes = append(rt.routes, route{
+				col:    int32(col),
+				dir:    k.dir,
+				sender: int32(k.sender),
+				dests:  dests,
+			})
+			// Attach to the sender's owned-column slot.
+			idx := sort.SearchInts(a.Owned[k.sender], col)
+			rt.bySender[k.sender][idx] = append(rt.bySender[k.sender][idx], id)
+		}
+	}
+	return rt
+}
+
+// validateRoutes double-checks structural soundness; engines call it in
+// tests via an exported hook.
+func (rt *routeTable) validate(hostN int) error {
+	for i, r := range rt.routes {
+		if len(r.dests) == 0 {
+			return fmt.Errorf("sim: route %d has no destinations", i)
+		}
+		prev := r.sender
+		for _, d := range r.dests {
+			if d < 0 || int(d) >= hostN {
+				return fmt.Errorf("sim: route %d dest %d out of range", i, d)
+			}
+			if r.dir > 0 && d <= prev {
+				return fmt.Errorf("sim: rightward route %d not strictly increasing", i)
+			}
+			if r.dir < 0 && d >= prev {
+				return fmt.Errorf("sim: leftward route %d not strictly decreasing", i)
+			}
+			prev = d
+		}
+	}
+	return nil
+}

@@ -1,0 +1,140 @@
+package sim
+
+import (
+	"fmt"
+
+	"latencyhide/internal/guest"
+)
+
+// runSequential executes the whole line as a single chunk, fast-forwarding
+// over quiet periods (steps where nothing computes, arrives or transmits).
+func runSequential(cfg *Config, rt *routeTable) (*Result, error) {
+	c := newChunk(cfg, rt, 0, cfg.hostN())
+	maxSteps := cfg.maxSteps()
+	for c.remaining > 0 {
+		if c.now > maxSteps {
+			return nil, fmt.Errorf("sim: exceeded step cap %d with %d pebbles remaining (likely livelock)",
+				maxSteps, c.remaining)
+		}
+		did := c.step()
+		if c.remaining == 0 {
+			break
+		}
+		if did {
+			c.now++
+			continue
+		}
+		next, ok := c.nextEvent()
+		if !ok {
+			return nil, stallError(c)
+		}
+		if next <= c.now {
+			next = c.now + 1
+		}
+		c.now = next
+	}
+	return collect(cfg, []*chunk{c})
+}
+
+// stallError reports a deadlocked dataflow with enough context to debug the
+// assignment or routing table that caused it.
+func stallError(c *chunk) error {
+	for i := range c.procs {
+		p := &c.procs[i]
+		for j := range p.cols {
+			oc := &p.cols[j]
+			if oc.next <= c.T {
+				return fmt.Errorf("sim: stalled at step %d: pos %d col %d stuck at guest step %d (missing %d deps); %d pebbles remaining",
+					c.now, p.pos, oc.col, oc.next, oc.missing, c.remaining)
+			}
+		}
+	}
+	return fmt.Errorf("sim: stalled at step %d with %d pebbles remaining", c.now, c.remaining)
+}
+
+// collect assembles a Result from finished chunks and optionally verifies
+// every database replica against the sequential reference executor.
+func collect(cfg *Config, chunks []*chunk) (*Result, error) {
+	res := &Result{}
+	var dups int64
+	for _, c := range chunks {
+		if c.lastComputeStep > res.HostSteps {
+			res.HostSteps = c.lastComputeStep
+		}
+		for i := range c.procs {
+			res.PebblesComputed += c.procs[i].computed
+		}
+		res.Messages += c.messages
+		res.MessageHops += c.hops
+		res.DeliveredValues += c.delivered
+		if q := c.peakQueue(); q > res.MaxQueueDepth {
+			res.MaxQueueDepth = q
+		}
+		dups += c.duplicates
+	}
+	if dups > 0 {
+		return nil, fmt.Errorf("sim: %d duplicate deliveries (routing bug)", dups)
+	}
+	if cfg.TraceWindow > 0 {
+		tr := &Trace{Window: cfg.TraceWindow}
+		for _, c := range chunks {
+			for i, v := range c.traceComputes {
+				for len(tr.Computes) <= i {
+					tr.Computes = append(tr.Computes, 0)
+				}
+				tr.Computes[i] += v
+			}
+			for i, v := range c.traceHops {
+				for len(tr.Hops) <= i {
+					tr.Hops = append(tr.Hops, 0)
+				}
+				tr.Hops[i] += v
+			}
+		}
+		for len(tr.Hops) < len(tr.Computes) {
+			tr.Hops = append(tr.Hops, 0)
+		}
+		for len(tr.Computes) < len(tr.Hops) {
+			tr.Computes = append(tr.Computes, 0)
+		}
+		res.Trace = tr
+	}
+	if cfg.CollectPerProc {
+		res.PerProcComputed = make([]int64, cfg.hostN())
+		for _, c := range chunks {
+			for i := range c.procs {
+				res.PerProcComputed[c.procs[i].pos] = c.procs[i].computed
+			}
+		}
+	}
+	if cfg.Check {
+		if err := verify(cfg, chunks); err != nil {
+			return nil, err
+		}
+		res.Checked = true
+	}
+	return res, nil
+}
+
+// verify recomputes the guest sequentially and compares every replica's
+// final database digest (which is order-sensitive over the full update
+// history) against ground truth.
+func verify(cfg *Config, chunks []*chunk) error {
+	oracle, err := guest.RunDigestParallel(cfg.Guest, 0)
+	if err != nil {
+		return err
+	}
+	for _, c := range chunks {
+		for _, rd := range c.finalDigests() {
+			if rd.version != cfg.Guest.Steps {
+				return fmt.Errorf("sim: replica of db %d at pos %d has version %d, want %d",
+					rd.col, rd.pos, rd.version, cfg.Guest.Steps)
+			}
+			if rd.digest != oracle.FinalDigests[rd.col] {
+				return fmt.Errorf("sim: replica of db %d at pos %d has digest %#x, want %#x",
+					rd.col, rd.pos, rd.digest, oracle.FinalDigests[rd.col])
+			}
+		}
+	}
+	return nil
+}

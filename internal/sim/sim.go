@@ -1,0 +1,231 @@
+// Package sim is the host simulator: it executes a guest computation in the
+// database model (Section 2) on a host linear array with arbitrary link
+// delays, charging exactly the paper's communication cost — a message
+// injected on a delay-d link at step s is deliverable at step s+d, and each
+// directed link injects at most B pebbles per step, so P pebbles cross in
+// d + ceil(P/B) - 1 steps.
+//
+// General bounded-degree hosts are handled upstream by embedding a linear
+// array with dilation 3 (Fact 3, package embedding); the engine itself always
+// runs on a line, which is how every simulation in the paper is organised.
+//
+// Execution is greedy dataflow: a host processor holding a replica of
+// database b_i computes every pebble (i, t) in step order, as soon as the
+// dependency pebbles (i-1, t-1), (i, t-1), (i+1, t-1) are known to it; each
+// computed pebble is multicast to the processors that need it but cannot
+// compute it themselves. The greedy policy executes any feasible schedule no
+// later than the schedule itself up to constants, and keeps the engine
+// independent of the particular assignment (OVERLAP, Theorem 4 blocks,
+// single-copy baselines, ... all run unmodified).
+//
+// Two engines share the same step semantics: a sequential engine, and a
+// conservative parallel discrete-event engine (one goroutine per contiguous
+// chunk of the line, null-message synchronisation with lookahead equal to
+// the boundary link delay). They produce bit-identical results; tests assert
+// it.
+package sim
+
+import (
+	"fmt"
+
+	"latencyhide/internal/assign"
+	"latencyhide/internal/guest"
+	"latencyhide/internal/network"
+)
+
+// Config describes one host simulation run.
+type Config struct {
+	// Delays[i] is the delay of host line link (i, i+1); the host has
+	// len(Delays)+1 workstations.
+	Delays []int
+	// Guest is the guest computation (graph, steps, seed, databases).
+	Guest guest.Spec
+	// Assign maps guest columns to host positions. Assign.HostN must equal
+	// len(Delays)+1 and Assign.Columns must equal the guest node count.
+	Assign *assign.Assignment
+	// Bandwidth is the number of pebbles each directed link can inject per
+	// step. Zero means the paper's high-bandwidth assumption,
+	// max(1, ceil(log2 hostN)).
+	Bandwidth int
+	// LinkBandwidth optionally overrides Bandwidth per link: entry i
+	// applies to both directions of link (i, i+1); zero entries fall back
+	// to Bandwidth. Must be empty or len(Delays) long.
+	LinkBandwidth []int
+	// ComputePerStep is how many pebbles one workstation computes per
+	// step; zero means 1 (the paper's model).
+	ComputePerStep int
+	// MaxSteps aborts runs that exceed it (a stall safety net); zero
+	// picks a generous default derived from the work and delay volume.
+	MaxSteps int64
+	// Workers > 1 selects the parallel engine with that many chunks.
+	Workers int
+	// Check verifies every database replica's final digest against the
+	// sequential reference executor.
+	Check bool
+	// CollectPerProc retains per-workstation compute counts in the result.
+	CollectPerProc bool
+	// TraceWindow > 0 collects a utilization timeline: pebbles computed
+	// and link crossings per window of that many host steps.
+	TraceWindow int
+}
+
+func (c *Config) hostN() int { return len(c.Delays) + 1 }
+
+func (c *Config) bandwidth() int {
+	if c.Bandwidth > 0 {
+		return c.Bandwidth
+	}
+	b := network.Log2Ceil(c.hostN())
+	if b < 1 {
+		b = 1
+	}
+	return b
+}
+
+// linkBandwidth resolves the effective bandwidth of link (i, i+1).
+func (c *Config) linkBandwidth(i int) int {
+	if i < len(c.LinkBandwidth) && c.LinkBandwidth[i] > 0 {
+		return c.LinkBandwidth[i]
+	}
+	return c.bandwidth()
+}
+
+func (c *Config) computePerStep() int {
+	if c.ComputePerStep > 0 {
+		return c.ComputePerStep
+	}
+	return 1
+}
+
+func (c *Config) maxSteps() int64 {
+	if c.MaxSteps > 0 {
+		return c.MaxSteps
+	}
+	var total int64
+	dmax := 0
+	for _, d := range c.Delays {
+		total += int64(d)
+		if d > dmax {
+			dmax = d
+		}
+	}
+	load := int64(c.Assign.Load())
+	t := int64(c.Guest.Steps)
+	// Generous: work term + delay term, with headroom.
+	cap := 64*(t*(load+1)+int64(dmax)*(t+2)) + 4*total + 1<<16
+	return cap
+}
+
+// Validate checks the configuration is runnable.
+func (c *Config) Validate() error {
+	if err := c.Guest.Validate(); err != nil {
+		return err
+	}
+	if c.Assign == nil {
+		return fmt.Errorf("sim: nil assignment")
+	}
+	if c.Assign.HostN != c.hostN() {
+		return fmt.Errorf("sim: assignment hosts %d != line size %d", c.Assign.HostN, c.hostN())
+	}
+	if c.Assign.Columns != c.Guest.Graph.NumNodes() {
+		return fmt.Errorf("sim: assignment columns %d != guest nodes %d",
+			c.Assign.Columns, c.Guest.Graph.NumNodes())
+	}
+	for i, d := range c.Delays {
+		if d < 1 {
+			return fmt.Errorf("sim: link %d has delay %d < 1", i, d)
+		}
+	}
+	if len(c.LinkBandwidth) != 0 && len(c.LinkBandwidth) != len(c.Delays) {
+		return fmt.Errorf("sim: LinkBandwidth has %d entries for %d links",
+			len(c.LinkBandwidth), len(c.Delays))
+	}
+	for i, b := range c.LinkBandwidth {
+		if b < 0 {
+			return fmt.Errorf("sim: link %d has bandwidth %d < 0", i, b)
+		}
+	}
+	if err := c.Assign.Validate(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// Result reports what a run measured.
+type Result struct {
+	GuestSteps int
+	HostSteps  int64   // step at which the last pebble was computed
+	Slowdown   float64 // HostSteps / GuestSteps
+	Load       int     // max databases per workstation
+
+	PebblesComputed int64   // includes redundant recomputation
+	GuestWork       int64   // guest nodes * steps
+	Redundancy      float64 // PebblesComputed / GuestWork
+	Messages        int64   // pebble transmissions injected into links
+	MessageHops     int64   // total link crossings
+	DeliveredValues int64
+	MaxQueueDepth   int // deepest injection queue seen (bandwidth pressure)
+
+	Bandwidth int
+	Checked   bool // final database digests verified against the reference
+
+	PerProcComputed []int64 // only when CollectPerProc
+
+	// Trace is the utilization timeline when Config.TraceWindow > 0.
+	Trace *Trace
+}
+
+// Trace is a windowed timeline of engine activity: entry w covers host
+// steps [w*Window+1, (w+1)*Window].
+type Trace struct {
+	Window   int
+	Computes []int64 // pebbles computed per window
+	Hops     []int64 // link crossings per window
+}
+
+// Utilization returns the fraction of total compute capacity used in each
+// window, given the number of busy-capable workstations.
+func (t *Trace) Utilization(procs int) []float64 {
+	out := make([]float64, len(t.Computes))
+	den := float64(procs * t.Window)
+	if den <= 0 {
+		return out
+	}
+	for i, c := range t.Computes {
+		out[i] = float64(c) / den
+	}
+	return out
+}
+
+// Run executes the simulation and returns measurements. It returns an error
+// for invalid configurations, stalls (deadlocked dataflow — always an
+// assignment/routing bug) and exceeded step caps.
+func Run(cfg Config) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	routes := buildRoutes(cfg.Guest.Graph, cfg.Assign)
+	var (
+		res *Result
+		err error
+	)
+	if cfg.Workers > 1 {
+		res, err = runParallel(&cfg, routes)
+	} else {
+		res, err = runSequential(&cfg, routes)
+	}
+	if err != nil {
+		return nil, err
+	}
+	res.GuestSteps = cfg.Guest.Steps
+	res.GuestWork = int64(cfg.Guest.Graph.NumNodes()) * int64(cfg.Guest.Steps)
+	if cfg.Guest.Steps > 0 {
+		res.Slowdown = float64(res.HostSteps) / float64(cfg.Guest.Steps)
+	}
+	if res.GuestWork > 0 {
+		res.Redundancy = float64(res.PebblesComputed) / float64(res.GuestWork)
+	}
+	res.Load = cfg.Assign.Load()
+	res.Bandwidth = cfg.bandwidth()
+	return res, err
+}

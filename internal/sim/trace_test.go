@@ -1,0 +1,145 @@
+package sim
+
+import (
+	"testing"
+
+	"latencyhide/internal/assign"
+	"latencyhide/internal/guest"
+)
+
+func TestTraceAccounting(t *testing.T) {
+	a, err := assign.UniformBlocks(8, 2, 4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{
+		Delays:      []int{1, 5, 1, 9, 1, 5, 1},
+		Guest:       guest.Spec{Graph: guest.NewLinearArray(a.Columns), Steps: 20, Seed: 4},
+		Assign:      a,
+		TraceWindow: 8,
+	}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Trace == nil || res.Trace.Window != 8 {
+		t.Fatal("no trace collected")
+	}
+	var computes, hops int64
+	for _, c := range res.Trace.Computes {
+		computes += c
+	}
+	for _, h := range res.Trace.Hops {
+		hops += h
+	}
+	if computes != res.PebblesComputed {
+		t.Fatalf("trace computes %d != total %d", computes, res.PebblesComputed)
+	}
+	if hops != res.MessageHops {
+		t.Fatalf("trace hops %d != total %d", hops, res.MessageHops)
+	}
+	// windows cover the whole run
+	want := int((res.HostSteps-1)/8 + 1)
+	if len(res.Trace.Computes) > want || len(res.Trace.Computes) == 0 {
+		t.Fatalf("%d windows for %d steps", len(res.Trace.Computes), res.HostSteps)
+	}
+	if len(res.Trace.Computes) != len(res.Trace.Hops) {
+		t.Fatal("ragged trace")
+	}
+	util := res.Trace.Utilization(8)
+	for i, u := range util {
+		if u < 0 || u > 1 {
+			t.Fatalf("window %d utilization %f", i, u)
+		}
+	}
+	// no trace requested -> nil
+	cfg.TraceWindow = 0
+	res2, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Trace != nil {
+		t.Fatal("unexpected trace")
+	}
+}
+
+func TestMaxQueueDepth(t *testing.T) {
+	// the star burst from TestBandwidthSemantics: P pebbles queued on one
+	// link at once, drained at B per step -> peak depth >= P - B
+	p, b, d := 9, 2, 4
+	adj := make([][]int, p+1)
+	for i := 0; i < p; i++ {
+		adj[i] = []int{p}
+		adj[p] = append(adj[p], i)
+	}
+	a, err := assign.FromOwned(2, p+1, [][]int{seqInts(p), {p}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(Config{
+		Delays:         []int{d},
+		Guest:          guest.Spec{Graph: guest.NewCustom("star", adj), Steps: 2, Seed: 1},
+		Assign:         a,
+		Bandwidth:      b,
+		ComputePerStep: p + 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MaxQueueDepth < p-b {
+		t.Fatalf("peak queue %d, want >= %d", res.MaxQueueDepth, p-b)
+	}
+	// unconstrained bandwidth: queue drains every step
+	res2, err := Run(Config{
+		Delays:         []int{d},
+		Guest:          guest.Spec{Graph: guest.NewCustom("star", adj), Steps: 2, Seed: 1},
+		Assign:         a,
+		Bandwidth:      p + 1,
+		ComputePerStep: p + 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.MaxQueueDepth > p {
+		t.Fatalf("peak queue %d with ample bandwidth", res2.MaxQueueDepth)
+	}
+}
+
+func seqInts(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+func TestTraceParallelMatchesSequential(t *testing.T) {
+	a, err := assign.UniformBlocks(16, 2, 4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{
+		Delays:      unitDelays(16),
+		Guest:       guest.Spec{Graph: guest.NewLinearArray(a.Columns), Steps: 16, Seed: 2},
+		Assign:      a,
+		TraceWindow: 4,
+	}
+	seq, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Workers = 4
+	par, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seq.Trace.Computes) != len(par.Trace.Computes) {
+		t.Fatalf("window counts differ: %d vs %d", len(seq.Trace.Computes), len(par.Trace.Computes))
+	}
+	for i := range seq.Trace.Computes {
+		if seq.Trace.Computes[i] != par.Trace.Computes[i] || seq.Trace.Hops[i] != par.Trace.Hops[i] {
+			t.Fatalf("window %d differs: seq=(%d,%d) par=(%d,%d)", i,
+				seq.Trace.Computes[i], seq.Trace.Hops[i], par.Trace.Computes[i], par.Trace.Hops[i])
+		}
+	}
+}

@@ -1,0 +1,146 @@
+package sim
+
+// u64map is a purpose-built open-addressing hash map from uint64 keys to
+// uint64 values, used for the per-workstation knowledge tables. Profiling
+// shows the engine spends most of its time in map operations on these
+// tables (3 reads + 1 insert + up to 3 deletes per pebble), and the access
+// pattern — small, churning, uniformly distributed keys — suits linear
+// probing with backward-shift deletion far better than the general runtime
+// map. Key 0 is reserved as the empty sentinel; knowledge keys are
+// kkey(col, step) with step >= 1, so 0 never occurs.
+type u64map struct {
+	keys []uint64
+	vals []uint64
+	mask uint64
+	n    int // live entries
+}
+
+const u64mapMinCap = 16
+
+func newU64map() *u64map {
+	m := &u64map{}
+	m.init(u64mapMinCap)
+	return m
+}
+
+func (m *u64map) init(capacity int) {
+	m.keys = make([]uint64, capacity)
+	m.vals = make([]uint64, capacity)
+	m.mask = uint64(capacity - 1)
+	m.n = 0
+}
+
+// hash scrambles the key; kkey packs col<<32|step, whose low bits alone
+// would collide badly across columns.
+func u64hash(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// get returns the value for key and whether it is present.
+func (m *u64map) get(key uint64) (uint64, bool) {
+	i := u64hash(key) & m.mask
+	for {
+		k := m.keys[i]
+		if k == key {
+			return m.vals[i], true
+		}
+		if k == 0 {
+			return 0, false
+		}
+		i = (i + 1) & m.mask
+	}
+}
+
+// has reports whether key is present.
+func (m *u64map) has(key uint64) bool {
+	_, ok := m.get(key)
+	return ok
+}
+
+// put inserts or overwrites key.
+func (m *u64map) put(key, val uint64) {
+	if key == 0 {
+		panic("u64map: zero key")
+	}
+	// grow at 75% load
+	if 4*(m.n+1) > 3*len(m.keys) {
+		m.rehash(2 * len(m.keys))
+	}
+	i := u64hash(key) & m.mask
+	for {
+		k := m.keys[i]
+		if k == key {
+			m.vals[i] = val
+			return
+		}
+		if k == 0 {
+			m.keys[i] = key
+			m.vals[i] = val
+			m.n++
+			return
+		}
+		i = (i + 1) & m.mask
+	}
+}
+
+// del removes key if present, using backward-shift deletion (no
+// tombstones, so heavy churn cannot degrade probes).
+func (m *u64map) del(key uint64) {
+	i := u64hash(key) & m.mask
+	for {
+		k := m.keys[i]
+		if k == 0 {
+			return
+		}
+		if k == key {
+			break
+		}
+		i = (i + 1) & m.mask
+	}
+	// backward shift: close the hole by moving displaced entries back
+	m.n--
+	j := i
+	for {
+		j = (j + 1) & m.mask
+		k := m.keys[j]
+		if k == 0 {
+			break
+		}
+		home := u64hash(k) & m.mask
+		// can k move into the hole at i? yes iff its home position does
+		// not lie strictly between i (exclusive) and j (inclusive) in
+		// probe order.
+		if ((j - home) & m.mask) >= ((j - i) & m.mask) {
+			m.keys[i] = k
+			m.vals[i] = m.vals[j]
+			i = j
+		}
+	}
+	m.keys[i] = 0
+	m.vals[i] = 0
+	// shrink when very sparse to bound churned memory
+	if len(m.keys) > u64mapMinCap && 8*m.n < len(m.keys) {
+		m.rehash(len(m.keys) / 2)
+	}
+}
+
+func (m *u64map) rehash(capacity int) {
+	if capacity < u64mapMinCap {
+		capacity = u64mapMinCap
+	}
+	oldK, oldV := m.keys, m.vals
+	m.init(capacity)
+	for i, k := range oldK {
+		if k != 0 {
+			m.put(k, oldV[i])
+		}
+	}
+}
+
+// size reports the number of live entries.
+func (m *u64map) size() int { return m.n }

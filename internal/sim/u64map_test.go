@@ -1,0 +1,126 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestU64MapBasics(t *testing.T) {
+	m := newU64map()
+	if _, ok := m.get(5); ok {
+		t.Fatal("empty map has key")
+	}
+	m.put(5, 50)
+	m.put(6, 60)
+	if v, ok := m.get(5); !ok || v != 50 {
+		t.Fatal("get 5")
+	}
+	m.put(5, 51)
+	if v, _ := m.get(5); v != 51 {
+		t.Fatal("overwrite")
+	}
+	if m.size() != 2 {
+		t.Fatalf("size %d", m.size())
+	}
+	m.del(5)
+	if m.has(5) || !m.has(6) {
+		t.Fatal("delete")
+	}
+	m.del(5) // absent delete is a no-op
+	if m.size() != 1 {
+		t.Fatalf("size %d", m.size())
+	}
+}
+
+func TestU64MapZeroKeyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero key accepted")
+		}
+	}()
+	newU64map().put(0, 1)
+}
+
+func TestU64MapGrowShrink(t *testing.T) {
+	m := newU64map()
+	const n = 10000
+	for i := uint64(1); i <= n; i++ {
+		m.put(i, i*3)
+	}
+	if m.size() != n {
+		t.Fatalf("size %d", m.size())
+	}
+	for i := uint64(1); i <= n; i++ {
+		if v, ok := m.get(i); !ok || v != i*3 {
+			t.Fatalf("lost key %d", i)
+		}
+	}
+	for i := uint64(1); i <= n; i++ {
+		m.del(i)
+	}
+	if m.size() != 0 {
+		t.Fatalf("size %d after deleting all", m.size())
+	}
+	if len(m.keys) > 64 {
+		t.Fatalf("did not shrink: cap %d", len(m.keys))
+	}
+}
+
+// Property: u64map behaves exactly like the builtin map under random
+// interleaved operations, including the backward-shift deletion paths.
+func TestU64MapMatchesBuiltin(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		m := newU64map()
+		ref := map[uint64]uint64{}
+		// small key space to force collisions and delete-shift chains
+		keys := make([]uint64, 60)
+		for i := range keys {
+			keys[i] = uint64(r.Intn(200) + 1)
+		}
+		for op := 0; op < 3000; op++ {
+			k := keys[r.Intn(len(keys))]
+			switch r.Intn(3) {
+			case 0:
+				v := r.Uint64()
+				m.put(k, v)
+				ref[k] = v
+			case 1:
+				m.del(k)
+				delete(ref, k)
+			default:
+				v, ok := m.get(k)
+				rv, rok := ref[k]
+				if ok != rok || (ok && v != rv) {
+					return false
+				}
+			}
+		}
+		if m.size() != len(ref) {
+			return false
+		}
+		for k, rv := range ref {
+			if v, ok := m.get(k); !ok || v != rv {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkU64MapChurn(b *testing.B) {
+	m := newU64map()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		k := uint64(i%4096 + 1)
+		m.put(k, uint64(i))
+		m.get(k)
+		if i%3 == 0 {
+			m.del(k)
+		}
+	}
+}

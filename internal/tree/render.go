@@ -1,0 +1,89 @@
+package tree
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Render prints an ASCII picture of the processed interval tree, one line
+// per depth: each remaining node's interval is drawn over its span with its
+// stage-3 label, removed nodes are dotted, and the bottom line marks killed
+// processors — a textual Figure 2. Width is the target character width of
+// the picture (the host array is scaled to fit); 0 means 64.
+func (t *Tree) Render(w io.Writer, width int) {
+	if width <= 0 {
+		width = 64
+	}
+	if width > t.N {
+		width = t.N
+	}
+	scale := func(p int) int {
+		c := p * width / t.N
+		if c >= width {
+			c = width - 1
+		}
+		return c
+	}
+
+	fmt.Fprintf(w, "host n=%d  d_ave=%.2f  c=%d  log n=%d  killed=(%d,%d)  n'=%d\n",
+		t.N, t.Dave, t.C, t.LogN, t.KilledStage1, t.KilledStage2, t.GuestSize())
+
+	// gather nodes per depth
+	byDepth := map[int][]*Node{}
+	maxDepth := 0
+	var walk func(nd *Node)
+	walk = func(nd *Node) {
+		if nd == nil {
+			return
+		}
+		byDepth[nd.Depth] = append(byDepth[nd.Depth], nd)
+		if nd.Depth > maxDepth {
+			maxDepth = nd.Depth
+		}
+		walk(nd.Left)
+		walk(nd.Right)
+	}
+	walk(t.Root)
+
+	shown := maxDepth
+	if shown > 6 {
+		shown = 6 // deeper levels are visually identical
+	}
+	for k := 0; k <= shown; k++ {
+		line := []byte(strings.Repeat(" ", width))
+		for _, nd := range byDepth[k] {
+			lo, hi := scale(nd.Lo), scale(nd.Hi-1)
+			fill := byte('=')
+			if nd.Removed {
+				fill = '.'
+			}
+			for c := lo; c <= hi; c++ {
+				line[c] = fill
+			}
+			if !nd.Removed {
+				label := fmt.Sprintf("%d", nd.Label3)
+				if hi-lo+1 > len(label)+1 {
+					copy(line[lo+1:], label)
+				}
+			}
+			if hi > lo {
+				line[lo] = '['
+				line[hi] = ']'
+			}
+		}
+		fmt.Fprintf(w, "k=%d m_k=%-6d |%s|\n", k, t.Mk(k), line)
+	}
+	if maxDepth > shown {
+		fmt.Fprintf(w, "... %d deeper levels elided ...\n", maxDepth-shown)
+	}
+
+	// killed-processor strip
+	strip := []byte(strings.Repeat(" ", width))
+	for p, alive := range t.Alive {
+		if !alive {
+			strip[scale(p)] = 'x'
+		}
+	}
+	fmt.Fprintf(w, "killed        |%s|\n", strip)
+}

@@ -1,0 +1,254 @@
+package tree
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"latencyhide/internal/network"
+)
+
+func delaysOf(g *network.Network) []int {
+	out := make([]int, g.NumLinks())
+	for i, e := range g.Edges() {
+		out[i] = e.Delay
+	}
+	return out
+}
+
+func TestBuildPanicsOnBadC(t *testing.T) {
+	for _, c := range []int{2, 1, 0, -3} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("c=%d: expected panic", c)
+				}
+			}()
+			Build([]int{1, 1, 1}, c)
+		}()
+	}
+}
+
+func ones(n int) []int {
+	d := make([]int, n)
+	for i := range d {
+		d[i] = 1
+	}
+	return d
+}
+
+func TestUnitDelays(t *testing.T) {
+	tr := Build(ones(255), 4)
+	if tr.KilledStage1 != 0 || tr.KilledStage2 != 0 {
+		t.Fatalf("unit delays killed (%d,%d)", tr.KilledStage1, tr.KilledStage2)
+	}
+	if tr.LiveCount() != 256 {
+		t.Fatalf("live %d", tr.LiveCount())
+	}
+	if err := tr.CheckLemmas(); err != nil {
+		t.Fatal(err)
+	}
+	// the guest size loses only overlap units
+	if tr.GuestSize() < 256-2*256/4 {
+		t.Fatalf("guest size %d", tr.GuestSize())
+	}
+}
+
+func TestMkDkFormulas(t *testing.T) {
+	tr := Build(ones(1023), 4) // n=1024, logn=10
+	if tr.LogN != 10 {
+		t.Fatalf("logn %d", tr.LogN)
+	}
+	// m_0 = n / (c log n) = 1024/40 = 25
+	if got := tr.Mk(0); got != 25 {
+		t.Fatalf("m_0 = %d", got)
+	}
+	// m_k halves (integer)
+	for k := 0; k < 10; k++ {
+		if tr.Mk(k+1) > tr.Mk(k) {
+			t.Fatalf("m_k not nonincreasing at %d", k)
+		}
+	}
+	// D_k = (n/2^k) d_ave c logn, halving with k
+	if tr.Dk(0) != 1024*1.0*4*10 {
+		t.Fatalf("D_0 = %f", tr.Dk(0))
+	}
+	if tr.Dk(1) != tr.Dk(0)/2 {
+		t.Fatal("D_k must halve")
+	}
+	// k_max: deepest with positive overlap
+	k := tr.KMax()
+	if tr.Mk(k) < 1 || tr.Mk(k+1) >= 1 {
+		t.Fatalf("KMax=%d with m=%d, m+1=%d", k, tr.Mk(k), tr.Mk(k+1))
+	}
+}
+
+func TestHotspotKilling(t *testing.T) {
+	// a single gigantic link must kill the processors around it
+	n := 256
+	d := ones(n - 1)
+	d[100] = 10_000_000
+	tr := Build(d, 4)
+	if tr.KilledStage1 == 0 {
+		t.Fatal("hotspot did not kill anyone")
+	}
+	if tr.Alive[100] && tr.Alive[101] {
+		t.Fatal("the hotspot endpoints both survived")
+	}
+	if err := tr.CheckLemmas(); err != nil {
+		t.Fatal(err)
+	}
+	// Lemma 1: at most n/c (+ slack)
+	if tr.KilledStage1 > n/4+tr.LogN {
+		t.Fatalf("killed %d > n/c", tr.KilledStage1)
+	}
+}
+
+func TestEndpointsAndLiveIn(t *testing.T) {
+	d := ones(15)
+	d[0] = 1 << 30 // kill around position 0/1
+	tr := Build(d, 3)
+	root := tr.Root
+	l, r, ok := tr.Endpoints(root)
+	if !ok {
+		t.Fatal("no live processors at all")
+	}
+	if l > r || l < 0 || r > 15 {
+		t.Fatalf("endpoints %d %d", l, r)
+	}
+	if got := tr.LiveIn(root); len(got) != tr.LiveCount() {
+		t.Fatalf("LiveIn root %d != LiveCount %d", len(got), tr.LiveCount())
+	}
+}
+
+func TestLemmasPropertyRandomHosts(t *testing.T) {
+	f := func(seed int64, sizeSel uint8, cSel uint8) bool {
+		n := 32 << (sizeSel % 4) // 32..256
+		c := 3 + int(cSel%4)     // 3..6
+		r := rand.New(rand.NewSource(seed))
+		delays := make([]int, n-1)
+		for i := range delays {
+			switch r.Intn(4) {
+			case 0:
+				delays[i] = 1
+			case 1:
+				delays[i] = 1 + r.Intn(10)
+			case 2:
+				delays[i] = 1 + r.Intn(1000)
+			default:
+				delays[i] = 1 + r.Intn(1_000_000)
+			}
+		}
+		tr := Build(delays, c)
+		return tr.CheckLemmas() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGuestSizeMatchesTreeUnitsInvariant(t *testing.T) {
+	// structural: stage-3 label of every remaining node equals
+	// sum(children) - m_{k+1} (two live children) or child (one)
+	tr := Build(delaysOf(network.Line(200, network.UniformDelay{Lo: 1, Hi: 50}, 3)), 4)
+	var walk func(nd *Node) int
+	walk = func(nd *Node) int {
+		if nd == nil || nd.Removed {
+			return 0
+		}
+		if nd.Left == nil {
+			return 1
+		}
+		live := nd.LiveChildren()
+		sum := 0
+		for _, ch := range live {
+			sum += walk(ch)
+		}
+		want := sum
+		if len(live) == 2 {
+			want -= tr.Mk(nd.Depth + 1)
+		}
+		if nd.Label3 != want {
+			t.Fatalf("node [%d,%d) label %d want %d", nd.Lo, nd.Hi, nd.Label3, want)
+		}
+		return nd.Label3
+	}
+	if got := walk(tr.Root); got != tr.GuestSize() {
+		t.Fatalf("recomputed %d != %d", got, tr.GuestSize())
+	}
+}
+
+func TestIntervalDelayConsistency(t *testing.T) {
+	d := []int{3, 1, 4, 1, 5, 9, 2}
+	tr := Build(d, 3)
+	var walk func(nd *Node)
+	walk = func(nd *Node) {
+		if nd == nil {
+			return
+		}
+		var want int64
+		for i := nd.Lo; i < nd.Hi-1; i++ {
+			want += int64(d[i])
+		}
+		if nd.Delay != want {
+			t.Fatalf("interval [%d,%d) delay %d want %d", nd.Lo, nd.Hi, nd.Delay, want)
+		}
+		walk(nd.Left)
+		walk(nd.Right)
+	}
+	walk(tr.Root)
+}
+
+func TestSingleProcessorHost(t *testing.T) {
+	tr := Build(nil, 4)
+	if tr.N != 1 || tr.LiveCount() != 1 || tr.GuestSize() != 1 {
+		t.Fatalf("singleton: %+v", tr)
+	}
+	if err := tr.CheckLemmas(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllKilledHost(t *testing.T) {
+	// every link huge relative to... with uniform huge delays, d_ave is
+	// huge too, so nothing is killed (thresholds scale with d_ave):
+	d := make([]int, 63)
+	for i := range d {
+		d[i] = 1 << 40
+	}
+	tr := Build(d, 4)
+	if tr.KilledStage1 != 0 {
+		t.Fatal("uniform delays should never trigger stage 1 (D_k scales with d_ave)")
+	}
+	if err := tr.CheckLemmas(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRender(t *testing.T) {
+	d := ones(255)
+	d[100] = 5_000_000
+	tr := Build(d, 4)
+	var buf bytes.Buffer
+	tr.Render(&buf, 64)
+	out := buf.String()
+	if !strings.Contains(out, "k=0") || !strings.Contains(out, "killed") {
+		t.Fatalf("render:\n%s", out)
+	}
+	if tr.KilledStage1 > 0 && !strings.Contains(out, "x") {
+		t.Fatalf("killed processors not marked:\n%s", out)
+	}
+	// zero width defaults; width > n clamps
+	buf.Reset()
+	tr.Render(&buf, 0)
+	if buf.Len() == 0 {
+		t.Fatal("default width render empty")
+	}
+	buf.Reset()
+	Build(ones(7), 3).Render(&buf, 100)
+	if buf.Len() == 0 {
+		t.Fatal("tiny render empty")
+	}
+}

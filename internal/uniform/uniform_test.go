@@ -1,0 +1,162 @@
+package uniform
+
+import (
+	"testing"
+
+	"latencyhide/internal/network"
+)
+
+func TestRunVerifiesValues(t *testing.T) {
+	for _, d := range []int{1, 4, 9, 16, 64, 100, 144} {
+		r, err := Run(12, d, 3, 0, 7)
+		if err != nil {
+			t.Fatalf("d=%d: %v", d, err)
+		}
+		if !r.Checked {
+			t.Fatalf("d=%d: unchecked", d)
+		}
+		if r.S != network.ISqrt(d) {
+			t.Fatalf("d=%d: s=%d", d, r.S)
+		}
+		if r.GuestCols != 12*r.S || r.GuestSteps != 3*r.S {
+			t.Fatalf("d=%d: guest %dx%d", d, r.GuestCols, r.GuestSteps)
+		}
+	}
+}
+
+func TestFiveDBound(t *testing.T) {
+	// Theorem 4: each batch of sqrt(d) guest steps fits in 5d host steps
+	// (up to the sqrt(d) pipelining term the paper folds into "< 2d").
+	for _, d := range []int{16, 64, 256, 1024, 4096} {
+		r, err := Run(8, d, 1, 0, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.StepsPerBatch > 5*d {
+			t.Fatalf("d=%d: %d steps/batch > 5d=%d", d, r.StepsPerBatch, 5*d)
+		}
+		if r.TrapeziumSteps != 2*d {
+			t.Fatalf("d=%d: trapezium %d != 2d", d, r.TrapeziumSteps)
+		}
+		if r.TriangleSteps != r.S*r.S+r.S {
+			t.Fatalf("d=%d: triangles %d", d, r.TriangleSteps)
+		}
+	}
+}
+
+func TestSlowdownIsThetaSqrtD(t *testing.T) {
+	var prev float64
+	for _, d := range []int{16, 64, 256, 1024} {
+		r, err := Run(8, d, 2, 0, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := float64(r.S)
+		if r.Slowdown < s || r.Slowdown > 6*s {
+			t.Fatalf("d=%d: slowdown %.1f not Theta(sqrt d)=%.0f", d, r.Slowdown, s)
+		}
+		if r.Slowdown <= prev {
+			t.Fatalf("slowdown not increasing with d at %d", d)
+		}
+		prev = r.Slowdown
+	}
+}
+
+func TestExchangeBandwidth(t *testing.T) {
+	d := 256 // s = 16
+	wide, err := Run(8, d, 1, 16, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	narrow, err := Run(8, d, 1, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wide.ExchangeSteps != d+0 { // ceil(16/16)-1 = 0
+		t.Fatalf("wide exchange %d", wide.ExchangeSteps)
+	}
+	if narrow.ExchangeSteps != d+15 {
+		t.Fatalf("narrow exchange %d", narrow.ExchangeSteps)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if _, err := Run(1, 4, 1, 0, 1); err == nil {
+		t.Fatal("hostN=1 accepted")
+	}
+	if _, err := Run(4, 0, 1, 0, 1); err == nil {
+		t.Fatal("d=0 accepted")
+	}
+	if _, err := Run(4, 4, 0, 0, 1); err == nil {
+		t.Fatal("batches=0 accepted")
+	}
+}
+
+func TestWorkAccounting(t *testing.T) {
+	r, err := Run(8, 16, 2, 0, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// every processor computes its whole (clipped) region every batch;
+	// total = sum over procs of |region| * steps = replicas * steps
+	if r.PebblesComputed <= int64(r.GuestCols)*int64(r.GuestSteps) {
+		t.Fatal("no redundant work measured")
+	}
+	if r.Load != 3*r.S {
+		t.Fatalf("load %d != 3s", r.Load)
+	}
+}
+
+func TestGreedyMatchesSemantics(t *testing.T) {
+	// greedy engine on the same assignment verifies values too and is
+	// never slower than ~the explicit schedule
+	for _, d := range []int{16, 64} {
+		p, err := Run(8, d, 2, 0, 11)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g, err := Greedy(8, d, 2, 0, 11, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !g.Checked {
+			t.Fatal("greedy unchecked")
+		}
+		if g.Slowdown > p.Slowdown*1.5 {
+			t.Fatalf("d=%d: greedy %.1f much slower than schedule %.1f", d, g.Slowdown, p.Slowdown)
+		}
+	}
+}
+
+func TestGreedyParallelEngine(t *testing.T) {
+	seq, err := Greedy(8, 25, 2, 0, 13, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := Greedy(8, 25, 2, 0, 13, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq.HostSteps != par.HostSteps {
+		t.Fatalf("engines disagree %d vs %d", seq.HostSteps, par.HostSteps)
+	}
+}
+
+func TestTinyHostAndRowGuests(t *testing.T) {
+	// smallest legal host
+	r, err := Run(2, 9, 2, 0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Checked || r.GuestCols != 6 {
+		t.Fatalf("%+v", r)
+	}
+	// d = 1: s = 1, degenerate batches of one step
+	r1, err := Run(4, 1, 5, 0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r1.Checked || r1.GuestSteps != 5 {
+		t.Fatalf("%+v", r1)
+	}
+}

@@ -1,0 +1,174 @@
+package latencyhide_test
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"latencyhide"
+)
+
+func TestFacadeEndToEnd(t *testing.T) {
+	host := latencyhide.RandomNOW(128, 4, latencyhide.BimodalDelay{Near: 1, Far: 64, P: 0.03}, 1)
+	out, err := latencyhide.Simulate(host, latencyhide.Options{
+		Variant: latencyhide.TwoLevel,
+		Beta:    2,
+		Steps:   32,
+		Seed:    42,
+		Check:   true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Sim.Checked || out.Dilation > 3 || out.GuestCols < 64 {
+		t.Fatalf("outcome %+v", out)
+	}
+
+	line, err := latencyhide.EmbedLine(host)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, err := latencyhide.SingleCopyBaseline(line.Delays, out.GuestCols, 32, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.Sim.Slowdown <= 0 {
+		t.Fatal("baseline")
+	}
+	if latencyhide.SlowClockSlowdown(line.Delays) < 65 {
+		t.Fatal("slow clock should track d_max")
+	}
+}
+
+func TestFacadeUniformAndMesh(t *testing.T) {
+	u, err := latencyhide.SimulateUniform(8, 64, 2, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !u.Checked || u.Slowdown < float64(u.S) {
+		t.Fatalf("uniform %+v", u)
+	}
+	m, err := latencyhide.SimulateMeshOnUniformLine(8, 8, 8, latencyhide.MeshOptions{
+		Rows: 8, Steps: 4, Seed: 3, Check: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.Sim.Checked {
+		t.Fatal("mesh unchecked")
+	}
+	host := latencyhide.Mesh2D(8, 8, latencyhide.ExpDelay{Mean: 2}, 5)
+	mn, err := latencyhide.SimulateMeshOnNOW(host, latencyhide.MeshOptions{Rows: 4, Steps: 4, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mn.Sim.Slowdown <= 0 {
+		t.Fatal("mesh on NOW")
+	}
+}
+
+func TestFacadeCustomGuestOp(t *testing.T) {
+	// run a float kernel through the raw engine via the facade
+	op := latencyhide.GuestOp(func(_ uint64, _ int, _ int, self uint64, ns []uint64) uint64 {
+		u := math.Float64frombits(self)
+		for _, v := range ns {
+			u += math.Float64frombits(v)
+		}
+		return math.Float64bits(u / float64(len(ns)+1))
+	})
+	a, err := latencyhide.UniformBlocks(4, 4, 4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := latencyhide.RunSimulation(latencyhide.SimConfig{
+		Delays: []int{3, 3, 3},
+		Guest: latencyhide.GuestSpec{
+			Graph: latencyhide.NewGuestLine(a.Columns),
+			Steps: 8,
+			Op:    op,
+			Init:  func(node int, _ int64) uint64 { return math.Float64bits(float64(node)) },
+		},
+		Assign: a,
+		Check:  true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Checked {
+		t.Fatal("unchecked")
+	}
+	ref, err := latencyhide.GuestReference(latencyhide.GuestSpec{
+		Graph: latencyhide.NewGuestLine(a.Columns),
+		Steps: 8,
+		Op:    op,
+		Init:  func(node int, _ int64) uint64 { return math.Float64bits(float64(node)) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Float64frombits(ref.Value(3, 8)) <= 0 {
+		t.Fatal("kernel produced nonsense")
+	}
+}
+
+func TestFacadeExperimentsSingle(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	var buf bytes.Buffer
+	// run the cheapest experiment through the facade entry point by
+	// filtering... RunExperiments runs all; quick scale keeps it fast.
+	if err := latencyhide.RunExperiments(&buf, latencyhide.Quick, true); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() == 0 {
+		t.Fatal("no output")
+	}
+}
+
+func TestFacadeLowerBoundHosts(t *testing.T) {
+	h1 := latencyhide.H1(256)
+	if h1.MaxDelay() != 16 {
+		t.Fatalf("H1 d_max %d", h1.MaxDelay())
+	}
+	h2 := latencyhide.H2(256)
+	if h2.NumSegments() < 3 {
+		t.Fatal("H2 segments")
+	}
+	cc := latencyhide.CliqueChain(6)
+	if cc.NumNodes() != 36 {
+		t.Fatal("clique chain")
+	}
+}
+
+func TestFacadeDataflowAndExtensions(t *testing.T) {
+	df, err := latencyhide.SimulateDataflow(6, 49, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !df.Checked || df.Replication != 1 {
+		t.Fatalf("%+v", df)
+	}
+	g := latencyhide.NewGuestHypercube(4)
+	l := latencyhide.LayoutAnneal(g, latencyhide.LayoutGray(g), 1, 2000)
+	m := latencyhide.LayoutMeasure(g, l)
+	if m.Edges != 32 {
+		t.Fatalf("hypercube(4) has %d edges", m.Edges)
+	}
+	host := latencyhide.CCC(4, latencyhide.ConstDelay(2), 1)
+	if host.Stats().MaxDegree != 3 {
+		t.Fatal("CCC degree")
+	}
+	delays := make([]int, 15)
+	for i := range delays {
+		delays[i] = 1
+	}
+	r, err := latencyhide.SimulateGuest(latencyhide.NewGuestArrayND(4, 4), latencyhide.LayoutBFS(latencyhide.NewGuestArrayND(4, 4)), delays,
+		latencyhide.GuestLayoutOptions{Steps: 3, Check: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Sim.Checked {
+		t.Fatal("unchecked")
+	}
+}
