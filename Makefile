@@ -2,9 +2,15 @@
 
 GO ?= go
 
-.PHONY: all build test race bench experiments examples clean
+.PHONY: all build test race bench ci experiments examples clean
 
 all: build test
+
+# Everything the CI workflow runs (see .github/workflows/ci.yml).
+ci:
+	$(GO) build ./...
+	$(GO) vet ./...
+	$(GO) test -race ./...
 
 build:
 	$(GO) build ./...

@@ -19,6 +19,7 @@ import (
 	"latencyhide/internal/lower"
 	"latencyhide/internal/mesharray"
 	"latencyhide/internal/network"
+	"latencyhide/internal/obs"
 	"latencyhide/internal/overlap"
 	"latencyhide/internal/sim"
 	"latencyhide/internal/tree"
@@ -324,6 +325,71 @@ func benchEngine(b *testing.B, workers int) {
 		pebbles = res.PebblesComputed
 	}
 	b.ReportMetric(float64(pebbles), "pebbles/op")
+}
+
+// BenchmarkRecorderOverhead guards the zero-cost-when-disabled contract of
+// the observability hooks: "off" (Config.Recorder nil, the default) must
+// track the pre-instrumentation engine cost, while "on" pays for event
+// buffering. Compare off vs on with `go test -bench=RecorderOverhead`.
+func BenchmarkRecorderOverhead(b *testing.B) {
+	delays := nowLine(1024, 3)
+	t := tree.Build(delays, 4)
+	a, err := assign.TwoLevel(t, 2, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	base := sim.Config{
+		Delays: delays,
+		Guest:  guest.Spec{Graph: guest.NewLinearArray(a.Columns), Steps: 64, Seed: 7},
+		Assign: a,
+	}
+	for _, workers := range []int{0, 4} {
+		for _, mode := range []string{"off", "on"} {
+			b.Run(fmt.Sprintf("workers=%d/%s", workers, mode), func(b *testing.B) {
+				cfg := base
+				cfg.Workers = workers
+				for i := 0; i < b.N; i++ {
+					if mode == "on" {
+						cfg.Recorder = obs.NewBuffer()
+					}
+					if _, err := sim.Run(cfg); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkObsAnalyze measures the post-run analysis pipeline (stream ->
+// stall attribution + critical path) on a recorded mid-size run.
+func BenchmarkObsAnalyze(b *testing.B) {
+	delays := nowLine(1024, 3)
+	t := tree.Build(delays, 4)
+	a, err := assign.TwoLevel(t, 2, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rec := obs.NewBuffer()
+	cfg := sim.Config{
+		Delays:   delays,
+		Guest:    guest.Spec{Graph: guest.NewLinearArray(a.Columns), Steps: 64, Seed: 7},
+		Assign:   a,
+		Recorder: rec,
+	}
+	res, err := sim.Run(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	info := cfg.ObsInfo(res)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		an := obs.Analyze(rec.Events(), info)
+		an.Stalls()
+		an.CriticalPath()
+	}
+	b.ReportMetric(float64(rec.Len()), "events")
 }
 
 // BenchmarkReferenceExecutor measures the sequential oracle.

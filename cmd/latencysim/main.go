@@ -5,7 +5,8 @@
 // Usage:
 //
 //	latencysim topo   -host mesh -n 256 [-delay exp -mean 3] [-tree] [-o host.json]
-//	latencysim run    -host random -n 256 -variant twolevel -steps 64 -check [-trace]
+//	latencysim run    -host random -n 256 -variant twolevel -steps 64 -check [-trace] [-trace-out t.json] [-profile cpu.pprof]
+//	latencysim trace  -host random -n 256 -out trace.json [-summary s.json] [-csv links.csv] [-heatmap]
 //	latencysim sweep  -host line -from 128 -to 2048 -csv
 //	latencysim guest  -guest butterfly -gn 5 -host random -layout auto
 //	latencysim plan   -host @host.json
@@ -17,12 +18,15 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime/pprof"
+	"sort"
 	"strings"
 
 	"latencyhide/internal/embedding"
 	"latencyhide/internal/expt"
 	"latencyhide/internal/metrics"
 	"latencyhide/internal/network"
+	"latencyhide/internal/obs"
 	"latencyhide/internal/overlap"
 	"latencyhide/internal/tree"
 )
@@ -38,6 +42,8 @@ func main() {
 		err = cmdTopo(os.Args[2:])
 	case "run":
 		err = cmdRun(os.Args[2:])
+	case "trace":
+		err = cmdTrace(os.Args[2:])
 	case "sweep":
 		err = cmdSweep(os.Args[2:])
 	case "exp", "experiments":
@@ -74,6 +80,7 @@ func usage() {
 commands:
   topo    describe a host topology and its dilation-3 line embedding
   run     run one OVERLAP simulation and print measurements
+  trace   run with full observability: stall causes, critical path, link gauges, Chrome trace
   sweep   sweep host size and print a slowdown table (or CSV)
   guest   simulate a tree/hypercube/butterfly/array guest via a 1-D layout
   plan    analyse a host and recommend OVERLAP parameters
@@ -228,6 +235,8 @@ func cmdRun(args []string) error {
 	check := fs.Bool("check", false, "verify replica digests against the reference executor")
 	seed := fs.Int64("guestseed", 7, "guest computation seed")
 	trace := fs.Bool("trace", false, "print a utilization timeline")
+	traceOut := fs.String("trace-out", "", "write a Chrome trace-event JSON of the run to this file")
+	profile := fs.String("profile", "", "write a CPU pprof profile of the run to this file")
 	fs.Parse(args)
 
 	g, err := hf.build()
@@ -241,6 +250,31 @@ func cmdRun(args []string) error {
 	opts := overlap.Options{
 		Variant: v, Steps: *steps, Beta: *beta, Seed: *seed,
 		Bandwidth: *bw, Workers: *workers, Check: *check,
+	}
+	if *trace {
+		// Collect the timeline during the one and only run; printTrace
+		// coarsens it to a sparkline afterwards.
+		opts.TraceWindow = 8
+	}
+	var rec *obs.Buffer
+	if *traceOut != "" {
+		rec = obs.NewBuffer()
+		opts.Recorder = rec
+	}
+	if *profile != "" {
+		f, err := os.Create(*profile)
+		if err != nil {
+			return err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return err
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+			fmt.Printf("profile: wrote %s\n", *profile)
+		}()
 	}
 	out, err := overlap.Simulate(g, opts)
 	if err != nil {
@@ -266,38 +300,61 @@ func cmdRun(args []string) error {
 		fmt.Println("check: all database replicas match the sequential reference executor")
 	}
 	if *trace {
-		if err := printTrace(g, opts, out); err != nil {
+		if err := printTrace(out); err != nil {
 			return err
 		}
+	}
+	if rec != nil {
+		a := obs.Analyze(rec.Events(), *out.ObsInfo)
+		if err := obs.WriteChromeTraceFile(*traceOut, rec.Events(), a.StallSpans(), *out.ObsInfo); err != nil {
+			return err
+		}
+		fmt.Printf("trace-out: wrote %s (%d events; open in chrome://tracing or Perfetto)\n",
+			*traceOut, rec.Len())
 	}
 	return nil
 }
 
-// printTrace reruns the configuration with a trace window sized to ~60
-// buckets and prints compute-utilization and traffic sparklines.
-func printTrace(g *network.Network, opts overlap.Options, prev *overlap.Outcome) error {
-	window := int(prev.Sim.HostSteps / 60)
-	if window < 1 {
-		window = 1
+// coarsen sums groups of k adjacent counters.
+func coarsen(xs []int64, k int) []int64 {
+	if k <= 1 {
+		return xs
 	}
-	line, err := embedding.Embed(g, 0)
-	if err != nil {
-		return err
+	out := make([]int64, 0, (len(xs)+k-1)/k)
+	for i, x := range xs {
+		if i%k == 0 {
+			out = append(out, 0)
+		}
+		out[len(out)-1] += x
 	}
-	// rerun on the embedded line with tracing (cheap relative to insight)
-	o := opts
-	o.Check = false
-	o.TraceWindow = window
-	res, err := overlap.SimulateLine(line.Delays, o)
-	if err != nil {
-		return err
+	return out
+}
+
+// printTrace renders compute-utilization and traffic sparklines from the
+// timeline the run already collected, coarsened to at most 60 buckets.
+func printTrace(out *overlap.Outcome) error {
+	tr := out.Sim.Trace
+	if tr == nil {
+		return fmt.Errorf("run collected no trace")
 	}
-	util := res.Sim.Trace.Utilization(prev.LiveProcs)
-	fmt.Printf("trace (window = %d host steps):\n", window)
+	k := (len(tr.Computes) + 59) / 60
+	if k < 1 {
+		k = 1
+	}
+	computes := coarsen(tr.Computes, k)
+	bucket := k * tr.Window
+	util := make([]float64, len(computes))
+	if den := float64(out.LiveProcs * bucket); den > 0 {
+		for i, c := range computes {
+			util[i] = float64(c) / den
+		}
+	}
+	fmt.Printf("trace (window = %d host steps):\n", bucket)
 	fmt.Printf("  compute utilization  %s\n", spark(util))
-	hops := make([]float64, len(res.Sim.Trace.Hops))
+	hopsC := coarsen(tr.Hops, k)
+	hops := make([]float64, len(hopsC))
 	var hmax float64
-	for i, h := range res.Sim.Trace.Hops {
+	for i, h := range hopsC {
 		hops[i] = float64(h)
 		if hops[i] > hmax {
 			hmax = hops[i]
@@ -309,6 +366,100 @@ func printTrace(g *network.Network, opts overlap.Options, prev *overlap.Outcome)
 		}
 	}
 	fmt.Printf("  link traffic (rel.)  %s\n", spark(hops))
+	return nil
+}
+
+// cmdTrace runs one simulation with full observability: it records the
+// structured event stream, prints the stall-cause breakdown, critical-path
+// decomposition and busiest link gauges, and optionally exports a Chrome
+// trace, a JSON summary and a link-gauge CSV.
+func cmdTrace(args []string) error {
+	fs := flag.NewFlagSet("trace", flag.ExitOnError)
+	hf := addHostFlags(fs)
+	variant := fs.String("variant", "twolevel", "overlap variant: loadone|workefficient|twolevel")
+	steps := fs.Int("steps", 64, "guest steps")
+	beta := fs.Int("beta", 0, "database block size (0 = default)")
+	bw := fs.Int("bw", 0, "link bandwidth in pebbles/step (0 = log n)")
+	workers := fs.Int("workers", 0, "parallel engine chunks (0 = sequential)")
+	seed := fs.Int64("guestseed", 7, "guest computation seed")
+	out := fs.String("out", "", "write Chrome trace-event JSON to this file")
+	summary := fs.String("summary", "", "write the JSON run summary to this file")
+	csvPath := fs.String("csv", "", "write the link gauges as CSV to this file")
+	heatmap := fs.Bool("heatmap", false, "print the per-workstation compute heatmap")
+	links := fs.Int("links", 8, "how many busiest directed links to print")
+	fs.Parse(args)
+
+	g, err := hf.build()
+	if err != nil {
+		return err
+	}
+	v, err := parseVariant(*variant)
+	if err != nil {
+		return err
+	}
+	rec := obs.NewBuffer()
+	o, err := overlap.Simulate(g, overlap.Options{
+		Variant: v, Steps: *steps, Beta: *beta, Seed: *seed,
+		Bandwidth: *bw, Workers: *workers, Recorder: rec,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("host: %s\n", g)
+	fmt.Printf("run: guest_steps=%d host_steps=%d slowdown=%.2f events=%d\n\n",
+		o.Sim.GuestSteps, o.Sim.HostSteps, o.Sim.Slowdown, rec.Len())
+
+	a := obs.Analyze(rec.Events(), *o.ObsInfo)
+	obs.StallTable(a.Stalls()).Fprint(os.Stdout)
+	fmt.Println()
+	obs.CritPathTable(a.CriticalPath()).Fprint(os.Stdout)
+	fmt.Println()
+
+	gauges := a.LinkGauges()
+	busiest := append([]obs.LinkGauge(nil), gauges...)
+	sort.Slice(busiest, func(i, j int) bool { return busiest[i].Injects > busiest[j].Injects })
+	if *links > 0 && len(busiest) > *links {
+		busiest = busiest[:*links]
+	}
+	lt := obs.LinkTable(busiest)
+	lt.Title = fmt.Sprintf("busiest %d of %d directed links", len(busiest), len(gauges))
+	lt.Fprint(os.Stdout)
+
+	if *heatmap {
+		window := int(o.Sim.HostSteps / 60)
+		if window < 1 {
+			window = 1
+		}
+		fmt.Printf("\ncompute heatmap (window = %d host steps):\n", window)
+		fmt.Print(obs.HeatmapString(a.Heatmap(window), 32))
+	}
+	if *out != "" {
+		if err := obs.WriteChromeTraceFile(*out, rec.Events(), a.StallSpans(), *o.ObsInfo); err != nil {
+			return err
+		}
+		fmt.Printf("\nwrote %s (open in chrome://tracing or Perfetto)\n", *out)
+	}
+	if *summary != "" {
+		f, err := os.Create(*summary)
+		if err != nil {
+			return err
+		}
+		if err := a.Summarize().WriteJSON(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", *summary)
+	}
+	if *csvPath != "" {
+		full := obs.LinkTable(gauges)
+		if err := full.CSVFile(*csvPath); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", *csvPath)
+	}
 	return nil
 }
 

@@ -1,9 +1,11 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 )
 
@@ -125,6 +127,9 @@ func TestSubcommandSmoke(t *testing.T) {
 	if err := cmdRun([]string{"-host", "line", "-n", "48", "-steps", "8", "-variant", "loadone"}); err != nil {
 		t.Fatalf("run: %v", err)
 	}
+	if err := cmdRun([]string{"-host", "line", "-n", "48", "-steps", "8", "-variant", "loadone", "-trace"}); err != nil {
+		t.Fatalf("run -trace: %v", err)
+	}
 	if err := cmdTopo([]string{"-host", "ring", "-n", "32", "-tree"}); err != nil {
 		t.Fatalf("topo: %v", err)
 	}
@@ -139,5 +144,74 @@ func TestSubcommandSmoke(t *testing.T) {
 	}
 	if err := cmdExp([]string{"-scale", "zzz"}); err == nil {
 		t.Fatal("bad scale accepted")
+	}
+}
+
+// The trace subcommand must emit a structurally valid Chrome trace-event
+// file plus the JSON summary and CSV exports.
+func TestTraceSubcommand(t *testing.T) {
+	dir := t.TempDir()
+	tracePath := filepath.Join(dir, "trace.json")
+	sumPath := filepath.Join(dir, "summary.json")
+	csvPath := filepath.Join(dir, "links.csv")
+	err := cmdTrace([]string{
+		"-host", "random", "-n", "64", "-steps", "8",
+		"-out", tracePath, "-summary", sumPath, "-csv", csvPath, "-heatmap",
+	})
+	if err != nil {
+		t.Fatalf("trace: %v", err)
+	}
+	raw, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]interface{} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("chrome trace not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("chrome trace has no events")
+	}
+	for _, field := range []string{"ph", "ts", "pid", "tid"} {
+		if _, ok := doc.TraceEvents[0][field]; !ok {
+			t.Fatalf("chrome event missing %q: %v", field, doc.TraceEvents[0])
+		}
+	}
+	sumRaw, err := os.ReadFile(sumPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum map[string]interface{}
+	if err := json.Unmarshal(sumRaw, &sum); err != nil {
+		t.Fatalf("summary not valid JSON: %v", err)
+	}
+	if _, ok := sum["bandwidthShare"]; !ok {
+		t.Fatalf("summary missing bandwidthShare: %v", sum)
+	}
+	csvRaw, err := os.ReadFile(csvPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(csvRaw)), "\n")
+	if len(lines) < 2 || !strings.HasPrefix(lines[0], "link,dir,") {
+		t.Fatalf("links CSV malformed: %q", lines[0])
+	}
+}
+
+func TestCoarsen(t *testing.T) {
+	got := coarsen([]int64{1, 2, 3, 4, 5}, 2)
+	want := []int64{3, 7, 5}
+	if len(got) != len(want) {
+		t.Fatalf("coarsen %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("coarsen %v want %v", got, want)
+		}
+	}
+	if out := coarsen([]int64{1, 2}, 1); len(out) != 2 {
+		t.Fatalf("k=1 should be identity, got %v", out)
 	}
 }

@@ -149,6 +149,37 @@ func TestE12RedundancyRatioAboveOne(t *testing.T) {
 	}
 }
 
+// E11c's observability columns must show bandwidth stalls growing as B
+// shrinks: the B=1 row's bw-stall share is at least the B=log n row's, and
+// strictly positive.
+func TestE11BandwidthStallDirection(t *testing.T) {
+	tables, err := Get("E11").Run(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) < 3 {
+		t.Fatal("E11 missing tables")
+	}
+	rows := tables[2].Rows
+	if len(rows) < 2 {
+		t.Fatal("E11b empty")
+	}
+	// columns: bandwidth, slowdown, vs, bw-stall%, dep-stall%, peakQ
+	var first, last float64
+	if _, err := sscan(rows[0][3], &first); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sscan(rows[len(rows)-1][3], &last); err != nil {
+		t.Fatal(err)
+	}
+	if last <= 0 {
+		t.Fatalf("B=1 row has no bandwidth stalls: %v", rows)
+	}
+	if last < first {
+		t.Fatalf("bw-stall share fell as B shrank: B=logn %v vs B=1 %v", first, last)
+	}
+}
+
 func TestE6MeasuredAboveCertified(t *testing.T) {
 	tables, err := Get("E6").Run(Quick)
 	if err != nil {

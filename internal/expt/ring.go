@@ -1,11 +1,13 @@
 package expt
 
 import (
+	"fmt"
 	"math"
 
 	"latencyhide/internal/baseline"
 	"latencyhide/internal/metrics"
 	"latencyhide/internal/network"
+	"latencyhide/internal/obs"
 	"latencyhide/internal/overlap"
 )
 
@@ -199,19 +201,26 @@ func init() {
 			}
 			steps := 48
 			t := metrics.NewTable("E12: OVERLAP with vs without redundant replicas (same tree, same host)",
-				"n", "d_max", "redundant", "stripped", "stripped/redundant")
+				"n", "d_max", "redundant", "stripped", "stripped/redundant", "stall% red", "stall% strip")
+			stallShare := func(o *overlap.Outcome, rec *obs.Buffer) string {
+				sb := obs.Analyze(rec.Events(), *o.ObsInfo).Stalls()
+				return fmt.Sprintf("%.1f", 100*stallPct(sb.Stalled(), sb.ProcSteps))
+			}
 			for _, n := range sizes {
 				g := network.Line(n, nowDelay(n), int64(3*n))
 				delays := delaysOf(g)
+				fullRec := obs.NewBuffer()
 				full, err := overlap.SimulateLine(delays, overlap.Options{
 					Variant: overlap.TwoLevel, Beta: 2, Steps: steps, Seed: 41,
+					Recorder: fullRec,
 				})
 				if err != nil {
 					return nil, err
 				}
+				stripRec := obs.NewBuffer()
 				strip, err := overlap.SimulateLine(delays, overlap.Options{
 					Variant: overlap.TwoLevel, Beta: 2, Steps: steps, Seed: 41,
-					StripRedundancy: true,
+					StripRedundancy: true, Recorder: stripRec,
 				})
 				if err != nil {
 					return nil, err
@@ -220,9 +229,11 @@ func init() {
 				if full.Sim.Slowdown > 0 {
 					ratio = strip.Sim.Slowdown / full.Sim.Slowdown
 				}
-				t.AddRow(n, full.Dmax, full.Sim.Slowdown, strip.Sim.Slowdown, ratio)
+				t.AddRow(n, full.Dmax, full.Sim.Slowdown, strip.Sim.Slowdown, ratio,
+					stallShare(full, fullRec), stallShare(strip, stripRec))
 			}
 			t.AddNote("paper: without redundancy the slowdown reverts toward Theta(d_max); the ratio grows with d_max")
+			t.AddNote("stall%% is the stalled share of all processor-steps from the obs event stream: stripping replicas leaves workstations waiting on remote values")
 			return []*metrics.Table{t}, nil
 		},
 	})

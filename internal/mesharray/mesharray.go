@@ -21,6 +21,7 @@ import (
 	"latencyhide/internal/embedding"
 	"latencyhide/internal/guest"
 	"latencyhide/internal/network"
+	"latencyhide/internal/obs"
 	"latencyhide/internal/sim"
 	"latencyhide/internal/tree"
 )
@@ -38,6 +39,9 @@ type Options struct {
 	Bandwidth   int
 	Workers     int
 	Check       bool
+	// ComputePerStep and Recorder pass through to the engine.
+	ComputePerStep int
+	Recorder       obs.Recorder
 }
 
 // Result is a mesh simulation outcome.
@@ -49,6 +53,9 @@ type Result struct {
 	// m + m^2/n0 on a uniform line (Theorem 7), (m + m^2/n) log^3 n on a
 	// NOW (Theorem 8), with m = Cols here.
 	PredictedSlowdown float64
+	// ObsInfo carries the run facts for package obs instruments when
+	// Options.Recorder was set; nil otherwise.
+	ObsInfo *obs.RunInfo
 }
 
 // meshOwned expands "host p owns mesh columns [lo, hi)" into guest node ids.
@@ -168,20 +175,28 @@ func OnLine(delays []int, opt Options) (*Result, error) {
 func runMesh(delays []int, a *assign.Assignment, cols int, opt Options) (*Result, error) {
 	rows := opt.Rows
 	mesh := guest.NewMesh(rows, cols)
-	r, err := sim.Run(sim.Config{
+	cfg := sim.Config{
 		Delays: delays,
 		Guest: guest.Spec{
 			Graph: mesh,
 			Steps: opt.Steps,
 			Seed:  opt.Seed,
 		},
-		Assign:    a,
-		Bandwidth: opt.Bandwidth,
-		Workers:   opt.Workers,
-		Check:     opt.Check,
-	})
+		Assign:         a,
+		Bandwidth:      opt.Bandwidth,
+		ComputePerStep: opt.ComputePerStep,
+		Workers:        opt.Workers,
+		Check:          opt.Check,
+		Recorder:       opt.Recorder,
+	}
+	r, err := sim.Run(cfg)
 	if err != nil {
 		return nil, err
 	}
-	return &Result{Rows: rows, Cols: cols, HostN: a.HostN, Sim: r}, nil
+	out := &Result{Rows: rows, Cols: cols, HostN: a.HostN, Sim: r}
+	if opt.Recorder != nil {
+		info := cfg.ObsInfo(r)
+		out.ObsInfo = &info
+	}
+	return out, nil
 }

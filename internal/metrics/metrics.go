@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"os"
 	"sort"
 	"strings"
 )
@@ -130,6 +131,16 @@ func (t *Table) CSV(w io.Writer) {
 	for _, row := range t.Rows {
 		fmt.Fprintln(w, strings.Join(row, ","))
 	}
+}
+
+// CSVFile writes the table as CSV to path.
+func (t *Table) CSVFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	t.CSV(f)
+	return f.Close()
 }
 
 func pad(s string, w int) string {

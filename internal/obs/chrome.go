@@ -1,0 +1,121 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// ChromeEvent is one entry of the Chrome trace-event format (the JSON shape
+// chrome://tracing, Perfetto and speedscope load). Host steps map to
+// microseconds 1:1.
+type ChromeEvent struct {
+	Name string            `json:"name"`
+	Cat  string            `json:"cat"`
+	Ph   string            `json:"ph"`
+	Ts   int64             `json:"ts"`
+	Dur  int64             `json:"dur,omitempty"`
+	Pid  int               `json:"pid"`
+	Tid  int               `json:"tid"`
+	S    string            `json:"s,omitempty"`
+	Args map[string]string `json:"args,omitempty"`
+}
+
+// ChromeTrace is the top-level trace-event JSON object.
+type ChromeTrace struct {
+	TraceEvents     []ChromeEvent     `json:"traceEvents"`
+	DisplayTimeUnit string            `json:"displayTimeUnit"`
+	OtherData       map[string]string `json:"otherData,omitempty"`
+}
+
+// BuildChromeTrace converts the recorded stream into trace-event form: one
+// pid-0 track per workstation (tid = position) holding compute slices and
+// derived stall slices, plus instant events for link injections and
+// deliveries. Pass the result of Analysis.StallSpans as stalls, or nil to
+// omit stall slices.
+func BuildChromeTrace(events []Event, stalls []Event, info RunInfo) *ChromeTrace {
+	tr := &ChromeTrace{
+		DisplayTimeUnit: "ms",
+		OtherData: map[string]string{
+			"hostN":      fmt.Sprintf("%d", info.HostN),
+			"hostSteps":  fmt.Sprintf("%d", info.HostSteps),
+			"guestSteps": fmt.Sprintf("%d", info.GuestSteps),
+			"timeUnit":   "1us = 1 host step",
+		},
+	}
+	for i := range events {
+		e := &events[i]
+		switch e.Kind {
+		case KindCompute:
+			tr.TraceEvents = append(tr.TraceEvents, ChromeEvent{
+				Name: fmt.Sprintf("compute c%d t%d", e.Col, e.GStep),
+				Cat:  "compute", Ph: "X", Ts: e.Step, Dur: 1,
+				Pid: 0, Tid: int(e.Proc),
+				Args: map[string]string{
+					"col":   fmt.Sprintf("%d", e.Col),
+					"gstep": fmt.Sprintf("%d", e.GStep),
+				},
+			})
+		case KindInject:
+			dir := "right"
+			if e.Dir < 0 {
+				dir = "left"
+			}
+			tr.TraceEvents = append(tr.TraceEvents, ChromeEvent{
+				Name: fmt.Sprintf("inject c%d t%d link%d %s", e.Col, e.GStep, e.Link, dir),
+				Cat:  "inject", Ph: "i", Ts: e.Step,
+				Pid: 0, Tid: int(e.Proc), S: "t",
+				Args: map[string]string{
+					"link":  fmt.Sprintf("%d", e.Link),
+					"dir":   dir,
+					"route": fmt.Sprintf("%d", e.Route),
+				},
+			})
+		case KindDeliver:
+			tr.TraceEvents = append(tr.TraceEvents, ChromeEvent{
+				Name: fmt.Sprintf("deliver c%d t%d", e.Col, e.GStep),
+				Cat:  "deliver", Ph: "i", Ts: e.Step,
+				Pid: 0, Tid: int(e.Proc), S: "t",
+				Args: map[string]string{
+					"col":   fmt.Sprintf("%d", e.Col),
+					"gstep": fmt.Sprintf("%d", e.GStep),
+					"route": fmt.Sprintf("%d", e.Route),
+				},
+			})
+		}
+	}
+	for i := range stalls {
+		e := &stalls[i]
+		if e.Kind != KindStall {
+			continue
+		}
+		tr.TraceEvents = append(tr.TraceEvents, ChromeEvent{
+			Name: "stall: " + e.Cause.String(),
+			Cat:  "stall", Ph: "X", Ts: e.Step, Dur: e.Dur,
+			Pid: 0, Tid: int(e.Proc),
+			Args: map[string]string{"cause": e.Cause.String()},
+		})
+	}
+	return tr
+}
+
+// WriteChromeTrace writes the trace-event JSON to w.
+func (tr *ChromeTrace) Write(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	return enc.Encode(tr)
+}
+
+// WriteChromeTraceFile builds the trace and writes it to path.
+func WriteChromeTraceFile(path string, events []Event, stalls []Event, info RunInfo) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	tr := BuildChromeTrace(events, stalls, info)
+	if err := tr.Write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,210 @@
+// Package obs is the engine's observability layer: a structured event
+// stream recorded by the simulator (package sim), derived instruments
+// (per-processor compute heatmaps, per-link queue and bandwidth gauges, a
+// stall-cause breakdown), a critical-path extractor over the recorded
+// dataflow, and exporters (Chrome trace-event JSON, CSV tables, a JSON run
+// summary).
+//
+// The stream is canonical: events are totally ordered by
+// (step, kind, proc, link, dir, col, gstep, route), so the sequential and
+// parallel engines — which produce the same event multiset step by step —
+// hand identical streams to any Recorder. This extends the engines'
+// bit-identical-results guarantee to the observability layer; tests in
+// internal/sim assert it.
+//
+// Recording is opt-in and costs nothing when disabled: the engine guards
+// every record call behind a nil check on its Recorder.
+package obs
+
+import "sort"
+
+// Kind classifies an event.
+type Kind uint8
+
+const (
+	// KindCompute: a workstation computed pebble (Col, GStep) at host step
+	// Step. Proc is the workstation; Link/Dir/Route are unset.
+	KindCompute Kind = iota
+	// KindInject: a pebble value was injected into a directed host link
+	// (bandwidth consumed). Proc is the sending position, Link the line
+	// link index (Link joins positions Link and Link+1), Dir the travel
+	// direction, Route the multicast route carrying it.
+	KindInject
+	// KindDeliver: a pebble value was delivered into a workstation's
+	// knowledge table. Proc is the receiving position.
+	KindDeliver
+	// KindStall: a derived event (never recorded by the engine): Proc was
+	// stalled for Dur consecutive steps starting at Step, attributed to
+	// Cause. Produced by Analysis.StallSpans.
+	KindStall
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindCompute:
+		return "compute"
+	case KindInject:
+		return "inject"
+	case KindDeliver:
+		return "deliver"
+	case KindStall:
+		return "stall"
+	default:
+		return "unknown"
+	}
+}
+
+// Cause attributes a stalled processor-step to its reason.
+type Cause uint8
+
+const (
+	CauseNone Cause = iota
+	// CauseDependency: the workstation had pebbles left but their
+	// dependency values were still being computed upstream or in flight on
+	// links (latency-bound waiting).
+	CauseDependency
+	// CauseBandwidth: a value later delivered to this workstation was
+	// sitting in a link injection queue (bandwidth-bound waiting).
+	CauseBandwidth
+	// CauseIdle: the workstation had no pebbles left to compute.
+	CauseIdle
+)
+
+func (c Cause) String() string {
+	switch c {
+	case CauseDependency:
+		return "dependency"
+	case CauseBandwidth:
+		return "bandwidth"
+	case CauseIdle:
+		return "idle"
+	default:
+		return "none"
+	}
+}
+
+// Event is one structured engine event. Field meaning depends on Kind; see
+// the Kind constants. Unused int fields hold -1 (Link, Route) or 0.
+type Event struct {
+	Step  int64
+	Kind  Kind
+	Proc  int32
+	Col   int32
+	GStep int32
+	Link  int32
+	Dir   int8
+	Route int32
+	Dur   int64 // KindStall only: span length in steps
+	Cause Cause // KindStall only
+}
+
+// Recorder receives engine events. The engine buffers per chunk and replays
+// the merged, canonically ordered stream into the configured Recorder at the
+// end of the run, so implementations need not be safe for concurrent use.
+type Recorder interface {
+	RecordCompute(step int64, proc, col, gstep int32)
+	RecordInject(step int64, proc, link int32, dir int8, route, col, gstep int32)
+	RecordDeliver(step int64, proc, route, col, gstep int32)
+}
+
+// Buffer is the standard Recorder: it appends events to memory for later
+// analysis and export.
+type Buffer struct {
+	events []Event
+}
+
+// NewBuffer returns an empty event buffer.
+func NewBuffer() *Buffer { return &Buffer{} }
+
+func (b *Buffer) RecordCompute(step int64, proc, col, gstep int32) {
+	b.events = append(b.events, Event{
+		Step: step, Kind: KindCompute, Proc: proc, Col: col, GStep: gstep,
+		Link: -1, Route: -1,
+	})
+}
+
+func (b *Buffer) RecordInject(step int64, proc, link int32, dir int8, route, col, gstep int32) {
+	b.events = append(b.events, Event{
+		Step: step, Kind: KindInject, Proc: proc, Col: col, GStep: gstep,
+		Link: link, Dir: dir, Route: route,
+	})
+}
+
+func (b *Buffer) RecordDeliver(step int64, proc, route, col, gstep int32) {
+	b.events = append(b.events, Event{
+		Step: step, Kind: KindDeliver, Proc: proc, Col: col, GStep: gstep,
+		Link: -1, Route: route,
+	})
+}
+
+// Events returns the recorded stream. The slice is owned by the buffer.
+func (b *Buffer) Events() []Event { return b.events }
+
+// Len reports the number of recorded events.
+func (b *Buffer) Len() int { return len(b.events) }
+
+// less is the canonical total order. No two distinct engine events share a
+// full key: a pebble is computed once per holder, injected once per
+// (route, gstep, link) and delivered once per (route, gstep, proc).
+func less(a, b *Event) bool {
+	if a.Step != b.Step {
+		return a.Step < b.Step
+	}
+	if a.Kind != b.Kind {
+		return a.Kind < b.Kind
+	}
+	if a.Proc != b.Proc {
+		return a.Proc < b.Proc
+	}
+	if a.Link != b.Link {
+		return a.Link < b.Link
+	}
+	if a.Dir != b.Dir {
+		return a.Dir < b.Dir
+	}
+	if a.Col != b.Col {
+		return a.Col < b.Col
+	}
+	if a.GStep != b.GStep {
+		return a.GStep < b.GStep
+	}
+	return a.Route < b.Route
+}
+
+// Canonicalize sorts events into the canonical stream order.
+func Canonicalize(events []Event) {
+	sort.Slice(events, func(i, j int) bool { return less(&events[i], &events[j]) })
+}
+
+// Replay feeds events (in their current order) into r. KindStall events are
+// derived, not part of the engine stream, and are skipped.
+func Replay(events []Event, r Recorder) {
+	for i := range events {
+		e := &events[i]
+		switch e.Kind {
+		case KindCompute:
+			r.RecordCompute(e.Step, e.Proc, e.Col, e.GStep)
+		case KindInject:
+			r.RecordInject(e.Step, e.Proc, e.Link, e.Dir, e.Route, e.Col, e.GStep)
+		case KindDeliver:
+			r.RecordDeliver(e.Step, e.Proc, e.Route, e.Col, e.GStep)
+		}
+	}
+}
+
+// RunInfo carries the static facts the instruments need alongside the event
+// stream. sim.Config.ObsInfo builds it.
+type RunInfo struct {
+	HostN      int
+	HostSteps  int64
+	GuestSteps int
+	// Delays[i] is the delay of line link (i, i+1); LinkBW[i] its per-step
+	// injection bandwidth (resolved, both directions).
+	Delays []int
+	LinkBW []int
+	// ProcPebbles[p] is the total pebbles assigned to position p
+	// (owned columns x guest steps).
+	ProcPebbles []int64
+	// Neighbors returns a guest column's neighbor columns.
+	Neighbors func(col int) []int
+}

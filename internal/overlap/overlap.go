@@ -22,6 +22,7 @@ import (
 	"latencyhide/internal/embedding"
 	"latencyhide/internal/guest"
 	"latencyhide/internal/network"
+	"latencyhide/internal/obs"
 	"latencyhide/internal/sim"
 	"latencyhide/internal/tree"
 )
@@ -70,14 +71,15 @@ type Options struct {
 	Steps int
 	// Seed drives all guest state.
 	Seed int64
-	// Bandwidth, ComputePerStep, Workers, Check, MaxSteps and TraceWindow
-	// pass through to the engine.
+	// Bandwidth, ComputePerStep, Workers, Check, MaxSteps, TraceWindow and
+	// Recorder pass through to the engine.
 	Bandwidth      int
 	ComputePerStep int
 	Workers        int
 	Check          bool
 	MaxSteps       int64
 	TraceWindow    int
+	Recorder       obs.Recorder
 	// NewDatabase overrides the guest database implementation.
 	NewDatabase guest.Factory
 	// Op overrides the per-pebble computation (nil = the paper's digest
@@ -147,6 +149,10 @@ type Outcome struct {
 
 	// Engine result.
 	Sim *sim.Result
+
+	// ObsInfo carries the run facts for package obs instruments when
+	// Options.Recorder was set; nil otherwise.
+	ObsInfo *obs.RunInfo
 
 	// PredictedSlowdown is the theorem's bound evaluated without its
 	// hidden constant: d_ave log^3 n for Theorems 2-3,
@@ -265,12 +271,17 @@ func SimulateLine(delays []int, opt Options) (*Outcome, error) {
 		Check:          opt.Check,
 		MaxSteps:       opt.MaxSteps,
 		TraceWindow:    opt.TraceWindow,
+		Recorder:       opt.Recorder,
 	}
 	res, err := sim.Run(cfg)
 	if err != nil {
 		return nil, err
 	}
 	out.Sim = res
+	if opt.Recorder != nil {
+		info := cfg.ObsInfo(res)
+		out.ObsInfo = &info
+	}
 	return out, nil
 }
 

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"latencyhide/internal/guest"
+	"latencyhide/internal/obs"
 )
 
 // kkey packs a (column, step) pair into a map key for knowledge tables.
@@ -189,6 +190,11 @@ type chunk struct {
 	traceComputes []int64
 	traceHops     []int64
 
+	// event buffer (Config.Recorder != nil); chunks never share a buffer,
+	// so the parallel engine records race-free. collect() merges and
+	// replays the canonical stream into the configured Recorder.
+	buf *obs.Buffer
+
 	// scratch
 	neighVals []uint64
 }
@@ -203,6 +209,9 @@ func newChunk(cfg *Config, rt *routeTable, lo, hi int) *chunk {
 		now:         1,
 		txFlag:      make(map[int32]bool),
 		traceWindow: cfg.TraceWindow,
+	}
+	if cfg.Recorder != nil {
+		c.buf = obs.NewBuffer()
 	}
 	c.procs = make([]proc, hi-lo)
 	factory := cfg.Guest.Factory()
@@ -307,7 +316,7 @@ func (c *chunk) enqueueFrom(pos int, dir int8, m msg) {
 func (c *chunk) handleArrival(pos int, m msg) {
 	r := &c.rt.routes[m.route]
 	if int(r.dests[m.di]) == pos {
-		c.deliverValue(pos, r.col, m.step, m.value)
+		c.deliverValue(pos, m.route, r.col, m.step, m.value)
 		m.di++
 		if int(m.di) >= len(r.dests) {
 			return
@@ -317,7 +326,7 @@ func (c *chunk) handleArrival(pos int, m msg) {
 }
 
 // deliverValue records (col, step) = value at pos and unblocks waiters.
-func (c *chunk) deliverValue(pos int, col, step int32, value uint64) {
+func (c *chunk) deliverValue(pos int, route int32, col, step int32, value uint64) {
 	p := c.proc(pos)
 	key := kkey(col, step)
 	if p.known.has(key) {
@@ -325,6 +334,9 @@ func (c *chunk) deliverValue(pos int, col, step int32, value uint64) {
 		return
 	}
 	c.delivered++
+	if c.buf != nil {
+		c.buf.RecordDeliver(c.now, int32(pos), route, col, step)
+	}
 	c.recordValue(p, key, value)
 }
 
@@ -390,6 +402,9 @@ func (c *chunk) computeOne(p *proc) bool {
 	c.lastComputeStep = c.now
 	if c.traceWindow > 0 {
 		c.traceAdd(&c.traceComputes, 1)
+	}
+	if c.buf != nil {
+		c.buf.RecordCompute(c.now, p.pos, oc.col, t)
 	}
 
 	// Values at the final step have no consumers anywhere (they would
@@ -540,6 +555,16 @@ func (c *chunk) runTransmit() bool {
 			c.hops++
 			if c.traceWindow > 0 {
 				c.traceAdd(&c.traceHops, 1)
+			}
+			if c.buf != nil {
+				link := int32(pos)
+				dir := int8(1)
+				if leftward {
+					link = int32(pos - 1)
+					dir = -1
+				}
+				c.buf.RecordInject(c.now, int32(pos), link, dir,
+					m.route, c.rt.routes[m.route].col, m.step)
 			}
 			did = true
 			switch {

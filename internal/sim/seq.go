@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"latencyhide/internal/guest"
+	"latencyhide/internal/obs"
 )
 
 // runSequential executes the whole line as a single chunk, fast-forwarding
@@ -112,6 +113,20 @@ func collect(cfg *Config, chunks []*chunk) (*Result, error) {
 			return nil, err
 		}
 		res.Checked = true
+	}
+	if cfg.Recorder != nil {
+		// Merge the per-chunk buffers and replay in canonical order: the
+		// engines produce identical per-step event multisets, so sorting
+		// hands any Recorder a stream that is bit-identical across engines
+		// and worker counts.
+		var events []obs.Event
+		for _, c := range chunks {
+			if c.buf != nil {
+				events = append(events, c.buf.Events()...)
+			}
+		}
+		obs.Canonicalize(events)
+		obs.Replay(events, cfg.Recorder)
 	}
 	return res, nil
 }

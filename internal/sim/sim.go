@@ -31,6 +31,7 @@ import (
 	"latencyhide/internal/assign"
 	"latencyhide/internal/guest"
 	"latencyhide/internal/network"
+	"latencyhide/internal/obs"
 )
 
 // Config describes one host simulation run.
@@ -67,6 +68,11 @@ type Config struct {
 	// TraceWindow > 0 collects a utilization timeline: pebbles computed
 	// and link crossings per window of that many host steps.
 	TraceWindow int
+	// Recorder, when non-nil, receives the run's structured event stream
+	// (package obs). Both engines buffer events per chunk and replay the
+	// merged stream in canonical order after the run, so the same Recorder
+	// sees a bit-identical stream from either engine. Nil costs nothing.
+	Recorder obs.Recorder
 }
 
 func (c *Config) hostN() int { return len(c.Delays) + 1 }
@@ -195,6 +201,31 @@ func (t *Trace) Utilization(procs int) []float64 {
 		out[i] = float64(c) / den
 	}
 	return out
+}
+
+// ObsInfo builds the static run facts package obs's instruments need
+// alongside the event stream, from this configuration and a finished run's
+// result.
+func (c *Config) ObsInfo(res *Result) obs.RunInfo {
+	n := c.hostN()
+	info := obs.RunInfo{
+		HostN:       n,
+		GuestSteps:  c.Guest.Steps,
+		Delays:      append([]int(nil), c.Delays...),
+		LinkBW:      make([]int, len(c.Delays)),
+		ProcPebbles: make([]int64, n),
+		Neighbors:   c.Guest.Graph.Neighbors,
+	}
+	if res != nil {
+		info.HostSteps = res.HostSteps
+	}
+	for i := range c.Delays {
+		info.LinkBW[i] = c.linkBandwidth(i)
+	}
+	for p := 0; p < n; p++ {
+		info.ProcPebbles[p] = int64(len(c.Assign.Owned[p])) * int64(c.Guest.Steps)
+	}
+	return info
 }
 
 // Run executes the simulation and returns measurements. It returns an error
