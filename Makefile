@@ -1,15 +1,24 @@
 # latencyhide — build / test / reproduce targets
 
 GO ?= go
+BENCH_BASELINE ?= BENCH_1.json
+BENCH_PATTERN  ?= Engine
+BENCH_TIME     ?= 3x
 
-.PHONY: all build test race bench ci experiments examples clean
+.PHONY: all build test race bench bench-baseline bench-all ci experiments examples clean
 
 all: build test
 
 # Everything the CI workflow runs (see .github/workflows/ci.yml).
+# staticcheck runs when installed (CI installs it; locally it is optional).
 ci:
 	$(GO) build ./...
 	$(GO) vet ./...
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./... ; \
+	else \
+		echo "staticcheck not installed; skipping (go install honnef.co/go/tools/cmd/staticcheck@latest)"; \
+	fi
 	$(GO) test -race ./...
 
 build:
@@ -22,7 +31,24 @@ test:
 race:
 	$(GO) test -race ./internal/sim ./internal/overlap ./internal/mesharray
 
+# Engine benchmark regression harness: run the engine micro-benchmarks and
+# compare pebbles/sec against the committed baseline ($(BENCH_BASELINE)),
+# failing on >10% regressions. With no baseline present, record one instead.
 bench:
+	$(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' -benchtime $(BENCH_TIME) -count 1 . | tee bench.out
+	@if [ -f $(BENCH_BASELINE) ]; then \
+		$(GO) run ./cmd/benchcmp -baseline $(BENCH_BASELINE) bench.out; \
+	else \
+		$(GO) run ./cmd/benchcmp -write $(BENCH_BASELINE) bench.out; \
+	fi
+
+# Re-record the baseline (after an intentional perf change).
+bench-baseline:
+	$(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' -benchtime $(BENCH_TIME) -count 1 . | tee bench.out
+	$(GO) run ./cmd/benchcmp -write $(BENCH_BASELINE) bench.out
+
+# The full benchmark suite (every experiment bench), no comparison.
+bench-all:
 	$(GO) test -bench=. -benchmem ./...
 
 # Regenerate the full paper reproduction record (see EXPERIMENTS.md).
@@ -39,4 +65,4 @@ examples:
 	$(GO) run ./examples/sortarray
 
 clean:
-	rm -rf experiments-csv
+	rm -rf experiments-csv bench.out

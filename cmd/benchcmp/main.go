@@ -1,0 +1,219 @@
+// Command benchcmp is the benchmark regression harness: it parses `go test
+// -bench` output, maintains a JSON baseline (BENCH_1.json at the repo root),
+// and flags pebbles/sec regressions beyond a threshold.
+//
+// The baseline keeps the raw benchmark lines alongside the parsed figures,
+// so `jq -r '.raw[]' BENCH_1.json > old.txt` yields a file benchstat can
+// consume directly against a fresh run.
+//
+// Usage:
+//
+//	go test -run '^$' -bench Engine -benchtime 3x . > bench.out
+//	benchcmp -write BENCH_1.json bench.out            # record a baseline
+//	benchcmp -baseline BENCH_1.json bench.out         # compare, exit 1 on regression
+//	benchcmp -baseline BENCH_1.json -report-only bench.out  # compare, always exit 0
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Benchmark is one parsed benchmark result. Metrics holds every per-op
+// figure go test reported (ns/op, pebbles/op, custom ReportMetric units).
+type Benchmark struct {
+	Name      string             `json:"name"`
+	Iters     int64              `json:"iters"`
+	NsPerOp   float64            `json:"ns_per_op"`
+	Metrics   map[string]float64 `json:"metrics,omitempty"`
+	PebblesPS float64            `json:"pebbles_per_sec,omitempty"`
+}
+
+// Baseline is the persisted BENCH_1.json schema.
+type Baseline struct {
+	RecordedAt string      `json:"recorded_at"`
+	GoVersion  string      `json:"go_version"`
+	GOOS       string      `json:"goos"`
+	GOARCH     string      `json:"goarch"`
+	Notes      []string    `json:"notes,omitempty"`
+	Raw        []string    `json:"raw"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+// noteFlags collects repeated -note values.
+type noteFlags []string
+
+func (n *noteFlags) String() string     { return strings.Join(*n, "; ") }
+func (n *noteFlags) Set(s string) error { *n = append(*n, s); return nil }
+
+// benchLine matches e.g.
+//
+//	BenchmarkEngineSequential-8   3   289148195 ns/op   520960 pebbles/op
+var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+(\d+)\s+(.*)$`)
+
+// trimCPU drops the -N GOMAXPROCS suffix so baselines transfer across
+// machines with different core counts.
+func trimCPU(name string) string {
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			return name[:i]
+		}
+	}
+	return name
+}
+
+func parse(data string) ([]Benchmark, []string) {
+	var out []Benchmark
+	var raw []string
+	for _, line := range strings.Split(data, "\n") {
+		m := benchLine.FindStringSubmatch(strings.TrimSpace(line))
+		if m == nil {
+			continue
+		}
+		iters, _ := strconv.ParseInt(m[2], 10, 64)
+		b := Benchmark{Name: trimCPU(m[1]), Iters: iters, Metrics: map[string]float64{}}
+		fields := strings.Fields(m[3])
+		for i := 0; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			unit := fields[i+1]
+			b.Metrics[unit] = v
+			if unit == "ns/op" {
+				b.NsPerOp = v
+			}
+		}
+		if p, ok := b.Metrics["pebbles/op"]; ok && b.NsPerOp > 0 {
+			b.PebblesPS = p / (b.NsPerOp * 1e-9)
+		}
+		out = append(out, b)
+		raw = append(raw, strings.TrimSpace(line))
+	}
+	return out, raw
+}
+
+func readInput(path string) (string, error) {
+	if path == "-" {
+		var sb strings.Builder
+		buf := make([]byte, 64<<10)
+		for {
+			n, err := os.Stdin.Read(buf)
+			sb.Write(buf[:n])
+			if err != nil {
+				return sb.String(), nil
+			}
+		}
+	}
+	data, err := os.ReadFile(path)
+	return string(data), err
+}
+
+func main() {
+	write := flag.String("write", "", "record a baseline JSON at this path and exit")
+	baseline := flag.String("baseline", "", "compare against this baseline JSON")
+	threshold := flag.Float64("threshold", 0.10, "pebbles/sec regression fraction that fails the comparison")
+	reportOnly := flag.Bool("report-only", false, "report regressions but always exit 0")
+	var notes noteFlags
+	flag.Var(&notes, "note", "free-form note stored in the baseline (repeatable, with -write)")
+	flag.Parse()
+
+	if flag.NArg() != 1 || (*write == "") == (*baseline == "") {
+		fmt.Fprintln(os.Stderr, "usage: benchcmp (-write out.json | -baseline base.json [-report-only]) bench.out|-")
+		os.Exit(2)
+	}
+	data, err := readInput(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchcmp:", err)
+		os.Exit(1)
+	}
+	benches, raw := parse(data)
+	if len(benches) == 0 {
+		fmt.Fprintln(os.Stderr, "benchcmp: no benchmark lines found in input")
+		os.Exit(1)
+	}
+
+	if *write != "" {
+		b := Baseline{
+			RecordedAt: time.Now().UTC().Format(time.RFC3339),
+			GoVersion:  runtime.Version(),
+			GOOS:       runtime.GOOS,
+			GOARCH:     runtime.GOARCH,
+			Notes:      notes,
+			Raw:        raw,
+			Benchmarks: benches,
+		}
+		out, err := json.MarshalIndent(&b, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchcmp:", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*write, append(out, '\n'), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "benchcmp:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("benchcmp: recorded %d benchmarks to %s\n", len(benches), *write)
+		return
+	}
+
+	var base Baseline
+	bdata, err := os.ReadFile(*baseline)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchcmp:", err)
+		os.Exit(1)
+	}
+	if err := json.Unmarshal(bdata, &base); err != nil {
+		fmt.Fprintf(os.Stderr, "benchcmp: %s: %v\n", *baseline, err)
+		os.Exit(1)
+	}
+	byName := make(map[string]Benchmark, len(base.Benchmarks))
+	for _, b := range base.Benchmarks {
+		byName[b.Name] = b
+	}
+
+	regressions := 0
+	for _, b := range benches {
+		old, ok := byName[b.Name]
+		if !ok {
+			fmt.Printf("%-55s NEW (no baseline entry)\n", b.Name)
+			continue
+		}
+		switch {
+		case b.PebblesPS > 0 && old.PebblesPS > 0:
+			delta := b.PebblesPS/old.PebblesPS - 1
+			status := "ok"
+			if delta < -*threshold {
+				status = "REGRESSION"
+				regressions++
+			}
+			fmt.Printf("%-55s %12.0f -> %12.0f pebbles/sec  %+6.1f%%  %s\n",
+				b.Name, old.PebblesPS, b.PebblesPS, 100*delta, status)
+		case b.NsPerOp > 0 && old.NsPerOp > 0:
+			// No throughput metric: fall back to wall time (higher is worse).
+			delta := b.NsPerOp/old.NsPerOp - 1
+			status := "ok"
+			if delta > *threshold {
+				status = "REGRESSION"
+				regressions++
+			}
+			fmt.Printf("%-55s %12.0f -> %12.0f ns/op        %+6.1f%%  %s\n",
+				b.Name, old.NsPerOp, b.NsPerOp, 100*delta, status)
+		default:
+			fmt.Printf("%-55s no comparable metric\n", b.Name)
+		}
+	}
+	if regressions > 0 {
+		fmt.Printf("benchcmp: %d regression(s) beyond %.0f%%\n", regressions, 100**threshold)
+		if !*reportOnly {
+			os.Exit(1)
+		}
+		fmt.Println("benchcmp: report-only mode, not failing")
+	}
+}

@@ -6,9 +6,12 @@
 package expt
 
 import (
+	"bytes"
 	"fmt"
 	"io"
+	"runtime"
 	"sort"
+	"sync"
 
 	"latencyhide/internal/metrics"
 )
@@ -73,26 +76,79 @@ func All() []*Experiment {
 
 // RunAll executes every experiment at the given scale and renders the
 // tables to w (markdown if md is true). It keeps going past individual
-// failures and returns the first error at the end.
+// failures and returns the first error at the end. Experiments run
+// concurrently on up to GOMAXPROCS workers; output stays byte-identical to
+// a sequential run because each experiment renders into its own buffer and
+// the buffers are flushed in registry (ID) order.
 func RunAll(w io.Writer, scale Scale, md bool) error {
-	var firstErr error
-	for _, e := range All() {
-		fmt.Fprintf(w, "\n=== %s: %s (%s) ===\n\n", e.ID, e.Title, e.Paper)
+	return RunAllWorkers(w, scale, md, 0)
+}
+
+// RunAllWorkers is RunAll with an explicit concurrency bound; workers <= 0
+// means GOMAXPROCS, 1 runs strictly sequentially.
+func RunAllWorkers(w io.Writer, scale Scale, md bool, workers int) error {
+	exps := All()
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(exps) {
+		workers = len(exps)
+	}
+
+	type result struct {
+		buf bytes.Buffer
+		err error // already wrapped with the experiment ID
+	}
+	results := make([]result, len(exps))
+	renderOne := func(i int) {
+		e, out := exps[i], &results[i]
+		fmt.Fprintf(&out.buf, "\n=== %s: %s (%s) ===\n\n", e.ID, e.Title, e.Paper)
 		tables, err := e.Run(scale)
 		if err != nil {
-			fmt.Fprintf(w, "FAILED: %v\n", err)
-			if firstErr == nil {
-				firstErr = fmt.Errorf("%s: %w", e.ID, err)
-			}
-			continue
+			fmt.Fprintf(&out.buf, "FAILED: %v\n", err)
+			out.err = fmt.Errorf("%s: %w", e.ID, err)
+			return
 		}
 		for _, t := range tables {
 			if md {
-				t.Markdown(w)
+				t.Markdown(&out.buf)
 			} else {
-				t.Fprint(w)
-				fmt.Fprintln(w)
+				t.Fprint(&out.buf)
+				fmt.Fprintln(&out.buf)
 			}
+		}
+	}
+
+	if workers == 1 {
+		for i := range exps {
+			renderOne(i)
+		}
+	} else {
+		var wg sync.WaitGroup
+		next := make(chan int)
+		for k := 0; k < workers; k++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range next {
+					renderOne(i)
+				}
+			}()
+		}
+		for i := range exps {
+			next <- i
+		}
+		close(next)
+		wg.Wait()
+	}
+
+	var firstErr error
+	for i := range results {
+		if _, err := w.Write(results[i].buf.Bytes()); err != nil {
+			return err
+		}
+		if results[i].err != nil && firstErr == nil {
+			firstErr = results[i].err
 		}
 	}
 	return firstErr

@@ -63,6 +63,28 @@ func TestRunAllQuick(t *testing.T) {
 	}
 }
 
+// TestRunAllParallelOutputIdentical pins the concurrency contract: the
+// parallel harness must emit byte-for-byte the output of a strictly
+// sequential run, at every worker count.
+func TestRunAllParallelOutputIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	var seq bytes.Buffer
+	seqErr := RunAllWorkers(&seq, Quick, true, 1)
+	for _, workers := range []int{0, 2, 4} {
+		var par bytes.Buffer
+		parErr := RunAllWorkers(&par, Quick, true, workers)
+		if (seqErr == nil) != (parErr == nil) {
+			t.Fatalf("workers=%d: error mismatch: seq=%v par=%v", workers, seqErr, parErr)
+		}
+		if !bytes.Equal(seq.Bytes(), par.Bytes()) {
+			t.Fatalf("workers=%d: output differs from sequential run (%d vs %d bytes)",
+				workers, seq.Len(), par.Len())
+		}
+	}
+}
+
 // Shape assertions on individual experiments: these encode the
 // paper-vs-measured comparisons EXPERIMENTS.md reports.
 func TestE3SqrtShape(t *testing.T) {

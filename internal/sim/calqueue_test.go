@@ -1,0 +1,188 @@
+package sim
+
+import (
+	"container/heap"
+	"math/rand"
+	"slices"
+	"testing"
+)
+
+// refCal is the engine's previous calendar: a boxed container/heap over
+// (step, key) entries. The bucketed calendar must reproduce its pop order
+// exactly — same steps, same ascending keys within a step, duplicates
+// included — which is what keeps the obs event stream bit-identical across
+// the queue swap. It lives on here as the test oracle.
+type refCal []calEntry
+
+func (c refCal) Len() int { return len(c) }
+func (c refCal) Less(i, j int) bool {
+	if c[i].step != c[j].step {
+		return c[i].step < c[j].step
+	}
+	return c[i].key < c[j].key
+}
+func (c refCal) Swap(i, j int) { c[i], c[j] = c[j], c[i] }
+func (c *refCal) Push(x any)   { *c = append(*c, x.(calEntry)) }
+func (c *refCal) Pop() any {
+	old := *c
+	n := len(old)
+	v := old[n-1]
+	*c = old[:n-1]
+	return v
+}
+
+// drainRef pops every reference entry at exactly `now`.
+func drainRef(ref *refCal, now int64) []int32 {
+	var out []int32
+	for ref.Len() > 0 && (*ref)[0].step == now {
+		out = append(out, heap.Pop(ref).(calEntry).key)
+	}
+	return out
+}
+
+// runCalScript interprets op bytes against both calendars and fails on any
+// divergence in due-set order or next-event step. Delays span both the ring
+// (< calRingSize) and the overflow heap.
+func runCalScript(t *testing.T, data []byte) {
+	t.Helper()
+	var bc bucketCal
+	ref := &refCal{}
+	now := int64(1)
+	for i := 0; i+2 < len(data); i += 3 {
+		switch data[i] % 4 {
+		case 0, 1: // schedule now+delay (delay 0..4095: ring and overflow)
+			delay := (int64(data[i+1]) | int64(data[i+2]&0x0f)<<8)
+			key := int32(data[i+2])
+			bc.schedule(now, now+delay, key)
+			heap.Push(ref, calEntry{step: now + delay, key: key})
+		case 2: // drain the current step
+			due := append([]int32(nil), bc.takeDue(now)...)
+			want := drainRef(ref, now)
+			if !slices.Equal(due, want) {
+				t.Fatalf("at step %d: due %v, reference heap %v", now, due, want)
+			}
+		case 3: // advance to the next event
+			next, ok := bc.next(now)
+			var refNext int64
+			refOk := ref.Len() > 0
+			if refOk {
+				refNext = (*ref)[0].step
+			}
+			if ok != refOk || (ok && next != refNext) {
+				t.Fatalf("at step %d: next=(%d,%v), reference (%d,%v)", now, next, ok, refNext, refOk)
+			}
+			if ok {
+				now = next
+			} else {
+				now++
+			}
+		}
+	}
+	// Final drain: walk every remaining event in both queues.
+	for {
+		next, ok := bc.next(now)
+		refOk := ref.Len() > 0
+		if ok != refOk {
+			t.Fatalf("final drain at %d: bucketed %v, reference %v", now, ok, refOk)
+		}
+		if !ok {
+			return
+		}
+		if refNext := (*ref)[0].step; next != refNext {
+			t.Fatalf("final drain: next %d, reference %d", next, refNext)
+		}
+		now = next
+		due := append([]int32(nil), bc.takeDue(now)...)
+		want := drainRef(ref, now)
+		if !slices.Equal(due, want) {
+			t.Fatalf("final drain at %d: due %v, reference %v", now, due, want)
+		}
+	}
+}
+
+// FuzzBucketCalAgainstHeap drives random schedule/drain/advance scripts
+// through the bucketed calendar and the old heap side by side.
+func FuzzBucketCalAgainstHeap(f *testing.F) {
+	// Seeds: ring-only traffic, overflow-heavy traffic (high delay nibble),
+	// duplicate keys at one step, and a drain/advance churn mix.
+	f.Add([]byte{0, 10, 3, 0, 10, 3, 2, 0, 0, 3, 0, 0, 2, 0, 0})
+	f.Add([]byte{0, 255, 0xff, 1, 200, 0xef, 3, 0, 0, 2, 0, 0, 3, 0, 0, 2, 0, 0})
+	f.Add([]byte{0, 1, 7, 0, 1, 7, 0, 1, 7, 3, 0, 0, 2, 0, 0})
+	seed := make([]byte, 300)
+	r := rand.New(rand.NewSource(42))
+	r.Read(seed)
+	f.Add(seed)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		runCalScript(t, data)
+	})
+}
+
+// TestBucketCalRandomScripts runs the fuzz body over many seeds in a plain
+// test, so the oracle comparison is exercised by `go test` alone.
+func TestBucketCalRandomScripts(t *testing.T) {
+	for seed := int64(0); seed < 50; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		data := make([]byte, 60+r.Intn(600))
+		r.Read(data)
+		runCalScript(t, data)
+	}
+}
+
+// TestBucketCalOverflowMigration pins the overflow path: events beyond the
+// ring span must surface, in order, once the clock reaches them.
+func TestBucketCalOverflowMigration(t *testing.T) {
+	var bc bucketCal
+	now := int64(1)
+	far := now + calRingSize*3 + 17
+	bc.schedule(now, far, 9)
+	bc.schedule(now, far, 4)
+	bc.schedule(now, now+2, 1)
+	if next, ok := bc.next(now); !ok || next != now+2 {
+		t.Fatalf("next = %d,%v want %d", next, ok, now+2)
+	}
+	now += 2
+	if due := bc.takeDue(now); !slices.Equal(due, []int32{1}) {
+		t.Fatalf("due %v want [1]", due)
+	}
+	if next, ok := bc.next(now); !ok || next != far {
+		t.Fatalf("next after ring drain = %d,%v want %d", next, ok, far)
+	}
+	now = far
+	if due := bc.takeDue(now); !slices.Equal(due, []int32{4, 9}) {
+		t.Fatalf("overflow due %v want [4 9]", due)
+	}
+	if !bc.empty() {
+		t.Fatal("calendar not empty after draining everything")
+	}
+}
+
+// TestReadyQueueOrdering checks the typed min-heap pops packed keys in
+// ascending order under interleaved pushes and pops.
+func TestReadyQueueOrdering(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	var q readyQueue
+	var popped []uint64
+	live := 0
+	for i := 0; i < 5000; i++ {
+		if live == 0 || r.Intn(3) > 0 {
+			q.push(readyKey(int32(r.Intn(1000)), int32(r.Intn(1000))))
+			live++
+		} else {
+			popped = append(popped, q.pop())
+			live--
+		}
+	}
+	tailStart := len(popped)
+	for live > 0 {
+		popped = append(popped, q.pop())
+		live--
+	}
+	// With no pushes interleaved, the final drain must come out in fully
+	// ascending order (pop always returns the global minimum).
+	if !slices.IsSorted(popped[tailStart:]) {
+		t.Fatal("final drain not in ascending order")
+	}
+	if len(q) != 0 {
+		t.Fatalf("queue not empty: %d left", len(q))
+	}
+}

@@ -1,7 +1,6 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 
 	"latencyhide/internal/guest"
@@ -87,63 +86,59 @@ type ownedCol struct {
 	db        guest.Database
 	neighbors []int32 // guest-neighbor columns, ascending
 	routes    []int32 // routes this position feeds for this column
+	// depVals caches the dependency values for step `next`, parallel to
+	// neighbors. Slots are filled when the column advances (value already
+	// known) or pushed by recordValue when the awaited value lands, so the
+	// compute gather never probes the knowledge table.
+	depVals []uint64
+	// Release lists, precomputed at init so the per-pebble retention check
+	// needs no lookups: the owned indexes that consume this column's values
+	// and, parallel to neighbors, the owned indexes consuming each
+	// neighbor's values.
+	consSelf []int32
+	consNb   [][]int32
 }
 
-// readyHeap orders computable pebbles by (step, owned-column index).
-type readyHeap []uint64
-
-func readyKey(step int32, idx int32) uint64 { return uint64(uint32(step))<<32 | uint64(uint32(idx)) }
-
-func (h readyHeap) Len() int            { return len(h) }
-func (h readyHeap) Less(i, j int) bool  { return h[i] < h[j] }
-func (h readyHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *readyHeap) Push(x interface{}) { *h = append(*h, x.(uint64)) }
-func (h *readyHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	v := old[n-1]
-	*h = old[:n-1]
-	return v
+// waitNode is one entry in a proc's pooled waiter lists: owned index `idx`
+// is blocked on the key the list hangs off and will receive the value in
+// depVals[slot]; `next` chains within the pool (-1 ends the list). Freed
+// nodes are recycled through waitFree.
+type waitNode struct {
+	idx  int32
+	slot int32
+	next int32
 }
 
 // proc is the state of one workstation.
 type proc struct {
 	pos       int32
 	cols      []ownedCol
-	colIndex  map[int32]int32 // column id -> index in cols
 	known     *u64map
-	waiting   map[uint64][]int32 // (col,step) -> owned indexes blocked on it
-	consumers map[int32][]int32  // column id -> owned indexes that consume its values
-	ready     readyHeap
+	waiting   *u64map // (col,step) key -> head index into waitPool
+	waitPool  []waitNode
+	waitFree  int32 // freelist head, -1 when empty
+	ready     readyQueue
 	active    bool // member of the chunk's active list
 	computed  int64
 	remaining int64 // pebbles this workstation still has to compute
 }
 
-// calEntry orders same-step deliveries deterministically: by step, then by
-// (position, from-left-before-from-right).
-type calEntry struct {
-	step int64
-	key  int32 // position*2 (+1 for delivery from the right)
-}
-
-type calendar []calEntry
-
-func (c calendar) Len() int { return len(c) }
-func (c calendar) Less(i, j int) bool {
-	if c[i].step != c[j].step {
-		return c[i].step < c[j].step
+// addWaiter blocks owned index idx (dependency slot `slot`) on key, pooling
+// the list node.
+func (p *proc) addWaiter(key uint64, idx, slot int32) {
+	ni := p.waitFree
+	if ni >= 0 {
+		p.waitFree = p.waitPool[ni].next
+	} else {
+		ni = int32(len(p.waitPool))
+		p.waitPool = append(p.waitPool, waitNode{})
 	}
-	return c[i].key < c[j].key
-}
-func (c calendar) Swap(i, j int)       { c[i], c[j] = c[j], c[i] }
-func (c *calendar) Push(x interface{}) { *c = append(*c, x.(calEntry)) }
-func (c *calendar) Pop() interface{} {
-	old := *c
-	n := len(old)
-	v := old[n-1]
-	*c = old[:n-1]
-	return v
+	next := int32(-1)
+	if head, ok := p.waiting.get(key); ok {
+		next = int32(head)
+	}
+	p.waitPool[ni] = waitNode{idx: idx, slot: slot, next: next}
+	p.waiting.put(key, uint64(ni))
 }
 
 // chunk simulates a contiguous slice [lo, hi) of the host line. The
@@ -171,10 +166,10 @@ type chunk struct {
 	// inRight receives messages crossing (hi -> hi-1).
 	inLeft, inRight dlink
 
-	cal        calendar
+	cal        bucketCal
 	activeList []int32 // positions with non-empty ready heaps
 	txActive   []int32 // encoded links with queued messages: pos*2 (+1 left)
-	txFlag     map[int32]bool
+	txFlag     []bool  // indexed by link code
 
 	// outbound boundary batches (parallel engine)
 	outLeft, outRight []timedMsg
@@ -194,9 +189,6 @@ type chunk struct {
 	// so the parallel engine records race-free. collect() merges and
 	// replays the canonical stream into the configured Recorder.
 	buf *obs.Buffer
-
-	// scratch
-	neighVals []uint64
 }
 
 // newChunk builds chunk state for positions [lo, hi).
@@ -207,7 +199,7 @@ func newChunk(cfg *Config, rt *routeTable, lo, hi int) *chunk {
 		T:           int32(cfg.Guest.Steps),
 		cps:         cfg.computePerStep(),
 		now:         1,
-		txFlag:      make(map[int32]bool),
+		txFlag:      make([]bool, 2*n),
 		traceWindow: cfg.TraceWindow,
 	}
 	if cfg.Recorder != nil {
@@ -220,10 +212,9 @@ func newChunk(cfg *Config, rt *routeTable, lo, hi int) *chunk {
 		p.pos = int32(pos)
 		owned := cfg.Assign.Owned[pos]
 		p.cols = make([]ownedCol, len(owned))
-		p.colIndex = make(map[int32]int32, len(owned))
 		p.known = newU64map()
-		p.waiting = make(map[uint64][]int32)
-		p.consumers = make(map[int32][]int32)
+		p.waiting = newU64map()
+		p.waitFree = -1
 		for i, col := range owned {
 			oc := &p.cols[i]
 			oc.col = int32(col)
@@ -232,24 +223,38 @@ func newChunk(cfg *Config, rt *routeTable, lo, hi int) *chunk {
 			for _, nb := range cfg.Guest.Graph.Neighbors(col) {
 				oc.neighbors = append(oc.neighbors, int32(nb))
 			}
+			// Step-1 dependencies are the initial values, known up front.
+			oc.depVals = make([]uint64, len(oc.neighbors))
+			for j, nb := range oc.neighbors {
+				oc.depVals[j] = cfg.Guest.InitialValue(int(nb))
+			}
 			oc.routes = rt.bySender[pos][i]
-			p.colIndex[int32(col)] = int32(i)
 			p.remaining += int64(c.T)
 		}
 		// consumers: owned column c' consumes its own values and its
-		// guest neighbors' values.
+		// guest neighbors' values. Resolve the lookup once into the
+		// per-column release lists so the hot path never consults a map.
+		consumers := make(map[int32][]int32, len(owned))
 		for i := range p.cols {
 			oc := &p.cols[i]
-			p.consumers[oc.col] = append(p.consumers[oc.col], int32(i))
+			consumers[oc.col] = append(consumers[oc.col], int32(i))
 			for _, nb := range oc.neighbors {
-				p.consumers[nb] = append(p.consumers[nb], int32(i))
+				consumers[nb] = append(consumers[nb], int32(i))
+			}
+		}
+		for i := range p.cols {
+			oc := &p.cols[i]
+			oc.consSelf = consumers[oc.col]
+			oc.consNb = make([][]int32, len(oc.neighbors))
+			for j, nb := range oc.neighbors {
+				oc.consNb[j] = consumers[nb]
 			}
 		}
 		// All step-0 values are initial state, known everywhere, so every
 		// column starts ready (when T >= 1).
 		if c.T >= 1 {
 			for i := range p.cols {
-				heap.Push(&p.ready, readyKey(1, int32(i)))
+				p.ready.push(readyKey(1, int32(i)))
 			}
 			if len(p.cols) > 0 {
 				p.active = true
@@ -344,19 +349,26 @@ func (c *chunk) deliverValue(pos int, route int32, col, step int32, value uint64
 // on it. Used both for network deliveries and locally computed pebbles.
 func (c *chunk) recordValue(p *proc, key uint64, value uint64) {
 	p.known.put(key, value)
-	if ws, ok := p.waiting[key]; ok {
-		for _, idx := range ws {
-			oc := &p.cols[idx]
+	if head, ok := p.waiting.get(key); ok {
+		ni := int32(head)
+		for ni >= 0 {
+			n := &p.waitPool[ni]
+			oc := &p.cols[n.idx]
+			oc.depVals[n.slot] = value
 			oc.missing--
 			if oc.missing == 0 {
-				heap.Push(&p.ready, readyKey(oc.next, idx))
+				p.ready.push(readyKey(oc.next, n.idx))
 				if !p.active {
 					p.active = true
 					c.activeList = append(c.activeList, p.pos)
 				}
 			}
+			next := n.next
+			n.next = p.waitFree
+			p.waitFree = ni
+			ni = next
 		}
-		delete(p.waiting, key)
+		p.waiting.del(key)
 	}
 }
 
@@ -366,7 +378,7 @@ func (c *chunk) computeOne(p *proc) bool {
 	if len(p.ready) == 0 {
 		return false
 	}
-	k := heap.Pop(&p.ready).(uint64)
+	k := p.ready.pop()
 	idx := int32(uint32(k))
 	t := int32(uint32(k >> 32))
 	oc := &p.cols[idx]
@@ -374,26 +386,15 @@ func (c *chunk) computeOne(p *proc) bool {
 		panic(fmt.Sprintf("sim: ready entry step %d != next %d for col %d at pos %d",
 			t, oc.next, oc.col, p.pos))
 	}
-	// Gather dependency values at step t-1.
+	// Dependency values at step t-1 live in oc.depVals, filled when the
+	// column advanced (or prefilled with initial values for t == 1).
 	var self uint64
-	nv := c.neighVals[:0]
 	if t == 1 {
 		self = c.cfg.Guest.InitialValue(int(oc.col))
-		for _, nb := range oc.neighbors {
-			nv = append(nv, c.cfg.Guest.InitialValue(int(nb)))
-		}
 	} else {
 		self = oc.lastVal
-		for _, nb := range oc.neighbors {
-			v, ok := p.known.get(kkey(nb, t-1))
-			if !ok {
-				panic(fmt.Sprintf("sim: missing dep (%d,%d) at pos %d", nb, t-1, p.pos))
-			}
-			nv = append(nv, v)
-		}
 	}
-	c.neighVals = nv
-	v := c.cfg.Guest.Compute(oc.db.Digest(), int(oc.col), int(t), self, nv)
+	v := c.cfg.Guest.Compute(oc.db.Digest(), int(oc.col), int(t), self, oc.depVals)
 	oc.db.Apply(guest.Update{Node: int(oc.col), Step: int(t), Val: v})
 	oc.lastVal = v
 	p.computed++
@@ -420,9 +421,9 @@ func (c *chunk) computeOne(p *proc) bool {
 
 	// Release step t-1 dependency values no local column still needs.
 	if t >= 2 {
-		c.release(p, oc.col, t-1)
-		for _, nb := range oc.neighbors {
-			c.release(p, nb, t-1)
+		c.release(p, oc.consSelf, oc.col, t-1)
+		for j, nb := range oc.neighbors {
+			c.release(p, oc.consNb[j], nb, t-1)
 		}
 	}
 
@@ -433,25 +434,26 @@ func (c *chunk) computeOne(p *proc) bool {
 	}
 	missing := int32(0)
 	// Self value (oc.col, t) was stored above (t < T here since next <= T).
-	for _, nb := range oc.neighbors {
-		if !p.known.has(kkey(nb, t)) {
+	for j, nb := range oc.neighbors {
+		if dv, ok := p.known.get(kkey(nb, t)); ok {
+			oc.depVals[j] = dv
+		} else {
 			missing++
-			wk := kkey(nb, t)
-			p.waiting[wk] = append(p.waiting[wk], idx)
+			p.addWaiter(kkey(nb, t), idx, int32(j))
 		}
 	}
 	oc.missing = missing
 	if missing == 0 {
-		heap.Push(&p.ready, readyKey(oc.next, idx))
+		p.ready.push(readyKey(oc.next, idx))
 	}
 	return true
 }
 
-// release deletes (col, step) from p.known once every local consumer has
-// advanced past needing it (a consumer needs step s values while its next
-// computed step is <= s+1).
-func (c *chunk) release(p *proc, col, step int32) {
-	for _, idx := range p.consumers[col] {
+// release deletes (col, step) from p.known once every consumer in cons (the
+// owned indexes that read col's values) has advanced past needing it (a
+// consumer needs step s values while its next computed step is <= s+1).
+func (c *chunk) release(p *proc, cons []int32, col, step int32) {
+	for _, idx := range cons {
 		if p.cols[idx].next <= step+1 {
 			return
 		}
@@ -481,10 +483,9 @@ func (c *chunk) deliveriesFor(l *dlink, pos int) bool {
 // step, in deterministic (position, from-left-first) order.
 func (c *chunk) runDeliveries() bool {
 	did := false
-	for len(c.cal) > 0 && c.cal[0].step == c.now {
-		e := heap.Pop(&c.cal).(calEntry)
-		pos := int(e.key / 2)
-		fromRight := e.key%2 == 1
+	for _, key := range c.cal.takeDue(c.now) {
+		pos := int(key / 2)
+		fromRight := key%2 == 1
 		var l *dlink
 		if fromRight {
 			// delivery at pos from link (pos+1 -> pos)
@@ -574,17 +575,16 @@ func (c *chunk) runTransmit() bool {
 				c.outRight = append(c.outRight, timedMsg{arrive: arrive, m: m})
 			case leftward:
 				l.pushInflight(timedMsg{arrive: arrive, m: m})
-				heap.Push(&c.cal, calEntry{step: arrive, key: linkDeliveryKey(pos-1, true)})
+				c.cal.schedule(c.now, arrive, linkDeliveryKey(pos-1, true))
 			default:
 				l.pushInflight(timedMsg{arrive: arrive, m: m})
-				heap.Push(&c.cal, calEntry{step: arrive, key: linkDeliveryKey(pos+1, false)})
+				c.cal.schedule(c.now, arrive, linkDeliveryKey(pos+1, false))
 			}
 		}
 		if l.qlen() > 0 {
-			c.txFlag[code] = true // stays flagged
-			c.txActive = append(c.txActive, code)
+			c.txActive = append(c.txActive, code) // stays flagged
 		} else {
-			delete(c.txFlag, code)
+			c.txFlag[code] = false
 		}
 	}
 	return did
@@ -625,10 +625,7 @@ func (c *chunk) nextEvent() (int64, bool) {
 	if len(c.activeList) > 0 || len(c.txActive) > 0 {
 		return c.now + 1, true
 	}
-	if len(c.cal) > 0 {
-		return c.cal[0].step, true
-	}
-	return 0, false
+	return c.cal.next(c.now)
 }
 
 // receiveBoundary appends a batch of boundary arrivals (already stamped by
@@ -640,12 +637,12 @@ func (c *chunk) receiveBoundary(fromLeft bool, batch []timedMsg) {
 	if fromLeft {
 		for _, tm := range batch {
 			c.inLeft.pushInflight(tm)
-			heap.Push(&c.cal, calEntry{step: tm.arrive, key: linkDeliveryKey(c.lo, false)})
+			c.cal.schedule(c.now, tm.arrive, linkDeliveryKey(c.lo, false))
 		}
 	} else {
 		for _, tm := range batch {
 			c.inRight.pushInflight(tm)
-			heap.Push(&c.cal, calEntry{step: tm.arrive, key: linkDeliveryKey(c.hi-1, true)})
+			c.cal.schedule(c.now, tm.arrive, linkDeliveryKey(c.hi-1, true))
 		}
 	}
 }

@@ -1,0 +1,124 @@
+package sim
+
+import "testing"
+
+// The dlink FIFOs amortise pops with a head cursor and compact the backing
+// slice once the consumed prefix passes 64 entries and half the slice
+// (popQueue/popInflight's `qh > 64 && qh*2 > len` path). These tests pin
+// FIFO order across compaction, peak-queue accounting, and the
+// empty-after-compact state, including repeated fill/drain wraparounds that
+// force the compaction several times on the same link.
+
+func TestDlinkQueueCompaction(t *testing.T) {
+	l := &dlink{delay: 1, bw: 1}
+	const n = 200
+	for i := 0; i < n; i++ {
+		l.enqueue(msg{route: int32(i)})
+	}
+	if l.peakQ != n {
+		t.Fatalf("peakQ %d want %d", l.peakQ, n)
+	}
+	// Pop past the compaction trigger: at qh=101, 101*2 > 200 fires.
+	for i := 0; i < 150; i++ {
+		if m := l.popQueue(); m.route != int32(i) {
+			t.Fatalf("pop %d returned route %d (order broken by compaction)", i, m.route)
+		}
+	}
+	if l.qh >= 64 {
+		t.Fatalf("queue not compacted: qh=%d len=%d", l.qh, len(l.queue))
+	}
+	if l.qlen() != n-150 {
+		t.Fatalf("qlen %d want %d", l.qlen(), n-150)
+	}
+	// Enqueue after compaction must preserve FIFO order.
+	for i := n; i < n+10; i++ {
+		l.enqueue(msg{route: int32(i)})
+	}
+	for i := 150; i < n+10; i++ {
+		if m := l.popQueue(); m.route != int32(i) {
+			t.Fatalf("post-compact pop returned route %d want %d", m.route, i)
+		}
+	}
+	if l.qlen() != 0 {
+		t.Fatalf("queue not empty after drain: qlen=%d", l.qlen())
+	}
+	// peakQ is a high-water mark: drains must not lower it, and refills
+	// below the peak must not raise it.
+	if l.peakQ != n {
+		t.Fatalf("peakQ moved to %d after drain, want %d", l.peakQ, n)
+	}
+	l.enqueue(msg{route: 1})
+	if l.peakQ != n {
+		t.Fatalf("peakQ %d after small refill, want %d", l.peakQ, n)
+	}
+}
+
+// TestDlinkQueueWraparound forces compaction repeatedly through many
+// fill/drain cycles, keeping a residue across each cycle so the head cursor
+// keeps sliding through freshly compacted slices.
+func TestDlinkQueueWraparound(t *testing.T) {
+	l := &dlink{}
+	next := int32(0) // next route id to enqueue
+	want := int32(0) // next route id expected from pop
+	for cycle := 0; cycle < 8; cycle++ {
+		for i := 0; i < 90; i++ {
+			l.enqueue(msg{route: next})
+			next++
+		}
+		// Drain all but 5, popping through at least one compaction.
+		for l.qlen() > 5 {
+			if m := l.popQueue(); m.route != want {
+				t.Fatalf("cycle %d: pop route %d want %d", cycle, m.route, want)
+			}
+			want++
+		}
+	}
+	for l.qlen() > 0 {
+		if m := l.popQueue(); m.route != want {
+			t.Fatalf("final drain: pop route %d want %d", m.route, want)
+		}
+		want++
+	}
+	if want != next {
+		t.Fatalf("popped %d messages, enqueued %d", want, next)
+	}
+	// The amortisation invariant: the consumed prefix never exceeds both
+	// the 64-entry threshold and half the backing slice.
+	if l.qh > 64 && l.qh*2 > len(l.queue) {
+		t.Fatalf("drained queue left uncompacted: qh=%d len=%d", l.qh, len(l.queue))
+	}
+	if l.qlen() != 0 {
+		t.Fatalf("queue not empty after drain: qlen=%d", l.qlen())
+	}
+}
+
+func TestDlinkInflightCompaction(t *testing.T) {
+	l := &dlink{}
+	const n = 180
+	for i := 0; i < n; i++ {
+		l.pushInflight(timedMsg{arrive: int64(i + 1), m: msg{route: int32(i)}})
+	}
+	for i := 0; i < n; i++ {
+		a, ok := l.headArrival()
+		if !ok || a != int64(i+1) {
+			t.Fatalf("headArrival at %d: %d,%v", i, a, ok)
+		}
+		if m := l.popInflight(); m.route != int32(i) {
+			t.Fatalf("popInflight %d returned route %d", i, m.route)
+		}
+	}
+	if _, ok := l.headArrival(); ok {
+		t.Fatal("headArrival reports entries on an empty inflight FIFO")
+	}
+	if l.ih > 64 && l.ih*2 > len(l.inflight) {
+		t.Fatalf("inflight FIFO left uncompacted after drain: ih=%d len=%d", l.ih, len(l.inflight))
+	}
+	// Push after full drain: arrivals must surface immediately.
+	l.pushInflight(timedMsg{arrive: 99, m: msg{route: 7}})
+	if a, ok := l.headArrival(); !ok || a != 99 {
+		t.Fatalf("headArrival after refill: %d,%v", a, ok)
+	}
+	if m := l.popInflight(); m.route != 7 {
+		t.Fatalf("popInflight after refill: route %d", m.route)
+	}
+}

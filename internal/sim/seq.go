@@ -77,26 +77,30 @@ func collect(cfg *Config, chunks []*chunk) (*Result, error) {
 		return nil, fmt.Errorf("sim: %d duplicate deliveries (routing bug)", dups)
 	}
 	if cfg.TraceWindow > 0 {
-		tr := &Trace{Window: cfg.TraceWindow}
+		// Pre-size both timelines to the widest chunk window count so the
+		// merge is a flat O(n) accumulation instead of growing
+		// element-by-element inside the loop.
+		windows := 0
+		for _, c := range chunks {
+			if len(c.traceComputes) > windows {
+				windows = len(c.traceComputes)
+			}
+			if len(c.traceHops) > windows {
+				windows = len(c.traceHops)
+			}
+		}
+		tr := &Trace{
+			Window:   cfg.TraceWindow,
+			Computes: make([]int64, windows),
+			Hops:     make([]int64, windows),
+		}
 		for _, c := range chunks {
 			for i, v := range c.traceComputes {
-				for len(tr.Computes) <= i {
-					tr.Computes = append(tr.Computes, 0)
-				}
 				tr.Computes[i] += v
 			}
 			for i, v := range c.traceHops {
-				for len(tr.Hops) <= i {
-					tr.Hops = append(tr.Hops, 0)
-				}
 				tr.Hops[i] += v
 			}
-		}
-		for len(tr.Hops) < len(tr.Computes) {
-			tr.Hops = append(tr.Hops, 0)
-		}
-		for len(tr.Computes) < len(tr.Hops) {
-			tr.Computes = append(tr.Computes, 0)
 		}
 		res.Trace = tr
 	}

@@ -67,8 +67,11 @@ func (m *u64map) put(key, val uint64) {
 	if key == 0 {
 		panic("u64map: zero key")
 	}
-	// grow at 75% load
-	if 4*(m.n+1) > 3*len(m.keys) {
+	// Grow at 50% load: the engine's hottest operation is the *missing*
+	// probe (dependency not yet known), whose expected chain length blows
+	// up past half load in linear-probe tables; trading memory for short
+	// chains is a clear win here.
+	if 2*(m.n+1) > len(m.keys) {
 		m.rehash(2 * len(m.keys))
 	}
 	i := u64hash(key) & m.mask
