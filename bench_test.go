@@ -14,6 +14,7 @@ import (
 	"latencyhide/internal/baseline"
 	"latencyhide/internal/dataflow"
 	"latencyhide/internal/expt"
+	"latencyhide/internal/fault"
 	"latencyhide/internal/guest"
 	"latencyhide/internal/layout"
 	"latencyhide/internal/lower"
@@ -432,8 +433,42 @@ type discard struct{}
 
 func (discard) Write(p []byte) (int, error) { return len(p), nil }
 
-// BenchmarkE13HigherDimArrays — the higher-dimensional generalization.
-func BenchmarkE13HigherDimArrays(b *testing.B) {
+// BenchmarkE13Resilience — fault-injected runs: the replicated-blocks
+// assignment under a mid-run crash and under windowed link outages.
+func BenchmarkE13Resilience(b *testing.B) {
+	delays := delaysOf(network.Line(16, network.UniformDelay{Lo: 1, Hi: 8}, 13))
+	a, err := assign.ReplicatedBlocks(16, 32, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, tc := range []struct {
+		name string
+		plan *fault.Plan
+	}{
+		{"crash", &fault.Plan{Seed: 1, Crashes: []fault.Crash{{Host: 7, Step: 8}}}},
+		{"outage", &fault.Plan{Seed: 42, Outages: []fault.Outage{{Link: -1, Window: 8, Frac: 0.2}}}},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			var slow float64
+			for i := 0; i < b.N; i++ {
+				r, err := sim.Run(sim.Config{
+					Delays: delays,
+					Guest:  guest.Spec{Graph: guest.NewLinearArray(32), Steps: 16, Seed: 13},
+					Assign: a,
+					Faults: tc.plan,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				slow = r.Slowdown
+			}
+			b.ReportMetric(slow, "slowdown")
+		})
+	}
+}
+
+// BenchmarkE17HigherDimArrays — the higher-dimensional generalization.
+func BenchmarkE17HigherDimArrays(b *testing.B) {
 	delays := delaysOf(network.Line(64, network.UniformDelay{Lo: 1, Hi: 8}, 13))
 	for _, dims := range [][]int{{216}, {36, 6}, {6, 6, 6}} {
 		g := guest.NewArrayND(dims...)

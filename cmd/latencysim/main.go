@@ -18,12 +18,14 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"runtime/pprof"
 	"sort"
 	"strings"
 
 	"latencyhide/internal/embedding"
 	"latencyhide/internal/expt"
+	"latencyhide/internal/fault"
 	"latencyhide/internal/metrics"
 	"latencyhide/internal/network"
 	"latencyhide/internal/obs"
@@ -85,7 +87,7 @@ commands:
   guest   simulate a tree/hypercube/butterfly/array guest via a 1-D layout
   plan    analyse a host and recommend OVERLAP parameters
   lower   certify the Theorem 9 / Theorem 10 lower bounds on H1 / H2
-  exp     regenerate the paper experiments (E1..E15)`)
+  exp     regenerate the paper experiments (E1..E17)`)
 }
 
 // hostFlags builds a host network from common flags.
@@ -211,6 +213,32 @@ func cmdTopo(args []string) error {
 	return nil
 }
 
+// validateRunFlags rejects flag combinations that would otherwise surface as
+// confusing mid-run failures: negative worker counts, output paths in
+// directories that do not exist, and malformed fault specs. It returns the
+// parsed fault plan (nil when faultsSpec is empty).
+func validateRunFlags(workers int, outPath, faultsSpec string) (*fault.Plan, error) {
+	if workers < 0 {
+		return nil, fmt.Errorf("-workers must be >= 0, got %d", workers)
+	}
+	if outPath != "" {
+		dir := filepath.Dir(outPath)
+		if fi, err := os.Stat(dir); err != nil {
+			return nil, fmt.Errorf("output directory %q does not exist", dir)
+		} else if !fi.IsDir() {
+			return nil, fmt.Errorf("output path parent %q is not a directory", dir)
+		}
+	}
+	if faultsSpec == "" {
+		return nil, nil
+	}
+	plan, err := fault.Parse(faultsSpec)
+	if err != nil {
+		return nil, fmt.Errorf("-faults: %v", err)
+	}
+	return plan, nil
+}
+
 func parseVariant(s string) (overlap.Variant, error) {
 	switch strings.ToLower(s) {
 	case "loadone", "load-one", "load1":
@@ -237,8 +265,13 @@ func cmdRun(args []string) error {
 	trace := fs.Bool("trace", false, "print a utilization timeline")
 	traceOut := fs.String("trace-out", "", "write a Chrome trace-event JSON of the run to this file")
 	profile := fs.String("profile", "", "write a CPU pprof profile of the run to this file")
+	faults := fs.String("faults", "", "deterministic fault plan, e.g. '7:outage=0.1x8;crash=3@40' (see DESIGN.md)")
 	fs.Parse(args)
 
+	plan, err := validateRunFlags(*workers, *traceOut, *faults)
+	if err != nil {
+		return err
+	}
 	g, err := hf.build()
 	if err != nil {
 		return err
@@ -249,7 +282,7 @@ func cmdRun(args []string) error {
 	}
 	opts := overlap.Options{
 		Variant: v, Steps: *steps, Beta: *beta, Seed: *seed,
-		Bandwidth: *bw, Workers: *workers, Check: *check,
+		Bandwidth: *bw, Workers: *workers, Check: *check, Faults: plan,
 	}
 	if *trace {
 		// Collect the timeline during the one and only run; printTrace
@@ -286,6 +319,9 @@ func cmdRun(args []string) error {
 		out.LiveProcs, out.HostN, out.KilledStage1, out.KilledStage2, out.GuestUnits)
 	fmt.Printf("assignment: variant=%s guest_cols=%d load=%d copies<=%d redundancy=%.2f\n",
 		out.Variant, out.GuestCols, out.Load, out.MaxCopies, out.Redundancy)
+	if plan != nil {
+		fmt.Printf("faults: %s\n", plan)
+	}
 	fmt.Printf("run: guest_steps=%d host_steps=%d slowdown=%.2f (bound ~ %.0f)\n",
 		out.Sim.GuestSteps, out.Sim.HostSteps, out.Sim.Slowdown, out.PredictedSlowdown)
 	if line, err2 := embedding.Embed(g, 0); err2 == nil {
@@ -387,8 +423,13 @@ func cmdTrace(args []string) error {
 	csvPath := fs.String("csv", "", "write the link gauges as CSV to this file")
 	heatmap := fs.Bool("heatmap", false, "print the per-workstation compute heatmap")
 	links := fs.Int("links", 8, "how many busiest directed links to print")
+	faults := fs.String("faults", "", "deterministic fault plan, e.g. '7:outage=0.1x8;crash=3@40' (see DESIGN.md)")
 	fs.Parse(args)
 
+	plan, err := validateRunFlags(*workers, *out, *faults)
+	if err != nil {
+		return err
+	}
 	g, err := hf.build()
 	if err != nil {
 		return err
@@ -400,7 +441,7 @@ func cmdTrace(args []string) error {
 	rec := obs.NewBuffer()
 	o, err := overlap.Simulate(g, overlap.Options{
 		Variant: v, Steps: *steps, Beta: *beta, Seed: *seed,
-		Bandwidth: *bw, Workers: *workers, Recorder: rec,
+		Bandwidth: *bw, Workers: *workers, Recorder: rec, Faults: plan,
 	})
 	if err != nil {
 		return err

@@ -215,3 +215,78 @@ func TestCoarsen(t *testing.T) {
 		t.Fatalf("k=1 should be identity, got %v", out)
 	}
 }
+
+// Flag validation must reject bad inputs with one-line errors before any
+// simulation starts.
+func TestValidateRunFlags(t *testing.T) {
+	dir := t.TempDir()
+	file := filepath.Join(dir, "occupied")
+	if err := os.WriteFile(file, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name    string
+		workers int
+		out     string
+		faults  string
+		wantErr string // substring; empty = must succeed
+	}{
+		{"defaults", 0, "", "", ""},
+		{"workers ok", 4, "", "", ""},
+		{"negative workers", -1, "", "", "-workers"},
+		{"out in existing dir", 0, filepath.Join(dir, "t.json"), "", ""},
+		{"out in missing dir", 0, filepath.Join(dir, "nope", "t.json"), "", "does not exist"},
+		{"out under a file", 0, filepath.Join(file, "t.json"), "", "not a directory"},
+		{"good faults", 0, "", "7:outage=0.1x8;crash=3@40", ""},
+		{"all fault kinds", 0, "", "1:jitter=4@0.5;outage=0.2x6#2;slow=0.3x8/0#1;crash=0@9", ""},
+		{"faults missing seed", 0, "", "outage=0.1x8", "-faults"},
+		{"faults bad kind", 0, "", "7:meteor=1", "-faults"},
+		{"faults bad fraction", 0, "", "7:outage=1.5x8", "-faults"},
+		{"faults garbage", 0, "", "::::", "-faults"},
+	}
+	for _, tc := range cases {
+		plan, err := validateRunFlags(tc.workers, tc.out, tc.faults)
+		if tc.wantErr == "" {
+			if err != nil {
+				t.Errorf("%s: unexpected error %v", tc.name, err)
+			}
+			if tc.faults != "" && plan == nil {
+				t.Errorf("%s: no plan parsed", tc.name)
+			}
+			if tc.faults == "" && plan != nil {
+				t.Errorf("%s: plan from empty spec", tc.name)
+			}
+			continue
+		}
+		if err == nil {
+			t.Errorf("%s: bad input accepted", tc.name)
+		} else if !strings.Contains(err.Error(), tc.wantErr) {
+			t.Errorf("%s: error %q missing %q", tc.name, err, tc.wantErr)
+		}
+		if !strings.Contains(tc.name, "faults") || err == nil {
+			continue
+		}
+		if strings.Count(err.Error(), "\n") != 0 {
+			t.Errorf("%s: error is not one line: %q", tc.name, err)
+		}
+	}
+}
+
+// End-to-end: run with a fault plan completes and prints the plan; a
+// malformed plan fails fast.
+func TestRunWithFaults(t *testing.T) {
+	if err := cmdRun([]string{"-host", "line", "-n", "48", "-steps", "8",
+		"-variant", "loadone", "-faults", "7:outage=0.1x8"}); err != nil {
+		t.Fatalf("run -faults: %v", err)
+	}
+	if err := cmdRun([]string{"-host", "line", "-n", "48",
+		"-faults", "bogus"}); err == nil {
+		t.Fatal("malformed -faults accepted")
+	}
+	if err := cmdRun([]string{"-host", "line", "-n", "48", "-workers", "-2"}); err == nil {
+		t.Fatal("negative -workers accepted")
+	}
+	if err := cmdTrace([]string{"-host", "line", "-n", "48", "-workers", "-2"}); err == nil {
+		t.Fatal("trace: negative -workers accepted")
+	}
+}

@@ -343,6 +343,42 @@ func SingleCopyBlocks(hostN, m int) (*Assignment, error) {
 	return FromOwned(hostN, m, owned)
 }
 
+// ReplicatedBlocks distributes m columns in the same contiguous blocks as
+// SingleCopyBlocks, but replicates block b onto the `copies` consecutive
+// processors nearest b (clipped at the line ends), so every column has
+// exactly `copies` replicas on neighboring hosts. This is the replication
+// pattern OVERLAP uses for fault tolerance: any copies-1 crash-stop hosts
+// leave a live replica of every column.
+func ReplicatedBlocks(hostN, m, copies int) (*Assignment, error) {
+	if hostN < 1 || m < 1 {
+		return nil, fmt.Errorf("assign: hostN=%d m=%d", hostN, m)
+	}
+	if copies < 1 || copies > hostN {
+		return nil, fmt.Errorf("assign: copies=%d outside [1,%d]", copies, hostN)
+	}
+	owned := make([][]int, hostN)
+	for b := 0; b < hostN; b++ {
+		colLo := b * m / hostN
+		colHi := (b + 1) * m / hostN
+		if colLo == colHi {
+			continue
+		}
+		lo := b - (copies-1)/2
+		if lo < 0 {
+			lo = 0
+		}
+		if lo > hostN-copies {
+			lo = hostN - copies
+		}
+		for p := lo; p < lo+copies; p++ {
+			for c := colLo; c < colHi; c++ {
+				owned[p] = append(owned[p], c)
+			}
+		}
+	}
+	return FromOwned(hostN, m, owned)
+}
+
 // SingleCopyOnHosts places contiguous single-copy blocks on an explicit
 // subset of host processors (ascending ids). It supports baselines that pick
 // favourable processors, e.g. avoiding H1's slow links.

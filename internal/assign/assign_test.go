@@ -365,3 +365,40 @@ func TestTwoLevelPropertyRandomHosts(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestReplicatedBlocks(t *testing.T) {
+	for _, tc := range []struct{ n, m, copies int }{
+		{8, 16, 4}, {8, 16, 1}, {5, 7, 3}, {4, 4, 4}, {16, 8, 2},
+	} {
+		a, err := ReplicatedBlocks(tc.n, tc.m, tc.copies)
+		if err != nil {
+			t.Fatalf("ReplicatedBlocks(%d,%d,%d): %v", tc.n, tc.m, tc.copies, err)
+		}
+		for c, hs := range a.Holders {
+			if len(hs) != tc.copies {
+				t.Fatalf("n=%d m=%d copies=%d: column %d has %d holders",
+					tc.n, tc.m, tc.copies, c, len(hs))
+			}
+			// Holders are consecutive processors (locality).
+			for i := 1; i < len(hs); i++ {
+				if hs[i] != hs[i-1]+1 {
+					t.Fatalf("column %d holders not consecutive: %v", c, hs)
+				}
+			}
+		}
+	}
+	// copies=1 degenerates to the single-copy blocks.
+	a, _ := ReplicatedBlocks(4, 10, 1)
+	b, _ := SingleCopyBlocks(4, 10)
+	for p := range a.Owned {
+		if len(a.Owned[p]) != len(b.Owned[p]) {
+			t.Fatalf("copies=1 differs from SingleCopyBlocks at proc %d", p)
+		}
+	}
+	if _, err := ReplicatedBlocks(4, 8, 5); err == nil {
+		t.Fatal("copies > hostN accepted")
+	}
+	if _, err := ReplicatedBlocks(4, 8, 0); err == nil {
+		t.Fatal("copies = 0 accepted")
+	}
+}

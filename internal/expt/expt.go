@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"io"
 	"runtime"
+	"runtime/debug"
 	"sort"
 	"sync"
 
@@ -84,6 +85,19 @@ func RunAll(w io.Writer, scale Scale, md bool) error {
 	return RunAllWorkers(w, scale, md, 0)
 }
 
+// runOne executes one experiment, converting a panic into that experiment's
+// error (with the stack) so a bug in one experiment cannot take down the
+// whole harness — or, under RunAllWorkers, the goroutines running its
+// concurrent siblings.
+func runOne(e *Experiment, scale Scale) (tables []*metrics.Table, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("panic: %v\n%s", r, debug.Stack())
+		}
+	}()
+	return e.Run(scale)
+}
+
 // RunAllWorkers is RunAll with an explicit concurrency bound; workers <= 0
 // means GOMAXPROCS, 1 runs strictly sequentially.
 func RunAllWorkers(w io.Writer, scale Scale, md bool, workers int) error {
@@ -103,7 +117,7 @@ func RunAllWorkers(w io.Writer, scale Scale, md bool, workers int) error {
 	renderOne := func(i int) {
 		e, out := exps[i], &results[i]
 		fmt.Fprintf(&out.buf, "\n=== %s: %s (%s) ===\n\n", e.ID, e.Title, e.Paper)
-		tables, err := e.Run(scale)
+		tables, err := runOne(e, scale)
 		if err != nil {
 			fmt.Fprintf(&out.buf, "FAILED: %v\n", err)
 			out.err = fmt.Errorf("%s: %w", e.ID, err)

@@ -5,12 +5,14 @@ import (
 	"fmt"
 	"strings"
 	"testing"
+
+	"latencyhide/internal/metrics"
 )
 
 func TestRegistryComplete(t *testing.T) {
 	all := All()
-	if len(all) != 16 {
-		t.Fatalf("registry has %d experiments, want 16 (E1-E16)", len(all))
+	if len(all) != 17 {
+		t.Fatalf("registry has %d experiments, want 17 (E1-E17)", len(all))
 	}
 	for i, e := range all {
 		if e.ID == "" || e.Title == "" || e.Paper == "" || e.Run == nil {
@@ -18,7 +20,7 @@ func TestRegistryComplete(t *testing.T) {
 		}
 	}
 	// sorted numerically
-	if all[0].ID != "E1" || all[9].ID != "E10" || all[15].ID != "E16" {
+	if all[0].ID != "E1" || all[9].ID != "E10" || all[16].ID != "E17" {
 		ids := make([]string, len(all))
 		for i, e := range all {
 			ids[i] = e.ID
@@ -217,6 +219,79 @@ func TestE6MeasuredAboveCertified(t *testing.T) {
 		}
 		if measured < lb {
 			t.Fatalf("clique chain measured %v below certified %v", measured, lb)
+		}
+	}
+}
+
+// E13's crash sweep must show the paper's replication surviving every single
+// crash while the single-copy placement is uncomputable under all of them,
+// and the outage curve must be monotone.
+func TestE13ResilienceShape(t *testing.T) {
+	tables, err := Get("E13").Run(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 2 {
+		t.Fatalf("E13 produced %d tables", len(tables))
+	}
+	crash := tables[0].Rows
+	if len(crash) != 2 {
+		t.Fatalf("E13a rows: %v", crash)
+	}
+	// columns: assignment, copies, completed, uncomputable, worst slowdown
+	if !strings.HasPrefix(crash[0][2], "16/") || !strings.HasPrefix(crash[1][3], "16/") {
+		t.Fatalf("E13a shape wrong: replicated completed=%q single uncomputable=%q",
+			crash[0][2], crash[1][3])
+	}
+	// columns: outage frac, slowdown c=4, slowdown single, fault-stall%, dep-stall%
+	var prevRep, prevSingle, firstSingle, lastSingle float64
+	for i, r := range tables[1].Rows {
+		var rep, single float64
+		if _, err := sscan(r[1], &rep); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := sscan(r[2], &single); err != nil {
+			t.Fatal(err)
+		}
+		if rep < prevRep || single < prevSingle {
+			t.Fatalf("E13b slowdown not monotone in outage fraction: %v", tables[1].Rows)
+		}
+		prevRep, prevSingle = rep, single
+		if i == 0 {
+			firstSingle = single
+		}
+		lastSingle = single
+	}
+	if lastSingle <= firstSingle {
+		t.Fatalf("E13b single-copy slowdown should grow with outages: %v -> %v", firstSingle, lastSingle)
+	}
+}
+
+// A panicking experiment must be reported as that experiment's failure and
+// must not take down concurrently running siblings.
+func TestRunAllIsolatesPanics(t *testing.T) {
+	id := "E99"
+	register(&Experiment{
+		ID: id, Title: "panics", Paper: "none",
+		Run: func(Scale) ([]*metrics.Table, error) { panic("boom") },
+	})
+	defer delete(registry, id)
+	var buf bytes.Buffer
+	err := RunAllWorkers(&buf, Quick, false, 4)
+	if err == nil || !strings.Contains(err.Error(), "E99") || !strings.Contains(err.Error(), "boom") {
+		t.Fatalf("panic not reported as E99's error: %v", err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "FAILED: panic: boom") {
+		t.Fatalf("panic missing from rendered output:\n%s", out)
+	}
+	// every real experiment still ran
+	for _, e := range All() {
+		if e.ID == id {
+			continue
+		}
+		if !strings.Contains(out, "=== "+e.ID+":") {
+			t.Fatalf("%s missing after sibling panic", e.ID)
 		}
 	}
 }

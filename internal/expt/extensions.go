@@ -10,14 +10,14 @@ import (
 	"latencyhide/internal/overlap"
 )
 
-// E13-E15 go beyond the paper's evaluation: E13 is the higher-dimensional
+// E14-E15 and E17 go beyond the paper's evaluation: E17 is the higher-dimensional
 // generalization Theorem 8 explicitly mentions; E14 and E15 implement the
 // open directions of Section 7 ("trees, arrays, butterflies and hypercubes
 // on a NOW" and "G and H with identical network structures").
 
 func init() {
 	register(&Experiment{
-		ID:    "E13",
+		ID:    "E17",
 		Title: "Higher-dimensional guest arrays",
 		Paper: "Section 5: \"Theorem 8 can be generalized to higher dimensional arrays\"",
 		Run: func(scale Scale) ([]*metrics.Table, error) {
@@ -41,7 +41,7 @@ func init() {
 			}
 			g := network.Line(hostN, network.UniformDelay{Lo: 1, Hi: 8}, 13)
 			delays := delaysOf(g)
-			t := metrics.NewTable("E13: d-dimensional guest arrays on one NOW line (BFS layout)",
+			t := metrics.NewTable("E17: d-dimensional guest arrays on one NOW line (BFS layout)",
 				"guest", "nodes", "cutwidth", "max stretch", "load", "slowdown", "verified")
 			for _, c := range cases {
 				l := layout.BFS(c.g)

@@ -1,0 +1,510 @@
+// Package fault is the deterministic fault-injection layer for the host
+// simulator. A Plan composes four fault kinds over the host line:
+//
+//   - Jitter: per-injection extra link delay (a transient straggler link);
+//   - Outage: transient link outages over step windows — queued messages
+//     wait, they are never dropped;
+//   - Slowdown: a host computes fewer pebbles per step over step windows;
+//   - Crash: a permanent crash-stop host — it stops computing forever but
+//     keeps relaying traffic (the NIC outlives the CPU).
+//
+// Every query is a pure function of (Seed, site, step): no state, no
+// generator to advance, so the sequential and the parallel engine — which
+// visit (site, step) pairs in different orders — observe the exact same
+// faults and stay bit-identical. Probabilistic faults hash (seed, spec,
+// site, window) through a splitmix64 finalizer; raising a probability
+// strictly grows the set of faulty windows (the hash threshold test is
+// monotone), which is what makes fault-rate sweeps monotone too.
+package fault
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Jitter adds extra delay to individual link injections. A hit adds between
+// 1 and Amp steps, drawn deterministically per (link, direction, step,
+// injection slot). Jitter is additive only: arrivals are never earlier than
+// the base delay, so the parallel engine's lookahead stays safe.
+type Jitter struct {
+	Link int     // line link index, -1 = every link
+	Amp  int     // maximum extra delay, >= 1
+	Prob float64 // per-injection hit probability, in (0, 1]
+}
+
+// Outage takes a link down (both directions) for whole step windows: window
+// w covers steps [w*Window+1, (w+1)*Window] and is down with probability
+// Frac, decided independently per (link, window). While down, the link
+// injects nothing; queued messages wait and inject when it recovers.
+type Outage struct {
+	Link   int     // line link index, -1 = every link
+	Window int     // steps per window, >= 1
+	Frac   float64 // per-window outage probability, in (0, 1]
+}
+
+// Slowdown caps a host's effective compute rate at Limit pebbles per step
+// during affected windows (same windowing as Outage).
+type Slowdown struct {
+	Host   int     // host position, -1 = every host
+	Window int     // steps per window, >= 1
+	Frac   float64 // per-window slowdown probability, in (0, 1]
+	Limit  int     // pebbles per step while slowed, >= 0
+}
+
+// Crash permanently stops a host's compute at the given step: its remaining
+// pebbles are written off and its replicas stay frozen. The host still
+// relays link traffic. Crash-stop hosts are excluded from routing up front
+// (static failover), so survivors never wait on a doomed sender.
+type Crash struct {
+	Host int
+	Step int64 // first step at which the host no longer computes, >= 1
+}
+
+// Plan is a deterministic fault schedule. The zero value (and a nil *Plan)
+// injects nothing.
+type Plan struct {
+	Seed      uint64
+	Jitters   []Jitter
+	Outages   []Outage
+	Slowdowns []Slowdown
+	Crashes   []Crash
+}
+
+// Enabled reports whether the plan injects any fault at all.
+func (p *Plan) Enabled() bool {
+	return p != nil &&
+		(len(p.Jitters) > 0 || len(p.Outages) > 0 || len(p.Slowdowns) > 0 || len(p.Crashes) > 0)
+}
+
+// Validate checks every spec against a host line of hostN workstations
+// (hostN-1 links).
+func (p *Plan) Validate(hostN int) error {
+	if p == nil {
+		return nil
+	}
+	links := hostN - 1
+	for i, j := range p.Jitters {
+		if j.Link < -1 || j.Link >= links {
+			return fmt.Errorf("fault: jitter %d: link %d out of range [0,%d)", i, j.Link, links)
+		}
+		if j.Amp < 1 {
+			return fmt.Errorf("fault: jitter %d: amplitude %d < 1", i, j.Amp)
+		}
+		if j.Prob <= 0 || j.Prob > 1 {
+			return fmt.Errorf("fault: jitter %d: probability %v outside (0,1]", i, j.Prob)
+		}
+	}
+	for i, o := range p.Outages {
+		if o.Link < -1 || o.Link >= links {
+			return fmt.Errorf("fault: outage %d: link %d out of range [0,%d)", i, o.Link, links)
+		}
+		if o.Window < 1 {
+			return fmt.Errorf("fault: outage %d: window %d < 1", i, o.Window)
+		}
+		if o.Frac <= 0 || o.Frac > 1 {
+			return fmt.Errorf("fault: outage %d: fraction %v outside (0,1]", i, o.Frac)
+		}
+	}
+	for i, s := range p.Slowdowns {
+		if s.Host < -1 || s.Host >= hostN {
+			return fmt.Errorf("fault: slowdown %d: host %d out of range [0,%d)", i, s.Host, hostN)
+		}
+		if s.Window < 1 {
+			return fmt.Errorf("fault: slowdown %d: window %d < 1", i, s.Window)
+		}
+		if s.Frac <= 0 || s.Frac > 1 {
+			return fmt.Errorf("fault: slowdown %d: fraction %v outside (0,1]", i, s.Frac)
+		}
+		if s.Limit < 0 {
+			return fmt.Errorf("fault: slowdown %d: limit %d < 0", i, s.Limit)
+		}
+	}
+	for i, c := range p.Crashes {
+		if c.Host < 0 || c.Host >= hostN {
+			return fmt.Errorf("fault: crash %d: host %d out of range [0,%d)", i, c.Host, hostN)
+		}
+		if c.Step < 1 {
+			return fmt.Errorf("fault: crash %d: step %d < 1", i, c.Step)
+		}
+	}
+	return nil
+}
+
+// splitmix64 finalizer: the avalanche stage of Vigna's splitmix64.
+func mix(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// Salt constants keep the four fault kinds statistically independent even
+// when their specs share sites and windows.
+const (
+	saltJitter uint64 = 0x6a69747465720000 // "jitter"
+	saltOutage uint64 = 0x6f75746167650000 // "outage"
+	saltSlow   uint64 = 0x736c6f7764000000 // "slowd"
+)
+
+// h hashes (seed, salt+spec, site, step) into 64 uniform bits.
+func (p *Plan) h(salt uint64, spec int, site int, step int64) uint64 {
+	x := p.Seed
+	x = mix(x + salt + uint64(spec)*0x9e3779b97f4a7c15)
+	x = mix(x + uint64(site)*0xff51afd7ed558ccd)
+	x = mix(x + uint64(step))
+	return x
+}
+
+// u01 maps a hash to [0, 1) with 53 bits of precision.
+func u01(h uint64) float64 { return float64(h>>11) / (1 << 53) }
+
+// window maps a 1-based step to its window index for size w.
+func window(step int64, w int) int64 { return (step - 1) / int64(w) }
+
+// ExtraDelay returns the extra delay (0 when none) for an injection on the
+// given link/direction at the given step; slot distinguishes the up-to-B
+// injections one link makes in one step.
+func (p *Plan) ExtraDelay(link int, leftward bool, step int64, slot int) int {
+	extra := 0
+	site := link * 2
+	if leftward {
+		site++
+	}
+	for i := range p.Jitters {
+		j := &p.Jitters[i]
+		if j.Link != -1 && j.Link != link {
+			continue
+		}
+		hv := mix(p.h(saltJitter, i, site, step) + uint64(slot)*0x9e3779b97f4a7c15)
+		if j.Prob < 1 && u01(hv) >= j.Prob {
+			continue
+		}
+		extra += 1 + int(mix(hv)%uint64(j.Amp))
+	}
+	return extra
+}
+
+// LinkDown reports whether the link is down (both directions) at the step.
+func (p *Plan) LinkDown(link int, step int64) bool {
+	for i := range p.Outages {
+		o := &p.Outages[i]
+		if o.Link != -1 && o.Link != link {
+			continue
+		}
+		if o.Frac >= 1 || u01(p.h(saltOutage, i, link, window(step, o.Window))) < o.Frac {
+			return true
+		}
+	}
+	return false
+}
+
+// ComputeLimit returns how many pebbles the host may compute at the step,
+// given its configured base rate.
+func (p *Plan) ComputeLimit(host int, step int64, base int) int {
+	lim := base
+	for i := range p.Slowdowns {
+		s := &p.Slowdowns[i]
+		if s.Host != -1 && s.Host != host {
+			continue
+		}
+		if s.Frac >= 1 || u01(p.h(saltSlow, i, host, window(step, s.Window))) < s.Frac {
+			if s.Limit < lim {
+				lim = s.Limit
+			}
+		}
+	}
+	return lim
+}
+
+// CrashStep returns the earliest step at which the host crash-stops, if any.
+func (p *Plan) CrashStep(host int) (int64, bool) {
+	var best int64
+	found := false
+	for _, c := range p.Crashes {
+		if c.Host != host {
+			continue
+		}
+		if !found || c.Step < best {
+			best = c.Step
+			found = true
+		}
+	}
+	return best, found
+}
+
+// CrashedHosts returns the sorted, deduplicated hosts that ever crash.
+func (p *Plan) CrashedHosts() []int {
+	if p == nil || len(p.Crashes) == 0 {
+		return nil
+	}
+	seen := map[int]bool{}
+	var out []int
+	for _, c := range p.Crashes {
+		if !seen[c.Host] {
+			seen[c.Host] = true
+			out = append(out, c.Host)
+		}
+	}
+	for i := 1; i < len(out); i++ { // insertion sort: crash lists are tiny
+		for j := i; j > 0 && out[j-1] > out[j]; j-- {
+			out[j-1], out[j] = out[j], out[j-1]
+		}
+	}
+	return out
+}
+
+// Interval is an inclusive step range [Lo, Hi].
+type Interval struct{ Lo, Hi int64 }
+
+// OutageIntervals enumerates the merged down intervals of a link over steps
+// [1, maxStep], for telemetry. The engine never calls this on its hot path.
+func (p *Plan) OutageIntervals(link int, maxStep int64) []Interval {
+	if len(p.Outages) == 0 {
+		return nil
+	}
+	return p.scanIntervals(maxStep, func(step int64) bool { return p.LinkDown(link, step) })
+}
+
+// SlowIntervals enumerates the merged slowed intervals of a host (any
+// applicable slowdown spec firing) over steps [1, maxStep].
+func (p *Plan) SlowIntervals(host int, maxStep int64) []Interval {
+	if len(p.Slowdowns) == 0 {
+		return nil
+	}
+	return p.scanIntervals(maxStep, func(step int64) bool {
+		return p.ComputeLimit(host, step, 1<<30) < 1<<30
+	})
+}
+
+// scanIntervals walks window-aligned steps and merges consecutive hits. All
+// windowed faults are constant within a window, so stepping by the gcd of
+// the windows (1 is always safe; we step per step only across window edges)
+// is unnecessary complexity: we probe each step's window boundary instead.
+func (p *Plan) scanIntervals(maxStep int64, down func(step int64) bool) []Interval {
+	var out []Interval
+	step := int64(1)
+	for step <= maxStep {
+		next := p.nextWindowEdge(step)
+		if next > maxStep+1 {
+			next = maxStep + 1
+		}
+		if down(step) {
+			if n := len(out); n > 0 && out[n-1].Hi == step-1 {
+				out[n-1].Hi = next - 1
+			} else {
+				out = append(out, Interval{Lo: step, Hi: next - 1})
+			}
+		}
+		step = next
+	}
+	return out
+}
+
+// nextWindowEdge returns the smallest step > step at which any windowed
+// fault can change state.
+func (p *Plan) nextWindowEdge(step int64) int64 {
+	next := step + 1
+	first := true
+	for _, o := range p.Outages {
+		e := (window(step, o.Window) + 1) * int64(o.Window)
+		if first || e < next {
+			next, first = e+1, false
+		}
+	}
+	for _, s := range p.Slowdowns {
+		e := (window(step, s.Window) + 1) * int64(s.Window)
+		if first || e < next {
+			next, first = e+1, false
+		}
+	}
+	if next <= step {
+		next = step + 1
+	}
+	return next
+}
+
+// JitterLinks returns the sorted links affected by any jitter spec, given
+// the number of line links.
+func (p *Plan) JitterLinks(links int) []int {
+	if len(p.Jitters) == 0 {
+		return nil
+	}
+	mark := make([]bool, links)
+	for _, j := range p.Jitters {
+		if j.Link == -1 {
+			for l := range mark {
+				mark[l] = true
+			}
+			break
+		}
+		if j.Link >= 0 && j.Link < links {
+			mark[j.Link] = true
+		}
+	}
+	var out []int
+	for l, m := range mark {
+		if m {
+			out = append(out, l)
+		}
+	}
+	return out
+}
+
+// Parse builds a Plan from the CLI spec format
+//
+//	SEED:item;item;...
+//
+// with items
+//
+//	jitter=AMP[@PROB][#LINK]      e.g. jitter=4@0.5#7  (AMP max extra steps)
+//	outage=FRACxWIN[#LINK]        e.g. outage=0.1x32   (FRAC of WIN-step windows down)
+//	slow=FRACxWIN/LIMIT[#HOST]    e.g. slow=0.2x16/0#3 (compute capped at LIMIT)
+//	crash=HOST@STEP               e.g. crash=12@200
+//
+// Omitted #LINK/#HOST selectors mean every link/host.
+func Parse(spec string) (*Plan, error) {
+	seedStr, rest, ok := strings.Cut(spec, ":")
+	if !ok {
+		return nil, fmt.Errorf("fault: spec %q missing \"seed:\" prefix", spec)
+	}
+	seed, err := strconv.ParseUint(seedStr, 10, 64)
+	if err != nil {
+		return nil, fmt.Errorf("fault: bad seed %q: %v", seedStr, err)
+	}
+	p := &Plan{Seed: seed}
+	for _, item := range strings.Split(rest, ";") {
+		item = strings.TrimSpace(item)
+		if item == "" {
+			continue
+		}
+		kind, val, ok := strings.Cut(item, "=")
+		if !ok {
+			return nil, fmt.Errorf("fault: item %q is not kind=value", item)
+		}
+		// Peel the optional #SITE selector off the value.
+		site := -1
+		if body, sel, has := strings.Cut(val, "#"); has {
+			site, err = strconv.Atoi(sel)
+			if err != nil || site < 0 {
+				return nil, fmt.Errorf("fault: item %q: bad site %q", item, sel)
+			}
+			val = body
+		}
+		switch kind {
+		case "jitter":
+			amp, prob := val, 1.0
+			if b, pr, has := strings.Cut(val, "@"); has {
+				amp = b
+				prob, err = strconv.ParseFloat(pr, 64)
+				if err != nil {
+					return nil, fmt.Errorf("fault: item %q: bad probability %q", item, pr)
+				}
+			}
+			a, err := strconv.Atoi(amp)
+			if err != nil {
+				return nil, fmt.Errorf("fault: item %q: bad amplitude %q", item, amp)
+			}
+			p.Jitters = append(p.Jitters, Jitter{Link: site, Amp: a, Prob: prob})
+		case "outage":
+			frac, win, err := parseFracWindow(val)
+			if err != nil {
+				return nil, fmt.Errorf("fault: item %q: %v", item, err)
+			}
+			p.Outages = append(p.Outages, Outage{Link: site, Window: win, Frac: frac})
+		case "slow":
+			body, limStr, has := strings.Cut(val, "/")
+			if !has {
+				return nil, fmt.Errorf("fault: item %q missing /LIMIT", item)
+			}
+			frac, win, err := parseFracWindow(body)
+			if err != nil {
+				return nil, fmt.Errorf("fault: item %q: %v", item, err)
+			}
+			lim, err := strconv.Atoi(limStr)
+			if err != nil {
+				return nil, fmt.Errorf("fault: item %q: bad limit %q", item, limStr)
+			}
+			p.Slowdowns = append(p.Slowdowns, Slowdown{Host: site, Window: win, Frac: frac, Limit: lim})
+		case "crash":
+			if site != -1 {
+				return nil, fmt.Errorf("fault: item %q: crash takes HOST@STEP, not #", item)
+			}
+			hostStr, stepStr, has := strings.Cut(val, "@")
+			if !has {
+				return nil, fmt.Errorf("fault: item %q is not crash=HOST@STEP", item)
+			}
+			host, err := strconv.Atoi(hostStr)
+			if err != nil {
+				return nil, fmt.Errorf("fault: item %q: bad host %q", item, hostStr)
+			}
+			step, err := strconv.ParseInt(stepStr, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("fault: item %q: bad step %q", item, stepStr)
+			}
+			p.Crashes = append(p.Crashes, Crash{Host: host, Step: step})
+		default:
+			return nil, fmt.Errorf("fault: unknown fault kind %q (want jitter, outage, slow or crash)", kind)
+		}
+	}
+	if !p.Enabled() {
+		return nil, fmt.Errorf("fault: spec %q declares no faults", spec)
+	}
+	// Catch host-independent range errors (fractions, windows, amplitudes)
+	// at parse time; site upper bounds are checked against the real host
+	// size by the engine's Config.Validate.
+	if err := p.Validate(1 << 30); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// parseFracWindow parses "FRACxWIN".
+func parseFracWindow(s string) (float64, int, error) {
+	fs, ws, ok := strings.Cut(s, "x")
+	if !ok {
+		return 0, 0, fmt.Errorf("%q is not FRACxWINDOW", s)
+	}
+	frac, err := strconv.ParseFloat(fs, 64)
+	if err != nil {
+		return 0, 0, fmt.Errorf("bad fraction %q", fs)
+	}
+	win, err := strconv.Atoi(ws)
+	if err != nil {
+		return 0, 0, fmt.Errorf("bad window %q", ws)
+	}
+	return frac, win, nil
+}
+
+// String renders the plan back in Parse's spec format.
+func (p *Plan) String() string {
+	if p == nil {
+		return ""
+	}
+	var items []string
+	site := func(s int) string {
+		if s == -1 {
+			return ""
+		}
+		return "#" + strconv.Itoa(s)
+	}
+	for _, j := range p.Jitters {
+		it := fmt.Sprintf("jitter=%d", j.Amp)
+		if j.Prob < 1 {
+			it += fmt.Sprintf("@%g", j.Prob)
+		}
+		items = append(items, it+site(j.Link))
+	}
+	for _, o := range p.Outages {
+		items = append(items, fmt.Sprintf("outage=%gx%d%s", o.Frac, o.Window, site(o.Link)))
+	}
+	for _, s := range p.Slowdowns {
+		items = append(items, fmt.Sprintf("slow=%gx%d/%d%s", s.Frac, s.Window, s.Limit, site(s.Host)))
+	}
+	for _, c := range p.Crashes {
+		items = append(items, fmt.Sprintf("crash=%d@%d", c.Host, c.Step))
+	}
+	return fmt.Sprintf("%d:%s", p.Seed, strings.Join(items, ";"))
+}

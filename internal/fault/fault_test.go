@@ -1,0 +1,243 @@
+package fault
+
+import (
+	"strings"
+	"testing"
+)
+
+// Every query must be a pure function of (seed, site, step): repeated calls
+// and permuted call orders return identical answers. This is the invariant
+// that keeps the two sim engines bit-identical under faults.
+func TestQueriesArePure(t *testing.T) {
+	p := &Plan{
+		Seed:      7,
+		Jitters:   []Jitter{{Link: -1, Amp: 4, Prob: 0.5}},
+		Outages:   []Outage{{Link: 2, Window: 8, Frac: 0.3}},
+		Slowdowns: []Slowdown{{Host: -1, Window: 4, Frac: 0.4, Limit: 0}},
+		Crashes:   []Crash{{Host: 3, Step: 40}},
+	}
+	type probe struct {
+		extra int
+		down  bool
+		lim   int
+	}
+	sample := func(order []int64) map[int64]probe {
+		out := map[int64]probe{}
+		for _, s := range order {
+			out[s] = probe{
+				extra: p.ExtraDelay(2, false, s, 0),
+				down:  p.LinkDown(2, s),
+				lim:   p.ComputeLimit(1, s, 3),
+			}
+		}
+		return out
+	}
+	fwd := make([]int64, 100)
+	rev := make([]int64, 100)
+	for i := range fwd {
+		fwd[i] = int64(i + 1)
+		rev[i] = int64(100 - i)
+	}
+	a, b := sample(fwd), sample(rev)
+	for s := int64(1); s <= 100; s++ {
+		if a[s] != b[s] {
+			t.Fatalf("step %d: %+v != %+v (order-dependent plan)", s, a[s], b[s])
+		}
+	}
+}
+
+func TestProbabilitiesHitAndMiss(t *testing.T) {
+	p := &Plan{Seed: 11, Outages: []Outage{{Link: -1, Window: 4, Frac: 0.5}}}
+	downs := 0
+	for w := 0; w < 400; w++ {
+		if p.LinkDown(0, int64(w*4+1)) {
+			downs++
+		}
+	}
+	if downs < 100 || downs > 300 {
+		t.Fatalf("frac=0.5 gave %d/400 down windows", downs)
+	}
+	// Within one window the answer is constant.
+	p2 := &Plan{Seed: 3, Outages: []Outage{{Link: -1, Window: 10, Frac: 0.5}}}
+	for w := 0; w < 50; w++ {
+		first := p2.LinkDown(1, int64(w*10+1))
+		for s := w*10 + 2; s <= (w+1)*10; s++ {
+			if p2.LinkDown(1, int64(s)) != first {
+				t.Fatalf("outage state changed inside window %d", w)
+			}
+		}
+	}
+}
+
+// Raising the outage fraction must only add down windows (the threshold
+// test is monotone in Frac) — this is what makes fault-rate sweeps monotone.
+func TestOutageNesting(t *testing.T) {
+	lo := &Plan{Seed: 5, Outages: []Outage{{Link: -1, Window: 8, Frac: 0.1}}}
+	hi := &Plan{Seed: 5, Outages: []Outage{{Link: -1, Window: 8, Frac: 0.4}}}
+	for s := int64(1); s <= 4000; s += 8 {
+		if lo.LinkDown(0, s) && !hi.LinkDown(0, s) {
+			t.Fatalf("step %d down at frac 0.1 but up at 0.4", s)
+		}
+	}
+}
+
+func TestJitterBounds(t *testing.T) {
+	p := &Plan{Seed: 9, Jitters: []Jitter{{Link: -1, Amp: 5, Prob: 1}}}
+	hits := map[int]bool{}
+	for s := int64(1); s <= 500; s++ {
+		x := p.ExtraDelay(0, false, s, 0)
+		if x < 1 || x > 5 {
+			t.Fatalf("prob=1 jitter gave extra %d outside [1,5]", x)
+		}
+		hits[x] = true
+	}
+	if len(hits) < 3 {
+		t.Fatalf("jitter barely varies: %v", hits)
+	}
+	// Different slots in the same step jitter independently.
+	same := true
+	for s := int64(1); s <= 50 && same; s++ {
+		if p.ExtraDelay(0, false, s, 0) != p.ExtraDelay(0, false, s, 1) {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("slot index does not affect jitter")
+	}
+}
+
+func TestCrashQueries(t *testing.T) {
+	p := &Plan{Crashes: []Crash{{Host: 4, Step: 30}, {Host: 2, Step: 9}, {Host: 4, Step: 12}}}
+	if s, ok := p.CrashStep(4); !ok || s != 12 {
+		t.Fatalf("CrashStep(4) = %d,%v", s, ok)
+	}
+	if _, ok := p.CrashStep(3); ok {
+		t.Fatal("host 3 never crashes")
+	}
+	got := p.CrashedHosts()
+	if len(got) != 2 || got[0] != 2 || got[1] != 4 {
+		t.Fatalf("CrashedHosts = %v", got)
+	}
+}
+
+func TestIntervalEnumerationMatchesQueries(t *testing.T) {
+	p := &Plan{
+		Seed:      21,
+		Outages:   []Outage{{Link: 1, Window: 6, Frac: 0.4}},
+		Slowdowns: []Slowdown{{Host: 2, Window: 5, Frac: 0.5, Limit: 0}},
+	}
+	const max = 200
+	covered := func(ivs []Interval, s int64) bool {
+		for _, iv := range ivs {
+			if s >= iv.Lo && s <= iv.Hi {
+				return true
+			}
+		}
+		return false
+	}
+	oiv := p.OutageIntervals(1, max)
+	siv := p.SlowIntervals(2, max)
+	for i := 1; i < len(oiv); i++ {
+		if oiv[i].Lo <= oiv[i-1].Hi+1 {
+			t.Fatalf("outage intervals not merged: %v", oiv)
+		}
+	}
+	for s := int64(1); s <= max; s++ {
+		if covered(oiv, s) != p.LinkDown(1, s) {
+			t.Fatalf("outage interval mismatch at step %d", s)
+		}
+		if covered(siv, s) != (p.ComputeLimit(2, s, 7) < 7) {
+			t.Fatalf("slow interval mismatch at step %d", s)
+		}
+	}
+}
+
+func TestValidate(t *testing.T) {
+	bad := []*Plan{
+		{Jitters: []Jitter{{Link: 9, Amp: 1, Prob: 1}}},
+		{Jitters: []Jitter{{Link: 0, Amp: 0, Prob: 1}}},
+		{Jitters: []Jitter{{Link: 0, Amp: 1, Prob: 1.5}}},
+		{Outages: []Outage{{Link: 0, Window: 0, Frac: 0.5}}},
+		{Outages: []Outage{{Link: 0, Window: 4, Frac: 0}}},
+		{Slowdowns: []Slowdown{{Host: 8, Window: 4, Frac: 0.5}}},
+		{Slowdowns: []Slowdown{{Host: 0, Window: 4, Frac: 0.5, Limit: -1}}},
+		{Crashes: []Crash{{Host: -1, Step: 5}}},
+		{Crashes: []Crash{{Host: 0, Step: 0}}},
+	}
+	for i, p := range bad {
+		if p.Validate(8) == nil {
+			t.Fatalf("bad plan %d validated: %+v", i, p)
+		}
+	}
+	var nilPlan *Plan
+	if err := nilPlan.Validate(8); err != nil {
+		t.Fatal(err)
+	}
+	if nilPlan.Enabled() {
+		t.Fatal("nil plan enabled")
+	}
+}
+
+func TestParse(t *testing.T) {
+	cases := []struct {
+		spec string
+		ok   bool
+	}{
+		{"7:jitter=4", true},
+		{"7:jitter=4@0.5#3", true},
+		{"0:outage=0.1x32", true},
+		{"1:slow=0.2x16/0#5", true},
+		{"2:crash=12@200", true},
+		{"3:jitter=2;outage=0.05x8;slow=0.5x4/1;crash=0@9", true},
+		{"", false},              // no seed
+		{"x:jitter=4", false},    // bad seed
+		{"7:", false},            // no faults
+		{"7:jitter", false},      // no value
+		{"7:fizz=1", false},      // unknown kind
+		{"7:jitter=x", false},    // bad amplitude
+		{"7:outage=0.1", false},  // missing window
+		{"7:slow=0.1x4", false},  // missing limit
+		{"7:crash=12", false},    // missing step
+		{"7:crash=a@2", false},   // bad host
+		{"7:jitter=4#-2", false}, // bad site
+	}
+	for _, c := range cases {
+		p, err := Parse(c.spec)
+		if c.ok && err != nil {
+			t.Fatalf("Parse(%q): %v", c.spec, err)
+		}
+		if !c.ok && err == nil {
+			t.Fatalf("Parse(%q) accepted: %+v", c.spec, p)
+		}
+	}
+	// Round trip through String.
+	p, err := Parse("3:jitter=2@0.5;outage=0.05x8#1;slow=0.5x4/1#2;crash=0@9")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := Parse(p.String())
+	if err != nil {
+		t.Fatalf("round trip %q: %v", p.String(), err)
+	}
+	if rt.String() != p.String() {
+		t.Fatalf("round trip %q != %q", rt.String(), p.String())
+	}
+	if err := p.Validate(16); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestJitterLinks(t *testing.T) {
+	p := &Plan{Jitters: []Jitter{{Link: 3, Amp: 1, Prob: 1}, {Link: 1, Amp: 1, Prob: 1}}}
+	got := p.JitterLinks(5)
+	if len(got) != 2 || got[0] != 1 || got[1] != 3 {
+		t.Fatalf("JitterLinks = %v", got)
+	}
+	all := &Plan{Jitters: []Jitter{{Link: -1, Amp: 1, Prob: 1}}}
+	if g := all.JitterLinks(3); len(g) != 3 {
+		t.Fatalf("JitterLinks(-1) = %v", g)
+	}
+	if strings.Contains(all.String(), "#") {
+		t.Fatalf("all-links jitter got a site selector: %s", all.String())
+	}
+}

@@ -79,6 +79,11 @@ type Analysis struct {
 	procBusy [][]int64    // sorted distinct compute steps per position
 	finish   []int64      // last compute step per position (0 = never)
 	queueIv  [][]interval // merged queue-residency intervals of messages later delivered to the position
+	// faultIv holds the merged per-position fault exposure: the position's
+	// own slowdown/crash spans, plus the outage spans of links that held up
+	// messages later delivered to it. Tiling priority: fault > bandwidth >
+	// dependency.
+	faultIv [][]interval
 }
 
 // Analyze builds the shared analysis structures from a canonical event
@@ -93,9 +98,24 @@ func Analyze(events []Event, info RunInfo) *Analysis {
 		procBusy:  make([][]int64, info.HostN),
 		finish:    make([]int64, info.HostN),
 		queueIv:   make([][]interval, info.HostN),
+		faultIv:   make([][]interval, info.HostN),
 	}
+	outageIv := map[int32][]interval{}
 	for i := range events {
 		e := &events[i]
+		if e.Kind == KindFault {
+			switch e.Fault {
+			case FaultSlow, FaultCrash:
+				if e.Proc >= 0 && int(e.Proc) < info.HostN {
+					a.faultIv[e.Proc] = append(a.faultIv[e.Proc],
+						interval{e.Step, e.Step + e.Dur - 1})
+				}
+			case FaultOutage:
+				outageIv[e.Link] = append(outageIv[e.Link],
+					interval{e.Step, e.Step + e.Dur - 1})
+			}
+			continue
+		}
 		if e.Proc < 0 || int(e.Proc) >= info.HostN {
 			continue
 		}
@@ -155,6 +175,9 @@ func Analyze(events []Event, info RunInfo) *Analysis {
 	}
 	// Per-position queue intervals: for every delivered message, the steps
 	// it spent queued on the hops between its producer and this position.
+	// Queue steps that overlap an outage on the hop's link are the fault's
+	// doing, not bandwidth contention — credit them to the receiver's fault
+	// exposure instead.
 	for dk, d := range a.deliverAt {
 		p := a.paths[pathKey{d.route, dk.gstep}]
 		if p == nil {
@@ -162,7 +185,20 @@ func Analyze(events []Event, info RunInfo) *Analysis {
 		}
 		for _, h := range p.hops {
 			if h.inject > h.enqueue {
-				a.queueIv[dk.proc] = append(a.queueIv[dk.proc], interval{h.enqueue, h.inject - 1})
+				q := interval{h.enqueue, h.inject - 1}
+				a.queueIv[dk.proc] = append(a.queueIv[dk.proc], q)
+				for _, ov := range outageIv[h.link] {
+					lo, hi := q.lo, q.hi
+					if ov.lo > lo {
+						lo = ov.lo
+					}
+					if ov.hi < hi {
+						hi = ov.hi
+					}
+					if lo <= hi {
+						a.faultIv[dk.proc] = append(a.faultIv[dk.proc], interval{lo, hi})
+					}
+				}
 			}
 			if h.arrivePos == dk.proc {
 				break
@@ -171,6 +207,7 @@ func Analyze(events []Event, info RunInfo) *Analysis {
 	}
 	for p := range a.queueIv {
 		a.queueIv[p] = mergeIntervals(a.queueIv[p])
+		a.faultIv[p] = mergeIntervals(a.faultIv[p])
 	}
 	return a
 }
@@ -182,11 +219,38 @@ func (a *Analysis) delay(link int32) int {
 	return a.Info.Delays[link]
 }
 
+// splitBy walks [lo, hi] against sorted disjoint intervals, calling hit for
+// the covered sub-ranges and miss for the rest (both in step order, only on
+// non-empty ranges).
+func splitBy(ivs []interval, lo, hi int64, hit, miss func(lo, hi int64)) {
+	i := sort.Search(len(ivs), func(i int) bool { return ivs[i].hi >= lo })
+	cur := lo
+	for ; i < len(ivs) && ivs[i].lo <= hi; i++ {
+		blo, bhi := ivs[i].lo, ivs[i].hi
+		if blo < cur {
+			blo = cur
+		}
+		if bhi > hi {
+			bhi = hi
+		}
+		if cur <= blo-1 {
+			miss(cur, blo-1)
+		}
+		hit(blo, bhi)
+		cur = bhi + 1
+	}
+	if cur <= hi {
+		miss(cur, hi)
+	}
+}
+
 // StallSpans derives KindStall events: for every position, the maximal runs
 // of steps in [1, last own compute] with work remaining but nothing
-// computed, split into bandwidth-stalled sub-spans (a value later delivered
-// here was sitting in an injection queue) and dependency-stalled remainder.
-// Spans are returned in (step, proc) order.
+// computed, tiled by cause with priority fault > bandwidth > dependency:
+// fault-exposed sub-spans first (an injected fault held this position or its
+// inbound traffic up), then bandwidth-stalled sub-spans (a value later
+// delivered here was sitting in an injection queue), then the
+// dependency-stalled remainder. Spans are returned in (step, proc) order.
 func (a *Analysis) StallSpans() []Event {
 	var spans []Event
 	emit := func(proc int32, lo, hi int64, cause Cause) {
@@ -203,24 +267,16 @@ func (a *Analysis) StallSpans() []Event {
 		if len(busy) == 0 {
 			continue
 		}
-		ivs := a.queueIv[p]
-		// Split one stalled gap [lo, hi] by the queue intervals.
+		qivs, fivs := a.queueIv[p], a.faultIv[p]
+		proc := int32(p)
 		splitGap := func(lo, hi int64) {
-			i := sort.Search(len(ivs), func(i int) bool { return ivs[i].hi >= lo })
-			cur := lo
-			for ; i < len(ivs) && ivs[i].lo <= hi; i++ {
-				blo, bhi := ivs[i].lo, ivs[i].hi
-				if blo < cur {
-					blo = cur
-				}
-				if bhi > hi {
-					bhi = hi
-				}
-				emit(int32(p), cur, blo-1, CauseDependency)
-				emit(int32(p), blo, bhi, CauseBandwidth)
-				cur = bhi + 1
-			}
-			emit(int32(p), cur, hi, CauseDependency)
+			splitBy(fivs, lo, hi,
+				func(l, h int64) { emit(proc, l, h, CauseFault) },
+				func(l, h int64) {
+					splitBy(qivs, l, h,
+						func(l2, h2 int64) { emit(proc, l2, h2, CauseBandwidth) },
+						func(l2, h2 int64) { emit(proc, l2, h2, CauseDependency) })
+				})
 		}
 		prev := int64(0) // step 0 is initial state; work exists from step 1
 		for _, b := range busy {
@@ -240,18 +296,29 @@ func (a *Analysis) StallSpans() []Event {
 }
 
 // StallBreakdown attributes every processor-step of the run to exactly one
-// of: busy (computed a pebble), idle (no work left), dependency-stalled or
-// bandwidth-stalled. Busy + Idle + Dependency + Bandwidth == ProcSteps.
+// of: busy (computed a pebble), idle (no work left), dependency-stalled,
+// bandwidth-stalled or fault-stalled.
+// Busy + Idle + Dependency + Bandwidth + Fault == ProcSteps.
 type StallBreakdown struct {
 	ProcSteps  int64 // HostN x HostSteps
 	Busy       int64
 	Idle       int64
 	Dependency int64
 	Bandwidth  int64
+	Fault      int64
 }
 
 // Stalled is the total stalled processor-steps.
-func (s StallBreakdown) Stalled() int64 { return s.Dependency + s.Bandwidth }
+func (s StallBreakdown) Stalled() int64 { return s.Dependency + s.Bandwidth + s.Fault }
+
+// FaultShare is the fraction of stalled processor-steps attributed to
+// injected faults (0 when nothing stalled).
+func (s StallBreakdown) FaultShare() float64 {
+	if st := s.Stalled(); st > 0 {
+		return float64(s.Fault) / float64(st)
+	}
+	return 0
+}
 
 // BandwidthShare is the fraction of stalled processor-steps attributed to
 // bandwidth (0 when nothing stalled).
@@ -282,6 +349,8 @@ func (a *Analysis) Stalls() StallBreakdown {
 		switch s.Cause {
 		case CauseBandwidth:
 			sb.Bandwidth += s.Dur
+		case CauseFault:
+			sb.Fault += s.Dur
 		default:
 			sb.Dependency += s.Dur
 		}

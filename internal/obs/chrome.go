@@ -83,6 +83,22 @@ func BuildChromeTrace(events []Event, stalls []Event, info RunInfo) *ChromeTrace
 					"route": fmt.Sprintf("%d", e.Route),
 				},
 			})
+		case KindFault:
+			// Host faults land on the host's track; link faults go on a
+			// dedicated pid-1 track indexed by link.
+			pid, tid := 0, int(e.Proc)
+			if e.Proc < 0 {
+				pid, tid = 1, int(e.Link)
+			}
+			tr.TraceEvents = append(tr.TraceEvents, ChromeEvent{
+				Name: "fault: " + e.Fault.String(),
+				Cat:  "fault", Ph: "X", Ts: e.Step, Dur: e.Dur,
+				Pid: pid, Tid: tid,
+				Args: map[string]string{
+					"fault": e.Fault.String(),
+					"link":  fmt.Sprintf("%d", e.Link),
+				},
+			})
 		}
 	}
 	for i := range stalls {

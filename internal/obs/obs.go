@@ -33,6 +33,12 @@ const (
 	// KindDeliver: a pebble value was delivered into a workstation's
 	// knowledge table. Proc is the receiving position.
 	KindDeliver
+	// KindFault: an injected fault was active for Dur steps starting at
+	// Step. Fault says which kind; host faults (slowdown, crash) set Proc
+	// with Link = -1, link faults (jitter, outage) set Link with Proc = -1.
+	// Synthesised from the fault plan after the run, identically by both
+	// engines.
+	KindFault
 	// KindStall: a derived event (never recorded by the engine): Proc was
 	// stalled for Dur consecutive steps starting at Step, attributed to
 	// Cause. Produced by Analysis.StallSpans.
@@ -47,6 +53,8 @@ func (k Kind) String() string {
 		return "inject"
 	case KindDeliver:
 		return "deliver"
+	case KindFault:
+		return "fault"
 	case KindStall:
 		return "stall"
 	default:
@@ -68,6 +76,10 @@ const (
 	CauseBandwidth
 	// CauseIdle: the workstation had no pebbles left to compute.
 	CauseIdle
+	// CauseFault: the stalled steps overlap an injected fault — the
+	// workstation itself was slowed or crashed, or a value it was waiting
+	// for sat queued behind a link outage.
+	CauseFault
 )
 
 func (c Cause) String() string {
@@ -78,6 +90,8 @@ func (c Cause) String() string {
 		return "bandwidth"
 	case CauseIdle:
 		return "idle"
+	case CauseFault:
+		return "fault"
 	default:
 		return "none"
 	}
@@ -94,8 +108,40 @@ type Event struct {
 	Link  int32
 	Dir   int8
 	Route int32
-	Dur   int64 // KindStall only: span length in steps
-	Cause Cause // KindStall only
+	Dur   int64     // KindStall/KindFault: span length in steps
+	Cause Cause     // KindStall only
+	Fault FaultKind // KindFault only
+}
+
+// FaultKind says which injected fault a KindFault event reports.
+type FaultKind uint8
+
+const (
+	FaultNone FaultKind = iota
+	// FaultJitter: the link's injections get extra delay throughout the run
+	// (jitter has no start/end, so its span covers the whole run).
+	FaultJitter
+	// FaultOutage: the link was down for the span; queued messages waited.
+	FaultOutage
+	// FaultSlow: the host's compute rate was capped for the span.
+	FaultSlow
+	// FaultCrash: the host crash-stopped at Step; the span runs to the end.
+	FaultCrash
+)
+
+func (f FaultKind) String() string {
+	switch f {
+	case FaultJitter:
+		return "jitter"
+	case FaultOutage:
+		return "outage"
+	case FaultSlow:
+		return "slow"
+	case FaultCrash:
+		return "crash"
+	default:
+		return "none"
+	}
 }
 
 // Recorder receives engine events. The engine buffers per chunk and replays
@@ -105,6 +151,13 @@ type Recorder interface {
 	RecordCompute(step int64, proc, col, gstep int32)
 	RecordInject(step int64, proc, link int32, dir int8, route, col, gstep int32)
 	RecordDeliver(step int64, proc, route, col, gstep int32)
+}
+
+// FaultRecorder is optionally implemented by Recorders that want the fault
+// telemetry spans (KindFault) a faulty run synthesises; Replay skips them
+// for plain Recorders, so existing implementations keep working unchanged.
+type FaultRecorder interface {
+	RecordFault(step int64, fault FaultKind, proc, link int32, dur int64)
 }
 
 // Buffer is the standard Recorder: it appends events to memory for later
@@ -134,6 +187,13 @@ func (b *Buffer) RecordDeliver(step int64, proc, route, col, gstep int32) {
 	b.events = append(b.events, Event{
 		Step: step, Kind: KindDeliver, Proc: proc, Col: col, GStep: gstep,
 		Link: -1, Route: route,
+	})
+}
+
+func (b *Buffer) RecordFault(step int64, fault FaultKind, proc, link int32, dur int64) {
+	b.events = append(b.events, Event{
+		Step: step, Kind: KindFault, Fault: fault, Proc: proc, Link: link,
+		Dur: dur, Route: -1,
 	})
 }
 
@@ -168,7 +228,10 @@ func less(a, b *Event) bool {
 	if a.GStep != b.GStep {
 		return a.GStep < b.GStep
 	}
-	return a.Route < b.Route
+	if a.Route != b.Route {
+		return a.Route < b.Route
+	}
+	return a.Fault < b.Fault
 }
 
 // Canonicalize sorts events into the canonical stream order.
@@ -188,6 +251,10 @@ func Replay(events []Event, r Recorder) {
 			r.RecordInject(e.Step, e.Proc, e.Link, e.Dir, e.Route, e.Col, e.GStep)
 		case KindDeliver:
 			r.RecordDeliver(e.Step, e.Proc, e.Route, e.Col, e.GStep)
+		case KindFault:
+			if fr, ok := r.(FaultRecorder); ok {
+				fr.RecordFault(e.Step, e.Fault, e.Proc, e.Link, e.Dur)
+			}
 		}
 	}
 }

@@ -34,6 +34,7 @@ type Summary struct {
 	IdleSteps       int64   `json:"idleSteps"`
 	DependencySteps int64   `json:"dependencySteps"`
 	BandwidthSteps  int64   `json:"bandwidthSteps"`
+	FaultSteps      int64   `json:"faultSteps,omitempty"`
 	BandwidthShare  float64 `json:"bandwidthShare"`
 
 	CriticalPathLen   int64   `json:"criticalPathLen"`
@@ -62,6 +63,7 @@ func (a *Analysis) Summarize() *Summary {
 		IdleSteps:       sb.Idle,
 		DependencySteps: sb.Dependency,
 		BandwidthSteps:  sb.Bandwidth,
+		FaultSteps:      sb.Fault,
 		BandwidthShare:  sb.BandwidthShare(),
 
 		CriticalPathLen:   cp.Length,
@@ -106,6 +108,7 @@ func StallTable(sb StallBreakdown) *metrics.Table {
 	t.AddRow("busy", sb.Busy, pct(sb.Busy))
 	t.AddRow("dependency-stall", sb.Dependency, pct(sb.Dependency))
 	t.AddRow("bandwidth-stall", sb.Bandwidth, pct(sb.Bandwidth))
+	t.AddRow("fault-stall", sb.Fault, pct(sb.Fault))
 	t.AddRow("idle", sb.Idle, pct(sb.Idle))
 	t.AddRow("total", sb.ProcSteps, pct(sb.ProcSteps))
 	return t

@@ -20,6 +20,7 @@ import (
 
 	"latencyhide/internal/assign"
 	"latencyhide/internal/embedding"
+	"latencyhide/internal/fault"
 	"latencyhide/internal/guest"
 	"latencyhide/internal/network"
 	"latencyhide/internal/obs"
@@ -80,6 +81,9 @@ type Options struct {
 	MaxSteps       int64
 	TraceWindow    int
 	Recorder       obs.Recorder
+	// Faults passes a deterministic fault plan through to the engine
+	// (internal/fault); nil is a true no-op.
+	Faults *fault.Plan
 	// NewDatabase overrides the guest database implementation.
 	NewDatabase guest.Factory
 	// Op overrides the per-pebble computation (nil = the paper's digest
@@ -272,6 +276,7 @@ func SimulateLine(delays []int, opt Options) (*Outcome, error) {
 		MaxSteps:       opt.MaxSteps,
 		TraceWindow:    opt.TraceWindow,
 		Recorder:       opt.Recorder,
+		Faults:         opt.Faults,
 	}
 	res, err := sim.Run(cfg)
 	if err != nil {

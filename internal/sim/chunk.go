@@ -3,6 +3,7 @@ package sim
 import (
 	"fmt"
 
+	"latencyhide/internal/fault"
 	"latencyhide/internal/guest"
 	"latencyhide/internal/obs"
 )
@@ -56,7 +57,21 @@ func (l *dlink) popQueue() msg {
 	return m
 }
 
-func (l *dlink) pushInflight(t timedMsg) { l.inflight = append(l.inflight, t) }
+func (l *dlink) pushInflight(t timedMsg) {
+	if n := len(l.inflight); n > l.ih && l.inflight[n-1].arrive > t.arrive {
+		// Delay jitter can stamp a later injection with an earlier arrival;
+		// insert in arrival order (stable: equal arrivals keep send order).
+		i := n
+		for i > l.ih && l.inflight[i-1].arrive > t.arrive {
+			i--
+		}
+		l.inflight = append(l.inflight, timedMsg{})
+		copy(l.inflight[i+1:], l.inflight[i:])
+		l.inflight[i] = t
+		return
+	}
+	l.inflight = append(l.inflight, t)
+}
 
 func (l *dlink) headArrival() (int64, bool) {
 	if l.ih >= len(l.inflight) {
@@ -119,6 +134,7 @@ type proc struct {
 	waitFree  int32 // freelist head, -1 when empty
 	ready     readyQueue
 	active    bool // member of the chunk's active list
+	crashed   bool // crash-stopped: never computes again
 	computed  int64
 	remaining int64 // pebbles this workstation still has to compute
 }
@@ -176,6 +192,10 @@ type chunk struct {
 
 	remaining       int64
 	lastComputeStep int64
+
+	// fault injection (nil plan = no overhead beyond a nil check)
+	faults *fault.Plan
+	crashQ []crashEvent // pending crash-stops, (step, pos)-sorted
 
 	// stats
 	messages, hops, delivered, duplicates int64
@@ -274,6 +294,9 @@ func newChunk(cfg *Config, rt *routeTable, lo, hi int) *chunk {
 			c.left[pos-lo] = &dlink{delay: cfg.Delays[pos-1], bw: cfg.linkBandwidth(pos - 1)}
 		}
 	}
+	if cfg.Faults != nil {
+		c.initFaults(cfg.Faults)
+	}
 	return c
 }
 
@@ -349,6 +372,9 @@ func (c *chunk) deliverValue(pos int, route int32, col, step int32, value uint64
 // on it. Used both for network deliveries and locally computed pebbles.
 func (c *chunk) recordValue(p *proc, key uint64, value uint64) {
 	p.known.put(key, value)
+	if p.crashed {
+		return // still relays and stores, but never schedules work again
+	}
 	if head, ok := p.waiting.get(key); ok {
 		ni := int32(head)
 		for ni >= 0 {
@@ -520,7 +546,11 @@ func (c *chunk) runCompute() bool {
 	c.activeList = c.activeList[len(c.activeList):]
 	for _, pos := range cur {
 		p := c.proc(int(pos))
-		for i := 0; i < c.cps; i++ {
+		lim := c.cps
+		if c.faults != nil {
+			lim = c.faults.ComputeLimit(int(pos), c.now, lim)
+		}
+		for i := 0; i < lim; i++ {
 			if !c.computeOne(p) {
 				break
 			}
@@ -545,14 +575,26 @@ func (c *chunk) runTransmit() bool {
 		pos := int(code / 2)
 		leftward := code%2 == 1
 		var l *dlink
+		link := pos
 		if leftward {
 			l = c.left[pos-c.lo]
+			link = pos - 1
 		} else {
 			l = c.right[pos-c.lo]
+		}
+		if c.faults != nil && c.faults.LinkDown(link, c.now) {
+			// Outage: nothing injects this step; the queue waits and the
+			// link stays flagged so the engine keeps stepping toward the
+			// recovery.
+			c.txActive = append(c.txActive, code)
+			continue
 		}
 		for i := 0; i < l.bw && l.qlen() > 0; i++ {
 			m := l.popQueue()
 			arrive := c.now + int64(l.delay)
+			if c.faults != nil {
+				arrive += int64(c.faults.ExtraDelay(link, leftward, c.now, i))
+			}
 			c.hops++
 			if c.traceWindow > 0 {
 				c.traceAdd(&c.traceHops, 1)
@@ -613,6 +655,9 @@ func linkDeliveryKey(pos int, fromRight bool) int32 {
 // step executes one host step (deliver, compute, transmit) and reports
 // whether anything happened.
 func (c *chunk) step() bool {
+	if len(c.crashQ) > 0 && c.crashQ[0].step <= c.now {
+		c.applyCrashes()
+	}
 	d1 := c.runDeliveries()
 	d2 := c.runCompute()
 	d3 := c.runTransmit()
@@ -625,7 +670,16 @@ func (c *chunk) nextEvent() (int64, bool) {
 	if len(c.activeList) > 0 || len(c.txActive) > 0 {
 		return c.now + 1, true
 	}
-	return c.cal.next(c.now)
+	next, ok := c.cal.next(c.now)
+	if len(c.crashQ) > 0 && (!ok || c.crashQ[0].step < next) {
+		// A pending crash-stop is a schedulable event: its write-off may be
+		// what lets the run terminate.
+		next, ok = c.crashQ[0].step, true
+		if next <= c.now {
+			next = c.now + 1
+		}
+	}
+	return next, ok
 }
 
 // receiveBoundary appends a batch of boundary arrivals (already stamped by

@@ -155,7 +155,8 @@ func (w *worker) runUntil(h, maxSteps int64) bool {
 	c := w.c
 	for c.now < h {
 		if c.now > maxSteps {
-			w.setErr(fmt.Errorf("sim: parallel chunk [%d,%d) exceeded step cap %d", c.lo, c.hi, maxSteps))
+			w.setErr(fmt.Errorf("sim: parallel chunk [%d,%d) exceeded step cap %d: %s",
+				c.lo, c.hi, maxSteps, frontier(c)))
 			return false
 		}
 		before := c.remaining

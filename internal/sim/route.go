@@ -35,17 +35,53 @@ type routeTable struct {
 }
 
 // buildRoutes derives the multicast routing table from the guest graph and
-// the assignment.
-func buildRoutes(g guest.Graph, a *assign.Assignment) *routeTable {
+// the assignment. Hosts in avoid (ascending; crash-stop hosts from a fault
+// plan) are excluded from routing entirely: never chosen as senders (static
+// failover onto the surviving replicas; the caller guarantees every column
+// keeps at least one live holder) and never targeted as destinations (a
+// crash-stop host never computes after the crash, so feeding it is wasted
+// traffic — and deliveries trailing the last live compute would make the
+// engines' message counts diverge). Their positions still relay through
+// traffic: the NIC outlives the CPU. An empty avoid list reproduces the
+// fault-free table exactly.
+func buildRoutes(g guest.Graph, a *assign.Assignment, avoid []int) *routeTable {
 	rt := &routeTable{bySender: make([][][]int32, a.HostN)}
 	for p := range rt.bySender {
 		rt.bySender[p] = make([][]int32, len(a.Owned[p]))
 	}
-
-	// senderFor returns the holder of col nearest to dest (ties toward the
-	// left) using binary search over the sorted holder list.
-	senderFor := func(col, dest int) int {
+	dead := make(map[int]bool, len(avoid))
+	for _, h := range avoid {
+		dead[h] = true
+	}
+	// liveHolders filters a column's holder list down to live hosts (aliases
+	// the original slice when nothing is filtered).
+	liveHolders := func(col int) []int {
 		hs := a.Holders[col]
+		if len(dead) == 0 {
+			return hs
+		}
+		needs := false
+		for _, h := range hs {
+			if dead[h] {
+				needs = true
+				break
+			}
+		}
+		if !needs {
+			return hs
+		}
+		live := make([]int, 0, len(hs))
+		for _, h := range hs {
+			if !dead[h] {
+				live = append(live, h)
+			}
+		}
+		return live
+	}
+
+	// senderFor returns the live holder nearest to dest (ties toward the
+	// left) using binary search over the sorted holder list.
+	senderFor := func(hs []int, dest int) int {
 		i := sort.SearchInts(hs, dest)
 		switch {
 		case i == 0:
@@ -70,7 +106,9 @@ func buildRoutes(g guest.Graph, a *assign.Assignment) *routeTable {
 		destSet := make(map[int]bool)
 		for _, nb := range g.Neighbors(col) {
 			for _, p := range a.Holders[nb] {
-				destSet[p] = true
+				if !dead[p] {
+					destSet[p] = true
+				}
 			}
 		}
 		for _, p := range a.Holders[col] {
@@ -79,9 +117,10 @@ func buildRoutes(g guest.Graph, a *assign.Assignment) *routeTable {
 		if len(destSet) == 0 {
 			continue
 		}
+		hs := liveHolders(col)
 		chains := make(map[chainKey][]int32)
 		for dest := range destSet {
-			s := senderFor(col, dest)
+			s := senderFor(hs, dest)
 			dir := int8(1)
 			if dest < s {
 				dir = -1

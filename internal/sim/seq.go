@@ -14,8 +14,7 @@ func runSequential(cfg *Config, rt *routeTable) (*Result, error) {
 	maxSteps := cfg.maxSteps()
 	for c.remaining > 0 {
 		if c.now > maxSteps {
-			return nil, fmt.Errorf("sim: exceeded step cap %d with %d pebbles remaining (likely livelock)",
-				maxSteps, c.remaining)
+			return nil, fmt.Errorf("sim: exceeded step cap %d: %s", maxSteps, frontier(c))
 		}
 		did := c.step()
 		if c.remaining == 0 {
@@ -40,17 +39,27 @@ func runSequential(cfg *Config, rt *routeTable) (*Result, error) {
 // stallError reports a deadlocked dataflow with enough context to debug the
 // assignment or routing table that caused it.
 func stallError(c *chunk) error {
+	return fmt.Errorf("sim: stalled at step %d: %s", c.now, frontier(c))
+}
+
+// frontier summarises the chunk's stuck dataflow frontier — the first live
+// column that cannot advance, its missing dependency count, and the
+// outstanding work — for stall and step-cap diagnostics.
+func frontier(c *chunk) string {
 	for i := range c.procs {
 		p := &c.procs[i]
+		if p.crashed {
+			continue
+		}
 		for j := range p.cols {
 			oc := &p.cols[j]
 			if oc.next <= c.T {
-				return fmt.Errorf("sim: stalled at step %d: pos %d col %d stuck at guest step %d (missing %d deps); %d pebbles remaining",
-					c.now, p.pos, oc.col, oc.next, oc.missing, c.remaining)
+				return fmt.Sprintf("pos %d col %d stuck at guest step %d (missing %d deps); %d pebbles remaining",
+					p.pos, oc.col, oc.next, oc.missing, c.remaining)
 			}
 		}
 	}
-	return fmt.Errorf("sim: stalled at step %d with %d pebbles remaining", c.now, c.remaining)
+	return fmt.Sprintf("%d pebbles remaining", c.remaining)
 }
 
 // collect assembles a Result from finished chunks and optionally verifies
@@ -129,6 +138,9 @@ func collect(cfg *Config, chunks []*chunk) (*Result, error) {
 				events = append(events, c.buf.Events()...)
 			}
 		}
+		if cfg.Faults != nil {
+			events = append(events, faultEvents(cfg, res.HostSteps)...)
+		}
 		obs.Canonicalize(events)
 		obs.Replay(events, cfg.Recorder)
 	}
@@ -143,8 +155,22 @@ func verify(cfg *Config, chunks []*chunk) error {
 	if err != nil {
 		return err
 	}
+	// Crash-stop hosts freeze mid-run; their replicas are legitimately
+	// incomplete and are not checked.
+	var dead map[int]bool
+	if cfg.Faults != nil {
+		if crashed := cfg.Faults.CrashedHosts(); len(crashed) > 0 {
+			dead = make(map[int]bool, len(crashed))
+			for _, h := range crashed {
+				dead[h] = true
+			}
+		}
+	}
 	for _, c := range chunks {
 		for _, rd := range c.finalDigests() {
+			if dead[rd.pos] {
+				continue
+			}
 			if rd.version != cfg.Guest.Steps {
 				return fmt.Errorf("sim: replica of db %d at pos %d has version %d, want %d",
 					rd.col, rd.pos, rd.version, cfg.Guest.Steps)

@@ -29,6 +29,7 @@ import (
 	"fmt"
 
 	"latencyhide/internal/assign"
+	"latencyhide/internal/fault"
 	"latencyhide/internal/guest"
 	"latencyhide/internal/network"
 	"latencyhide/internal/obs"
@@ -73,6 +74,13 @@ type Config struct {
 	// merged stream in canonical order after the run, so the same Recorder
 	// sees a bit-identical stream from either engine. Nil costs nothing.
 	Recorder obs.Recorder
+	// Faults, when non-nil, injects the plan's deterministic faults (link
+	// jitter, link outages, host slowdowns, crash-stop hosts — see
+	// internal/fault and faults.go). Crash-stop hosts are excluded from
+	// routing up front; if that orphans a column (no surviving replica),
+	// Run fails fast with *UncomputableError. Nil or empty plans are a true
+	// no-op.
+	Faults *fault.Plan
 }
 
 func (c *Config) hostN() int { return len(c.Delays) + 1 }
@@ -154,6 +162,9 @@ func (c *Config) Validate() error {
 	if err := c.Assign.Validate(); err != nil {
 		return err
 	}
+	if err := c.Faults.Validate(c.hostN()); err != nil {
+		return err
+	}
 	return nil
 }
 
@@ -230,12 +241,22 @@ func (c *Config) ObsInfo(res *Result) obs.RunInfo {
 
 // Run executes the simulation and returns measurements. It returns an error
 // for invalid configurations, stalls (deadlocked dataflow — always an
-// assignment/routing bug) and exceeded step caps.
+// assignment/routing bug), exceeded step caps, and fault plans that crash
+// every replica of some column (*UncomputableError).
 func Run(cfg Config) (*Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	routes := buildRoutes(cfg.Guest.Graph, cfg.Assign)
+	var crashed []int
+	if cfg.Faults != nil {
+		crashed = cfg.Faults.CrashedHosts()
+		if len(crashed) > 0 {
+			if orphans := orphanedColumns(&cfg, crashed); len(orphans) > 0 {
+				return nil, &UncomputableError{Columns: orphans, Crashed: crashed}
+			}
+		}
+	}
+	routes := buildRoutes(cfg.Guest.Graph, cfg.Assign, crashed)
 	var (
 		res *Result
 		err error
