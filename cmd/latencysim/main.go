@@ -11,6 +11,7 @@
 //	latencysim guest  -guest butterfly -gn 5 -host random -layout auto
 //	latencysim plan   -host @host.json
 //	latencysim lower  -host h2 -n 1024 [-path]
+//	latencysim verify -seed 1 -n 200
 //	latencysim exp    [-scale full] [-md] [-only E3]
 package main
 
@@ -56,6 +57,8 @@ func main() {
 		err = cmdPlan(os.Args[2:])
 	case "guest":
 		err = cmdGuest(os.Args[2:])
+	case "verify":
+		err = cmdVerify(os.Args[2:])
 	case "-h", "--help", "help":
 		usage()
 	default:
@@ -87,6 +90,7 @@ commands:
   guest   simulate a tree/hypercube/butterfly/array guest via a 1-D layout
   plan    analyse a host and recommend OVERLAP parameters
   lower   certify the Theorem 9 / Theorem 10 lower bounds on H1 / H2
+  verify  soak randomized scenarios through the invariant oracle and metamorphic relations
   exp     regenerate the paper experiments (E1..E17)`)
 }
 

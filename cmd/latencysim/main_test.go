@@ -3,11 +3,38 @@ package main
 import (
 	"encoding/json"
 	"flag"
+	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
 )
+
+var update = flag.Bool("update", false, "rewrite the golden files under testdata/")
+
+// checkGolden compares got against testdata/<name>.golden, rewriting the
+// file when -update is set.
+func checkGolden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", name+".golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden (run with -update): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("%s mismatch:\n--- got ---\n%s--- want ---\n%s", path, got, want)
+	}
+}
 
 func TestParseVariant(t *testing.T) {
 	good := map[string]string{
@@ -270,6 +297,42 @@ func TestValidateRunFlags(t *testing.T) {
 			t.Errorf("%s: error is not one line: %q", tc.name, err)
 		}
 	}
+}
+
+// The verify subcommand's soak summary is deterministic for a fixed seed
+// and scenario count, so it is pinned as a golden file.
+func TestVerifySubcommandGolden(t *testing.T) {
+	var sb strings.Builder
+	if err := runVerify([]string{"-seed", "1", "-n", "8"}, &sb); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+	checkGolden(t, "verify_summary", sb.String())
+}
+
+// Every flag-validation failure across run/trace/verify must be a one-line
+// error; the exact wording is pinned as a golden file.
+func TestFlagErrorsGolden(t *testing.T) {
+	var sb strings.Builder
+	collect := func(label string, err error) {
+		t.Helper()
+		if err == nil {
+			t.Fatalf("%s: bad input accepted", label)
+		}
+		if strings.Count(err.Error(), "\n") != 0 {
+			t.Fatalf("%s: error is not one line: %q", label, err)
+		}
+		fmt.Fprintf(&sb, "%s: %v\n", label, err)
+	}
+	_, err := validateRunFlags(-1, "", "")
+	collect("run/trace -workers", err)
+	_, err = validateRunFlags(0, filepath.Join("no", "such", "dir", "t.json"), "")
+	collect("run/trace -trace-out", err)
+	_, err = validateRunFlags(0, "", "outage=0.1x8")
+	collect("run/trace -faults no seed", err)
+	_, err = validateRunFlags(0, "", "7:meteor=1")
+	collect("run/trace -faults bad kind", err)
+	collect("verify -n", runVerify([]string{"-n", "0"}, io.Discard))
+	checkGolden(t, "flag_errors", sb.String())
 }
 
 // End-to-end: run with a fault plan completes and prints the plan; a

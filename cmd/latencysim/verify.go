@@ -1,0 +1,37 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"latencyhide/internal/verify"
+)
+
+// cmdVerify runs the model-based verification soak: n generated scenarios
+// from a seeded stream, each checked by the invariant oracle, both engines
+// and every applicable metamorphic relation (see DESIGN.md "Verification").
+func cmdVerify(args []string) error {
+	return runVerify(args, os.Stdout)
+}
+
+func runVerify(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("verify", flag.ExitOnError)
+	seed := fs.Uint64("seed", 1, "scenario stream seed")
+	n := fs.Int("n", 100, "number of generated scenarios to check")
+	fs.Parse(args)
+	if *n < 1 {
+		return fmt.Errorf("-n must be >= 1, got %d", *n)
+	}
+	res, err := verify.Soak(*seed, *n)
+	if err != nil {
+		return err
+	}
+	res.Summary(w)
+	if !res.OK() {
+		return fmt.Errorf("verification failed: %d of %d scenarios violated invariants",
+			len(res.Failures), res.Scenarios)
+	}
+	return nil
+}

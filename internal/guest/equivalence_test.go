@@ -1,0 +1,107 @@
+package guest_test
+
+import (
+	"testing"
+
+	"latencyhide/internal/assign"
+	"latencyhide/internal/guest"
+	"latencyhide/internal/sim"
+)
+
+// Table-driven structural checks over every guest shape the verify
+// generator samples (plus the hypercube): node counts, degree bounds, and
+// the Graph contract — sorted, self-loop-free, symmetric adjacency.
+func TestGraphShapeTable(t *testing.T) {
+	cases := []struct {
+		name   string
+		g      guest.Graph
+		nodes  int
+		maxDeg int
+	}{
+		{"line", guest.NewLinearArray(9), 9, 2},
+		{"ring", guest.NewRing(8), 8, 2},
+		{"mesh", guest.NewMesh(3, 4), 12, 4},
+		{"btree", guest.NewBinaryTree(3), 15, 3},
+		{"hypercube", guest.NewHypercube(4), 16, 4},
+	}
+	for _, tc := range cases {
+		if got := tc.g.NumNodes(); got != tc.nodes {
+			t.Errorf("%s: %d nodes, want %d", tc.name, got, tc.nodes)
+		}
+		if got := guest.MaxDegree(tc.g); got != tc.maxDeg {
+			t.Errorf("%s: max degree %d, want %d", tc.name, got, tc.maxDeg)
+		}
+		for i := 0; i < tc.g.NumNodes(); i++ {
+			prev := -1
+			for _, j := range tc.g.Neighbors(i) {
+				if j == i {
+					t.Fatalf("%s: node %d has a self loop", tc.name, i)
+				}
+				if j <= prev {
+					t.Fatalf("%s: node %d adjacency unsorted: %v", tc.name, i, tc.g.Neighbors(i))
+				}
+				prev = j
+				back := false
+				for _, k := range tc.g.Neighbors(j) {
+					if k == i {
+						back = true
+					}
+				}
+				if !back {
+					t.Fatalf("%s: edge %d->%d not symmetric", tc.name, i, j)
+				}
+			}
+		}
+	}
+}
+
+// Engine equivalence per shape: the sequential and parallel engines must
+// agree on every aggregate when simulating each guest topology on the same
+// host line with a round-robin single-copy assignment.
+func TestShapesEngineEquivalence(t *testing.T) {
+	delays := []int{2, 1, 3}
+	hostN := len(delays) + 1
+	shapes := []struct {
+		name string
+		g    guest.Graph
+	}{
+		{"line", guest.NewLinearArray(10)},
+		{"ring", guest.NewRing(9)},
+		{"mesh", guest.NewMesh(3, 3)},
+		{"btree", guest.NewBinaryTree(2)},
+	}
+	for _, tc := range shapes {
+		m := tc.g.NumNodes()
+		owned := make([][]int, hostN)
+		for c := 0; c < m; c++ {
+			owned[c%hostN] = append(owned[c%hostN], c)
+		}
+		a, err := assign.FromOwned(hostN, m, owned)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := sim.Config{
+			Delays: delays,
+			Guest:  guest.Spec{Graph: tc.g, Steps: 6, Seed: 11},
+			Assign: a,
+			Check:  true,
+		}
+		seq, err := sim.Run(cfg)
+		if err != nil {
+			t.Fatalf("%s sequential: %v", tc.name, err)
+		}
+		cfg.Workers = 3
+		par, err := sim.Run(cfg)
+		if err != nil {
+			t.Fatalf("%s parallel: %v", tc.name, err)
+		}
+		if seq.HostSteps != par.HostSteps || seq.PebblesComputed != par.PebblesComputed ||
+			seq.Messages != par.Messages || seq.MessageHops != par.MessageHops ||
+			seq.DeliveredValues != par.DeliveredValues {
+			t.Errorf("%s: engines disagree: seq %+v par %+v", tc.name, seq, par)
+		}
+		if seq.PebblesComputed != int64(m)*6 {
+			t.Errorf("%s: computed %d pebbles, want %d", tc.name, seq.PebblesComputed, m*6)
+		}
+	}
+}

@@ -1,0 +1,79 @@
+package lower
+
+import (
+	"testing"
+
+	"latencyhide/internal/assign"
+	"latencyhide/internal/guest"
+	"latencyhide/internal/sim"
+)
+
+// Table-driven SingleCopyLB cases with hand-computed floors: the bound is
+// the max of the work bound m/hosts-used and the largest delay between
+// holders of adjacent guest columns.
+func TestSingleCopyLBTable(t *testing.T) {
+	cases := []struct {
+		name   string
+		delays []int
+		hostN  int
+		m      int
+		want   int64
+	}{
+		{"adjacent split over slow link", []int{5}, 2, 2, 5},
+		{"unit line", []int{1, 1}, 3, 3, 1},
+		{"single host is pure work", nil, 1, 4, 4},
+		{"work bound dominates", []int{1}, 2, 10, 5},
+		{"far split dominates work", []int{9, 9}, 3, 3, 9},
+	}
+	for _, tc := range cases {
+		a, err := assign.SingleCopyBlocks(tc.hostN, tc.m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lb, err := SingleCopyLB(tc.delays, a)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if lb != tc.want {
+			t.Errorf("%s: LB %d, want %d", tc.name, lb, tc.want)
+		}
+	}
+}
+
+// Engine equivalence meets the certified floor: both engines must agree on
+// the schedule for a single-copy line run, and the measured slowdown can
+// never fall below SingleCopyLB (modulo one round of startup slack).
+func TestSingleCopyLBEngineEquivalence(t *testing.T) {
+	delays := []int{4, 1, 6}
+	hostN, m, steps := len(delays)+1, 12, 8
+	a, err := assign.SingleCopyBlocks(hostN, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lb, err := SingleCopyLB(delays, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := sim.Config{
+		Delays: delays,
+		Guest:  guest.Spec{Graph: guest.NewLinearArray(m), Steps: steps, Seed: 3},
+		Assign: a,
+		Check:  true,
+	}
+	seq, err := sim.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Workers = 2
+	par, err := sim.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq.HostSteps != par.HostSteps || seq.PebblesComputed != par.PebblesComputed ||
+		seq.Messages != par.Messages {
+		t.Fatalf("engines disagree: seq %+v par %+v", seq, par)
+	}
+	if seq.Slowdown < float64(lb)/2-1 {
+		t.Fatalf("measured slowdown %.2f below certified floor %d", seq.Slowdown, lb)
+	}
+}

@@ -1,0 +1,66 @@
+package mesharray
+
+import "testing"
+
+// Table-driven Theorem 7 cases: the predicted slowdown m + d + m^2/n must
+// track the column-block decomposition in both regimes (m <= n and m > n),
+// and every run stays single-copy with all pebbles computed.
+func TestOnUniformLineTable(t *testing.T) {
+	cases := []struct {
+		name               string
+		hostN, d, cols     int
+		rows, steps        int
+		wantLoad           int
+		wantPredictedAtMin float64
+	}{
+		{"case1 one column each", 6, 4, 6, 5, 4, 5, 6 + 4 + 36.0/6},
+		{"case1 fewer cols than hosts", 8, 2, 4, 4, 3, 4, 4 + 2 + 16.0/8},
+		{"case2 column blocks", 4, 3, 8, 6, 3, 12, 8 + 3 + 64.0/4},
+		{"case2 deep blocks", 3, 2, 9, 4, 4, 12, 9 + 2 + 81.0/3},
+	}
+	for _, tc := range cases {
+		r, err := OnUniformLine(tc.hostN, tc.d, tc.cols,
+			Options{Rows: tc.rows, Steps: tc.steps, Seed: 5, Check: true})
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if !r.Sim.Checked {
+			t.Fatalf("%s: digests unchecked", tc.name)
+		}
+		if r.Sim.Load != tc.wantLoad {
+			t.Errorf("%s: load %d, want %d", tc.name, r.Sim.Load, tc.wantLoad)
+		}
+		if r.Sim.Redundancy != 1 {
+			t.Errorf("%s: redundancy %f, want 1", tc.name, r.Sim.Redundancy)
+		}
+		if r.PredictedSlowdown != tc.wantPredictedAtMin {
+			t.Errorf("%s: predicted %.2f, want %.2f", tc.name, r.PredictedSlowdown, tc.wantPredictedAtMin)
+		}
+		wantPebbles := int64(tc.rows) * int64(tc.cols) * int64(tc.steps)
+		if r.Sim.PebblesComputed != wantPebbles {
+			t.Errorf("%s: %d pebbles, want %d", tc.name, r.Sim.PebblesComputed, wantPebbles)
+		}
+	}
+}
+
+// Engine equivalence on the mesh decomposition: Workers=1 and Workers=3
+// runs of the same Theorem 7 configuration must agree on every aggregate.
+func TestOnUniformLineEngineEquivalence(t *testing.T) {
+	opt := Options{Rows: 5, Steps: 6, Seed: 9, Check: true, Workers: 1}
+	seq, err := OnUniformLine(5, 6, 10, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt.Workers = 3
+	par, err := OnUniformLine(5, 6, 10, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq.Sim.HostSteps != par.Sim.HostSteps ||
+		seq.Sim.PebblesComputed != par.Sim.PebblesComputed ||
+		seq.Sim.Messages != par.Sim.Messages ||
+		seq.Sim.MessageHops != par.Sim.MessageHops ||
+		seq.Sim.DeliveredValues != par.Sim.DeliveredValues {
+		t.Fatalf("engines disagree: seq %+v par %+v", seq.Sim, par.Sim)
+	}
+}

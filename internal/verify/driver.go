@@ -1,0 +1,302 @@
+package verify
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"latencyhide/internal/assign"
+	"latencyhide/internal/fault"
+	"latencyhide/internal/obs"
+	"latencyhide/internal/sim"
+)
+
+// Report is the outcome of checking one scenario: how much evidence was
+// examined and every invariant or metamorphic relation that broke.
+type Report struct {
+	Scenario *Scenario
+	// Events is the sequential engine's canonical stream length.
+	Events int
+	// Relations lists the metamorphic relations this scenario exercised.
+	Relations []string
+	// Violations is empty for a clean scenario.
+	Violations []Violation
+}
+
+// run executes one engine configuration, optionally recording its stream.
+func run(cfg *sim.Config, workers int, record bool) (*sim.Result, []obs.Event, error) {
+	cfg.Workers = workers
+	cfg.Check = true
+	var rec *obs.Buffer
+	if record {
+		rec = obs.NewBuffer()
+		cfg.Recorder = rec
+	}
+	res, err := sim.Run(*cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	if rec != nil {
+		return res, rec.Events(), nil
+	}
+	return res, nil, nil
+}
+
+// aggregates is the schedule-level fingerprint two runs are compared by.
+type aggregates struct {
+	HostSteps                          int64
+	Pebbles, Messages, Hops, Delivered int64
+}
+
+func fingerprint(r *sim.Result) aggregates {
+	return aggregates{
+		HostSteps: r.HostSteps, Pebbles: r.PebblesComputed,
+		Messages: r.Messages, Hops: r.MessageHops, Delivered: r.DeliveredValues,
+	}
+}
+
+// CheckScenario runs the scenario through the invariant oracle, both
+// engines, and every metamorphic relation its parameters admit. The error
+// return is infrastructural (a generated scenario failed to build or run at
+// all); verification failures land in Report.Violations.
+func CheckScenario(sc *Scenario) (*Report, error) {
+	rep := &Report{Scenario: sc}
+	fail := func(invariant, format string, args ...any) {
+		rep.Violations = append(rep.Violations,
+			Violation{Invariant: invariant, Detail: fmt.Sprintf(format, args...)})
+	}
+
+	// Sequential reference run, oracle-checked. Check=true also verifies
+	// every replica digest against the guest reference executor.
+	cfg, err := sc.Build()
+	if err != nil {
+		return nil, fmt.Errorf("verify: scenario %q does not build: %w", sc, err)
+	}
+	seqRes, seqEvents, err := run(cfg, 0, true)
+	if err != nil {
+		return nil, fmt.Errorf("verify: scenario %q sequential run: %w", sc, err)
+	}
+	rep.Events = len(seqEvents)
+	rep.Violations = append(rep.Violations, CheckRun(cfg, seqRes, seqEvents)...)
+
+	// Engine equivalence: the parallel engine must produce a bit-identical
+	// stream and the same aggregates.
+	rep.Relations = append(rep.Relations, "engine-equivalence")
+	pcfg, err := sc.Build()
+	if err != nil {
+		return nil, err
+	}
+	parRes, parEvents, err := run(pcfg, sc.Workers, true)
+	if err != nil {
+		return nil, fmt.Errorf("verify: scenario %q parallel run: %w", sc, err)
+	}
+	if a, b := fingerprint(seqRes), fingerprint(parRes); a != b {
+		fail("engine-equivalence", "sequential %+v != parallel %+v", a, b)
+	}
+	if len(seqEvents) != len(parEvents) {
+		fail("engine-equivalence", "sequential stream has %d events, parallel %d", len(seqEvents), len(parEvents))
+	} else {
+		for i := range seqEvents {
+			if seqEvents[i] != parEvents[i] {
+				fail("engine-equivalence", "streams diverge at event %d: %+v != %+v", i, seqEvents[i], parEvents[i])
+				break
+			}
+		}
+	}
+
+	// Seed invariance: the schedule is value-independent, so changing the
+	// guest seed (same delays, same assignment) moves no event counters.
+	rep.Relations = append(rep.Relations, "seed-invariance")
+	scfg, err := sc.Build()
+	if err != nil {
+		return nil, err
+	}
+	scfg.Guest.Seed = sc.Seed + 1
+	seedRes, _, err := run(scfg, 0, false)
+	if err != nil {
+		return nil, fmt.Errorf("verify: scenario %q seed variant: %w", sc, err)
+	}
+	if a, b := fingerprint(seqRes), fingerprint(seedRes); a != b {
+		fail("seed-invariance", "guest seed %d -> %d changed the schedule: %+v != %+v", sc.Seed, sc.Seed+1, a, b)
+	}
+
+	// Replication bound: replicating every column Rep times multiplies the
+	// load by Rep, so host steps stay within the work-scaled bound of the
+	// single-copy run. Fault-free only: a crashed Rep=1 run is uncomputable,
+	// and probabilistic slowdowns/jitter compound over the longer replicated
+	// run, voiding the work-scaling argument.
+	if sc.Rep > 1 && sc.Faults == nil {
+		rep.Relations = append(rep.Relations, "replication-bound")
+		one := *sc
+		one.Rep = 1
+		ocfg, err := one.Build()
+		if err != nil {
+			return nil, err
+		}
+		oneRes, _, err := run(ocfg, 0, false)
+		if err != nil {
+			return nil, fmt.Errorf("verify: scenario %q rep=1 variant: %w", sc, err)
+		}
+		// Work scales by Rep and each of the T guest rounds pays at most one
+		// extra max-delay hop plus its compute slot per replica.
+		dmax := 0
+		for _, d := range cfg.Delays {
+			if d > dmax {
+				dmax = d
+			}
+		}
+		bound := int64(sc.Rep) * (oneRes.HostSteps + int64(sc.Steps*(dmax+1)))
+		if seqRes.HostSteps > bound {
+			fail("replication-bound", "rep=%d took %d host steps > bound %d (rep=1 took %d)",
+				sc.Rep, seqRes.HostSteps, bound, oneRes.HostSteps)
+		}
+	}
+
+	// Outage monotonicity. The hard invariant is monotone-by-construction:
+	// every window down under the base fractions stays down under doubled
+	// fractions (the hash-threshold test is a superset relation) — checked
+	// exactly over the run's whole span. End to end, greedy scheduling
+	// admits Graham-style anomalies (delaying one message can reorder
+	// computes and finish a hair earlier), so the schedule check allows one
+	// guest round of slack.
+	if sc.Faults != nil && len(sc.Faults.Outages) > 0 {
+		rep.Relations = append(rep.Relations, "outage-monotone")
+		worse := *sc
+		plan := *sc.Faults
+		plan.Outages = append([]fault.Outage(nil), sc.Faults.Outages...)
+		for i := range plan.Outages {
+			plan.Outages[i].Frac *= 2
+			if plan.Outages[i].Frac > 1 {
+				plan.Outages[i].Frac = 1
+			}
+		}
+		worse.Faults = &plan
+	subset:
+		for link := 0; link < sc.HostN-1; link++ {
+			for step := int64(1); step <= seqRes.HostSteps; step++ {
+				if sc.Faults.LinkDown(link, step) && !plan.LinkDown(link, step) {
+					fail("outage-monotone", "link %d down at step %d under base fractions but up under doubled", link, step)
+					break subset
+				}
+			}
+		}
+		wcfg, err := worse.Build()
+		if err != nil {
+			return nil, err
+		}
+		worseRes, _, err := run(wcfg, 0, false)
+		if err != nil {
+			return nil, fmt.Errorf("verify: scenario %q outage variant: %w", sc, err)
+		}
+		if worseRes.HostSteps+int64(sc.Steps) < seqRes.HostSteps {
+			fail("outage-monotone", "doubling outage fractions sped the run up: %d -> %d host steps",
+				seqRes.HostSteps, worseRes.HostSteps)
+		}
+	}
+
+	// Mirror invariance: reversing the host line (delays and assignment)
+	// relabels every position without changing the schedule's aggregates.
+	// Restricted to Rep == 1 (multi-holder sender election breaks ties
+	// leftward) and fault-free runs (fault hashes are keyed by site id).
+	if sc.Rep == 1 && sc.Faults == nil {
+		rep.Relations = append(rep.Relations, "mirror-invariance")
+		mcfg, err := sc.buildMirror()
+		if err != nil {
+			return nil, err
+		}
+		mirRes, _, err := run(mcfg, 0, false)
+		if err != nil {
+			return nil, fmt.Errorf("verify: scenario %q mirror variant: %w", sc, err)
+		}
+		if a, b := fingerprint(seqRes), fingerprint(mirRes); a != b {
+			fail("mirror-invariance", "reversing the host line changed the schedule: %+v != %+v", a, b)
+		}
+	}
+
+	return rep, nil
+}
+
+// buildMirror builds the scenario's configuration with the host line
+// reversed: delays flipped and every position p's columns moved to
+// hostN-1-p.
+func (s *Scenario) buildMirror() (*sim.Config, error) {
+	cfg, err := s.Build()
+	if err != nil {
+		return nil, err
+	}
+	n := len(cfg.Delays) + 1
+	rev := make([]int, len(cfg.Delays))
+	for i, d := range cfg.Delays {
+		rev[len(rev)-1-i] = d
+	}
+	owned := make([][]int, n)
+	for p, cols := range cfg.Assign.Owned {
+		owned[n-1-p] = append([]int(nil), cols...)
+	}
+	a, err := assign.FromOwned(n, cfg.Assign.Columns, owned)
+	if err != nil {
+		return nil, err
+	}
+	cfg.Delays = rev
+	cfg.Assign = a
+	return cfg, nil
+}
+
+// SoakResult aggregates a soak sweep.
+type SoakResult struct {
+	Seed      uint64
+	Scenarios int
+	// Events is the total canonical stream length oracle-checked.
+	Events int64
+	// Relations counts how often each metamorphic relation was exercised.
+	Relations map[string]int
+	// Failures holds the reports that carried violations.
+	Failures []*Report
+}
+
+// OK reports whether the whole soak came back clean.
+func (r *SoakResult) OK() bool { return len(r.Failures) == 0 }
+
+// Summary writes a deterministic one-screen digest.
+func (r *SoakResult) Summary(w io.Writer) {
+	fmt.Fprintf(w, "verify: seed=%d scenarios=%d events=%d\n", r.Seed, r.Scenarios, r.Events)
+	names := make([]string, 0, len(r.Relations))
+	for name := range r.Relations {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Fprintf(w, "  %-20s %d checked\n", name, r.Relations[name])
+	}
+	if r.OK() {
+		fmt.Fprintf(w, "verify: PASS (0 violations)\n")
+		return
+	}
+	fmt.Fprintf(w, "verify: FAIL (%d scenarios violated invariants)\n", len(r.Failures))
+	for _, rep := range r.Failures {
+		fmt.Fprintf(w, "  scenario %s\n", rep.Scenario)
+		for _, v := range rep.Violations {
+			fmt.Fprintf(w, "    %s\n", v)
+		}
+	}
+}
+
+// Soak generates and checks n scenarios from the seed's stream. The error
+// return is infrastructural; verification failures are in the result.
+func Soak(seed uint64, n int) (*SoakResult, error) {
+	out := &SoakResult{Seed: seed, Scenarios: n, Relations: map[string]int{}}
+	for i := 0; i < n; i++ {
+		rep, err := CheckScenario(Generate(seed, i))
+		if err != nil {
+			return nil, fmt.Errorf("scenario %d: %w", i, err)
+		}
+		out.Events += int64(rep.Events)
+		for _, rel := range rep.Relations {
+			out.Relations[rel]++
+		}
+		if len(rep.Violations) > 0 {
+			out.Failures = append(out.Failures, rep)
+		}
+	}
+	return out, nil
+}

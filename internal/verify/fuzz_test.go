@@ -1,0 +1,52 @@
+package verify
+
+import "testing"
+
+// FuzzScenarioParse asserts Parse either rejects a spec with a one-line
+// error or accepts it into a Scenario whose String form is a fixpoint.
+func FuzzScenarioParse(f *testing.F) {
+	f.Add("g=ring:24;n=8;d=uniform:1:9;bw=2;rep=2;steps=12;w=3;seed=7")
+	f.Add("g=mesh:3:4;n=6;d=bimodal:1:16;bw=1;rep=3;steps=8;w=4;seed=-2")
+	f.Add("g=line:9;n=3;d=const:2;bw=1;rep=2;steps=4;w=2;seed=3;f=1:jitter=4@0.5;crash=0@9")
+	f.Add("g=tree:2;n=4;d=const:1;bw=0;rep=2;steps=5;w=2;seed=9")
+	f.Fuzz(func(t *testing.T, spec string) {
+		sc, err := Parse(spec)
+		if err != nil {
+			for _, r := range err.Error() {
+				if r == '\n' {
+					t.Fatalf("Parse(%q) error spans lines: %v", spec, err)
+				}
+			}
+			return
+		}
+		out := sc.String()
+		back, err := Parse(out)
+		if err != nil {
+			t.Fatalf("Parse(%q) -> %q does not reparse: %v", spec, out, err)
+		}
+		if got := back.String(); got != out {
+			t.Fatalf("String not a fixpoint: %q -> %q", out, got)
+		}
+		if _, err := sc.Build(); err != nil {
+			t.Fatalf("accepted spec %q does not build: %v", out, err)
+		}
+	})
+}
+
+// FuzzCheckScenario drives the full metamorphic harness over the generator's
+// sample space: any (seed, index) pair must yield a clean report.
+func FuzzCheckScenario(f *testing.F) {
+	f.Add(uint64(1), uint16(0))
+	f.Add(uint64(42), uint16(7))
+	f.Add(uint64(1<<63), uint16(199))
+	f.Fuzz(func(t *testing.T, seed uint64, i uint16) {
+		sc := Generate(seed, int(i))
+		rep, err := CheckScenario(sc)
+		if err != nil {
+			t.Fatalf("scenario %s: %v", sc, err)
+		}
+		if len(rep.Violations) != 0 {
+			t.Fatalf("scenario %s violated: %v", sc, rep.Violations)
+		}
+	})
+}

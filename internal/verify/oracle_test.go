@@ -1,0 +1,237 @@
+package verify
+
+import (
+	"testing"
+
+	"latencyhide/internal/fault"
+	"latencyhide/internal/obs"
+	"latencyhide/internal/sim"
+)
+
+// Two fixed scenarios the mutation tests run against: a fault-free busy one
+// and one with an outage plus a crash-stop host.
+const (
+	cleanSpec  = "g=ring:16;n=6;d=const:2;bw=2;rep=2;steps=8;w=3;seed=5"
+	faultySpec = "g=ring:12;n=4;d=const:2;bw=2;rep=2;steps=6;w=2;seed=3;f=9:outage=0.2x4;crash=1@5"
+)
+
+// mustRun executes the spec's sequential engine run with a recorder and
+// asserts the oracle finds it clean.
+func mustRun(t *testing.T, spec string) (*sim.Config, *sim.Result, []obs.Event) {
+	t.Helper()
+	sc, err := Parse(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := sc.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := obs.NewBuffer()
+	cfg.Recorder = rec
+	cfg.Check = true
+	res, err := sim.Run(*cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vs := CheckRun(cfg, res, rec.Events()); len(vs) != 0 {
+		t.Fatalf("clean run flagged: %v", vs)
+	}
+	return cfg, res, rec.Events()
+}
+
+func hasInvariant(vs []Violation, names ...string) bool {
+	for _, v := range vs {
+		for _, n := range names {
+			if v.Invariant == n {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func clone(events []obs.Event) []obs.Event {
+	return append([]obs.Event(nil), events...)
+}
+
+func TestOracleCleanRuns(t *testing.T) {
+	mustRun(t, cleanSpec)
+	mustRun(t, faultySpec)
+}
+
+// Dropping a delivery starves a needer: conservation must notice, and the
+// stream no longer matches the result counters.
+func TestOracleCatchesDroppedDelivery(t *testing.T) {
+	cfg, res, events := mustRun(t, cleanSpec)
+	mut := clone(events)
+	for i := range mut {
+		if mut[i].Kind == obs.KindDeliver {
+			mut = append(mut[:i], mut[i+1:]...)
+			break
+		}
+	}
+	vs := CheckRun(cfg, res, mut)
+	if !hasInvariant(vs, "conservation") || !hasInvariant(vs, "result-counts") {
+		t.Fatalf("dropped delivery not caught: %v", vs)
+	}
+}
+
+// A duplicated delivery breaks exactly-once conservation.
+func TestOracleCatchesDuplicateDelivery(t *testing.T) {
+	cfg, res, events := mustRun(t, cleanSpec)
+	mut := clone(events)
+	for i := range mut {
+		if mut[i].Kind == obs.KindDeliver {
+			mut = append(mut, mut[i])
+			break
+		}
+	}
+	if vs := CheckRun(cfg, res, mut); !hasInvariant(vs, "conservation") {
+		t.Fatalf("duplicate delivery not caught: %v", vs)
+	}
+}
+
+// Moving a compute to step 1 puts it before its delivered dependencies.
+func TestOracleCatchesComputeBeforeDependency(t *testing.T) {
+	cfg, res, events := mustRun(t, cleanSpec)
+	mut := clone(events)
+	moved := false
+	for i := range mut {
+		e := &mut[i]
+		if e.Kind != obs.KindCompute || e.GStep < 2 || e.Step < 3 {
+			continue
+		}
+		// Pick a compute with at least one dependency the processor does
+		// not hold, so the value must have been delivered (after step 1).
+		held := true
+		for _, dep := range cfg.Guest.Graph.Neighbors(int(e.Col)) {
+			if !cfg.Assign.Holds(int(e.Proc), dep) {
+				held = false
+			}
+		}
+		if held {
+			continue
+		}
+		e.Step = 1
+		moved = true
+		break
+	}
+	if !moved {
+		t.Fatal("no movable compute event found")
+	}
+	if vs := CheckRun(cfg, res, mut); !hasInvariant(vs, "dependency-order") {
+		t.Fatalf("early compute not caught: %v", vs)
+	}
+}
+
+// The acceptance-criteria bug: an engine that stops enforcing per-link
+// bandwidth. Simulated by checking a B=2 run against a B=1 configuration —
+// the oracle must flag the over-budget injection steps.
+func TestOracleCatchesBandwidthViolation(t *testing.T) {
+	cfg, res, events := mustRun(t, cleanSpec)
+	lied := *cfg
+	lied.Bandwidth = 1
+	if vs := CheckRun(&lied, res, events); !hasInvariant(vs, "bandwidth") {
+		t.Fatalf("bandwidth overrun not caught: %v", vs)
+	}
+}
+
+// An injection during a claimed total outage must be flagged.
+func TestOracleCatchesOutageInjection(t *testing.T) {
+	cfg, res, events := mustRun(t, faultySpec)
+	lied := *cfg
+	plan := *cfg.Faults
+	plan.Outages = []fault.Outage{{Link: -1, Window: 1, Frac: 1}}
+	lied.Faults = &plan
+	if vs := CheckRun(&lied, res, events); !hasInvariant(vs, "bandwidth") {
+		t.Fatalf("outage injection not caught: %v", vs)
+	}
+}
+
+// A compute on a crashed host at or after its crash step must be flagged.
+func TestOracleCatchesCrashedCompute(t *testing.T) {
+	cfg, res, events := mustRun(t, faultySpec)
+	crashStep, ok := cfg.Faults.CrashStep(1)
+	if !ok {
+		t.Fatal("fixture lost its crash")
+	}
+	col := cfg.Assign.Owned[1][0]
+	done := int32(0)
+	for _, e := range events {
+		if e.Kind == obs.KindCompute && e.Proc == 1 && int(e.Col) == col && e.GStep > done {
+			done = e.GStep
+		}
+	}
+	mut := append(clone(events), obs.Event{
+		Step: crashStep + 2, Kind: obs.KindCompute, Proc: 1,
+		Col: int32(col), GStep: done + 1, Link: -1, Route: -1,
+	})
+	if vs := CheckRun(cfg, res, mut); !hasInvariant(vs, "crash-stop") {
+		t.Fatalf("crashed compute not caught: %v", vs)
+	}
+}
+
+// Removing an injection hop breaks the relay chain its delivery rode.
+func TestOracleCatchesMissingHop(t *testing.T) {
+	cfg, res, events := mustRun(t, cleanSpec)
+	mut := clone(events)
+	for i := range mut {
+		if mut[i].Kind == obs.KindInject {
+			mut = append(mut[:i], mut[i+1:]...)
+			break
+		}
+	}
+	vs := CheckRun(cfg, res, mut)
+	if !hasInvariant(vs, "relay-chain", "travel-time") {
+		t.Fatalf("missing hop not caught: %v", vs)
+	}
+}
+
+// A result whose counters disagree with the stream must be flagged.
+func TestOracleCatchesResultMismatch(t *testing.T) {
+	cfg, res, events := mustRun(t, cleanSpec)
+	lied := *res
+	lied.PebblesComputed++
+	if vs := CheckRun(cfg, &lied, events); !hasInvariant(vs, "result-counts") {
+		t.Fatalf("result drift not caught: %v", vs)
+	}
+}
+
+// A compute by a processor that does not hold the column is never legal.
+func TestOracleCatchesForeignCompute(t *testing.T) {
+	cfg, res, events := mustRun(t, cleanSpec)
+	var foreign int32 = -1
+	col := cfg.Assign.Owned[0][0]
+	for p := 0; p < cfg.Assign.HostN; p++ {
+		if !cfg.Assign.Holds(p, col) {
+			foreign = int32(p)
+			break
+		}
+	}
+	if foreign < 0 {
+		t.Skip("column held everywhere")
+	}
+	mut := append(clone(events), obs.Event{
+		Step: 2, Kind: obs.KindCompute, Proc: foreign, Col: int32(col), GStep: 1,
+		Link: -1, Route: -1,
+	})
+	if vs := CheckRun(cfg, res, mut); !hasInvariant(vs, "holder-only") {
+		t.Fatalf("foreign compute not caught: %v", vs)
+	}
+}
+
+// The violation cap keeps a totally broken stream from flooding the report.
+func TestOracleTruncatesViolations(t *testing.T) {
+	cfg, res, events := mustRun(t, cleanSpec)
+	var empty []obs.Event
+	vs := CheckRun(cfg, res, empty)
+	_ = events
+	if len(vs) == 0 || len(vs) > maxViolations+1 {
+		t.Fatalf("empty stream produced %d violations", len(vs))
+	}
+	last := vs[len(vs)-1]
+	if last.Invariant != "truncated" {
+		t.Fatalf("expected truncation marker, got %v", last)
+	}
+}

@@ -1,0 +1,407 @@
+package verify
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"latencyhide/internal/assign"
+	"latencyhide/internal/fault"
+	"latencyhide/internal/guest"
+	"latencyhide/internal/sim"
+)
+
+// Scenario is a compact, fully deterministic description of one randomized
+// verification run: a guest shape, a host line, a delay profile, bandwidth,
+// a replication factor and an optional fault plan. Build materialises it
+// into a sim.Config; String/Parse round-trip the spec format
+//
+//	g=SHAPE:DIMS;n=HOSTN;d=KIND:LO[:HI];bw=B;rep=R;steps=T;w=W;seed=S[;f=FAULTSPEC]
+//
+// e.g. g=ring:24;n=8;d=uniform:1:9;bw=2;rep=2;steps=12;w=3;seed=7;f=7:outage=0.1x8.
+// The f= item, when present, is last and holds a fault plan in
+// fault.Parse's format (its ';' separators belong to the plan).
+type Scenario struct {
+	// Shape is the guest topology: "line", "ring", "mesh" or "tree".
+	Shape string
+	// GA/GB are the shape dimensions: node count for line/ring (GB unused),
+	// rows x cols for mesh, height for tree (GB unused).
+	GA, GB int
+	// HostN is the host line size.
+	HostN int
+	// DelayKind is "const" (every link DelayLo), "uniform" (DelayLo..DelayHi)
+	// or "bimodal" (DelayLo near, DelayHi far on every 8th-ish link).
+	DelayKind        string
+	DelayLo, DelayHi int
+	// BW is the per-link bandwidth (0 = the engine's log n default).
+	BW int
+	// Rep is the replication factor: each column lives on Rep consecutive
+	// hosts, so up to Rep-1 distinct crash-stop hosts never orphan a column.
+	Rep int
+	// Steps is the guest step count.
+	Steps int
+	// Workers is the parallel engine's chunk count for the equivalence run.
+	Workers int
+	// Seed seeds the guest values and the delay materialisation.
+	Seed int64
+	// Faults optionally injects a deterministic fault plan.
+	Faults *fault.Plan
+}
+
+// rng is a tiny deterministic generator (splitmix64) so generated scenarios
+// are stable across Go versions and platforms.
+type rng struct{ s uint64 }
+
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+func (r *rng) next() uint64 {
+	r.s += 0x9e3779b97f4a7c15
+	return mix64(r.s)
+}
+
+func (r *rng) intn(n int) int          { return int(r.next() % uint64(n)) }
+func (r *rng) pct(p int) bool          { return r.intn(100) < p }
+func (r *rng) rangeInt(lo, hi int) int { return lo + r.intn(hi-lo+1) }
+
+// Generate derives the i-th scenario of a seed's stream. The sampled space
+// keeps every run small (a soak iteration is milliseconds) while covering
+// all four guest shapes, replication 1..3, fractional/total outages,
+// jitter, slowdowns and crash-stop hosts (only ever fewer crashes than
+// replicas, so no generated plan orphans a column).
+func Generate(seed uint64, i int) *Scenario {
+	r := &rng{s: mix64(seed^0x5eed5eed5eed5eed) + uint64(i)*0xa0761d6478bd642f}
+	sc := &Scenario{
+		HostN:   r.rangeInt(2, 12),
+		Steps:   r.rangeInt(3, 12),
+		Workers: r.rangeInt(2, 4),
+		Seed:    int64(r.rangeInt(1, 1000)),
+		BW:      r.intn(4),
+	}
+	switch r.intn(4) {
+	case 0:
+		sc.Shape, sc.GA = "line", r.rangeInt(3, 32)
+	case 1:
+		sc.Shape, sc.GA = "ring", r.rangeInt(3, 32)
+	case 2:
+		sc.Shape, sc.GA, sc.GB = "mesh", r.rangeInt(2, 5), r.rangeInt(2, 5)
+	default:
+		sc.Shape, sc.GA = "tree", r.rangeInt(1, 3)
+	}
+	maxRep := sc.HostN
+	if maxRep > 3 {
+		maxRep = 3
+	}
+	sc.Rep = r.rangeInt(1, maxRep)
+	switch r.intn(3) {
+	case 0:
+		sc.DelayKind, sc.DelayLo, sc.DelayHi = "const", r.rangeInt(1, 5), 0
+	case 1:
+		sc.DelayKind, sc.DelayLo, sc.DelayHi = "uniform", 1, r.rangeInt(2, 11)
+	default:
+		sc.DelayKind, sc.DelayLo, sc.DelayHi = "bimodal", r.rangeInt(1, 2), r.rangeInt(8, 19)
+	}
+	if r.pct(50) {
+		sc.Faults = r.plan(sc)
+	}
+	return sc
+}
+
+// plan samples a fault plan for the scenario; nil when nothing fires.
+func (r *rng) plan(sc *Scenario) *fault.Plan {
+	p := &fault.Plan{Seed: uint64(r.rangeInt(1, 1<<16))}
+	links := sc.HostN - 1
+	site := func(n int) int { // -1 = everywhere, else a specific site
+		if n < 1 || r.pct(50) {
+			return -1
+		}
+		return r.intn(n)
+	}
+	if links > 0 && r.pct(40) {
+		p.Jitters = append(p.Jitters, fault.Jitter{
+			Link: site(links), Amp: r.rangeInt(1, 4), Prob: float64(r.rangeInt(1, 4)) / 4,
+		})
+	}
+	if links > 0 && r.pct(40) {
+		p.Outages = append(p.Outages, fault.Outage{
+			Link: site(links), Window: r.rangeInt(4, 15), Frac: float64(r.rangeInt(1, 5)) / 20,
+		})
+	}
+	if r.pct(30) {
+		p.Slowdowns = append(p.Slowdowns, fault.Slowdown{
+			Host: site(sc.HostN), Window: r.rangeInt(4, 15), Frac: float64(r.rangeInt(1, 6)) / 20, Limit: 0,
+		})
+	}
+	if sc.Rep >= 2 && r.pct(40) {
+		// At most Rep-1 distinct crashed hosts: every column keeps a live
+		// replica by construction, so the run stays computable.
+		hosts := r.intn(sc.Rep-1) + 1
+		used := map[int]bool{}
+		for len(used) < hosts {
+			h := r.intn(sc.HostN)
+			if !used[h] {
+				used[h] = true
+				p.Crashes = append(p.Crashes, fault.Crash{Host: h, Step: int64(r.rangeInt(1, 50))})
+			}
+		}
+	}
+	if !p.Enabled() {
+		return nil
+	}
+	return p
+}
+
+// Graph builds the scenario's guest topology.
+func (s *Scenario) Graph() (guest.Graph, error) {
+	switch s.Shape {
+	case "line":
+		if s.GA < 1 {
+			return nil, fmt.Errorf("verify: line needs >= 1 node, got %d", s.GA)
+		}
+		return guest.NewLinearArray(s.GA), nil
+	case "ring":
+		if s.GA < 3 {
+			return nil, fmt.Errorf("verify: ring needs >= 3 nodes, got %d", s.GA)
+		}
+		return guest.NewRing(s.GA), nil
+	case "mesh":
+		if s.GA < 1 || s.GB < 1 {
+			return nil, fmt.Errorf("verify: mesh needs positive dims, got %dx%d", s.GA, s.GB)
+		}
+		return guest.NewMesh(s.GA, s.GB), nil
+	case "tree":
+		if s.GA < 0 || s.GA > 20 {
+			return nil, fmt.Errorf("verify: tree height %d outside [0,20]", s.GA)
+		}
+		return guest.NewBinaryTree(s.GA), nil
+	default:
+		return nil, fmt.Errorf("verify: unknown guest shape %q", s.Shape)
+	}
+}
+
+// Delays materialises the host line's link delays deterministically from
+// the scenario (seeded by Seed, independent of the guest value stream).
+func (s *Scenario) Delays() []int {
+	d := make([]int, s.HostN-1)
+	base := mix64(uint64(s.Seed)*0x9e3779b97f4a7c15 + 0xde1a7de1a7)
+	for i := range d {
+		h := mix64(base + uint64(i)*0xff51afd7ed558ccd)
+		switch s.DelayKind {
+		case "uniform":
+			span := s.DelayHi - s.DelayLo + 1
+			if span < 1 {
+				span = 1
+			}
+			d[i] = s.DelayLo + int(h%uint64(span))
+		case "bimodal":
+			d[i] = s.DelayLo
+			if h%8 == 0 {
+				d[i] = s.DelayHi
+			}
+		default: // const
+			d[i] = s.DelayLo
+		}
+		if d[i] < 1 {
+			d[i] = 1
+		}
+	}
+	return d
+}
+
+// Assignment replicates each column on Rep consecutive hosts starting at
+// the column's proportional position — the Theorem 4 flavour of overlapping
+// blocks, generalised to any column count.
+func (s *Scenario) Assignment(columns int) (*assign.Assignment, error) {
+	owned := make([][]int, s.HostN)
+	for c := 0; c < columns; c++ {
+		base := c * s.HostN / columns
+		for j := 0; j < s.Rep; j++ {
+			p := (base + j) % s.HostN
+			owned[p] = append(owned[p], c)
+		}
+	}
+	return assign.FromOwned(s.HostN, columns, owned)
+}
+
+// Build materialises the scenario into a runnable engine configuration
+// (sequential by default; the caller sets Workers for the parallel engine).
+func (s *Scenario) Build() (*sim.Config, error) {
+	g, err := s.Graph()
+	if err != nil {
+		return nil, err
+	}
+	a, err := s.Assignment(g.NumNodes())
+	if err != nil {
+		return nil, err
+	}
+	cfg := &sim.Config{
+		Delays:    s.Delays(),
+		Guest:     guest.Spec{Graph: g, Steps: s.Steps, Seed: s.Seed},
+		Assign:    a,
+		Bandwidth: s.BW,
+		Faults:    s.Faults,
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return cfg, nil
+}
+
+// String renders the scenario in Parse's spec format.
+func (s *Scenario) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "g=%s:%d", s.Shape, s.GA)
+	if s.Shape == "mesh" {
+		fmt.Fprintf(&b, ":%d", s.GB)
+	}
+	fmt.Fprintf(&b, ";n=%d;d=%s:%d", s.HostN, s.DelayKind, s.DelayLo)
+	if s.DelayKind != "const" {
+		fmt.Fprintf(&b, ":%d", s.DelayHi)
+	}
+	fmt.Fprintf(&b, ";bw=%d;rep=%d;steps=%d;w=%d;seed=%d", s.BW, s.Rep, s.Steps, s.Workers, s.Seed)
+	if s.Faults != nil {
+		fmt.Fprintf(&b, ";f=%s", s.Faults)
+	}
+	return b.String()
+}
+
+// Parse reads a scenario spec (see Scenario). It validates shapes, kinds
+// and ranges; the returned scenario always Builds unless the host/guest
+// sizes are themselves inconsistent.
+func Parse(spec string) (*Scenario, error) {
+	s := &Scenario{}
+	// The fault plan is the trailing f= item; its own ';' separators must
+	// not split the scenario items.
+	if head, plan, ok := strings.Cut(spec, "f="); ok {
+		if !strings.HasSuffix(head, ";") && head != "" {
+			return nil, fmt.Errorf("verify: f= must start an item in %q", spec)
+		}
+		p, err := fault.Parse(plan)
+		if err != nil {
+			return nil, fmt.Errorf("verify: %v", err)
+		}
+		s.Faults = p
+		spec = strings.TrimSuffix(head, ";")
+	}
+	for _, item := range strings.Split(spec, ";") {
+		item = strings.TrimSpace(item)
+		if item == "" {
+			continue
+		}
+		key, val, ok := strings.Cut(item, "=")
+		if !ok {
+			return nil, fmt.Errorf("verify: item %q is not key=value", item)
+		}
+		switch key {
+		case "g":
+			parts := strings.Split(val, ":")
+			if len(parts) < 2 {
+				return nil, fmt.Errorf("verify: g=%q is not SHAPE:DIMS", val)
+			}
+			s.Shape = parts[0]
+			switch s.Shape {
+			case "line", "ring", "mesh", "tree":
+			default:
+				return nil, fmt.Errorf("verify: unknown guest shape %q", s.Shape)
+			}
+			ga, err := strconv.Atoi(parts[1])
+			if err != nil {
+				return nil, fmt.Errorf("verify: g=%q: bad dimension %q", val, parts[1])
+			}
+			s.GA = ga
+			if s.Shape == "mesh" {
+				if len(parts) != 3 {
+					return nil, fmt.Errorf("verify: g=mesh wants mesh:ROWS:COLS, got %q", val)
+				}
+				gb, err := strconv.Atoi(parts[2])
+				if err != nil {
+					return nil, fmt.Errorf("verify: g=%q: bad dimension %q", val, parts[2])
+				}
+				s.GB = gb
+			} else if len(parts) != 2 {
+				return nil, fmt.Errorf("verify: g=%s takes one dimension, got %q", s.Shape, val)
+			}
+		case "d":
+			parts := strings.Split(val, ":")
+			if len(parts) < 2 {
+				return nil, fmt.Errorf("verify: d=%q is not KIND:LO[:HI]", val)
+			}
+			s.DelayKind = parts[0]
+			lo, err := strconv.Atoi(parts[1])
+			if err != nil {
+				return nil, fmt.Errorf("verify: d=%q: bad delay %q", val, parts[1])
+			}
+			s.DelayLo = lo
+			switch s.DelayKind {
+			case "const":
+				if len(parts) != 2 {
+					return nil, fmt.Errorf("verify: d=const takes one delay, got %q", val)
+				}
+			case "uniform", "bimodal":
+				if len(parts) != 3 {
+					return nil, fmt.Errorf("verify: d=%s wants %s:LO:HI, got %q", s.DelayKind, s.DelayKind, val)
+				}
+				hi, err := strconv.Atoi(parts[2])
+				if err != nil || hi < lo {
+					return nil, fmt.Errorf("verify: d=%q: bad upper delay %q", val, parts[2])
+				}
+				s.DelayHi = hi
+			default:
+				return nil, fmt.Errorf("verify: unknown delay kind %q", s.DelayKind)
+			}
+			if lo < 1 {
+				return nil, fmt.Errorf("verify: d=%q: delays must be >= 1", val)
+			}
+		case "n", "bw", "rep", "steps", "w":
+			v, err := strconv.Atoi(val)
+			if err != nil || v < 0 {
+				return nil, fmt.Errorf("verify: %s=%q is not a non-negative integer", key, val)
+			}
+			switch key {
+			case "n":
+				s.HostN = v
+			case "bw":
+				s.BW = v
+			case "rep":
+				s.Rep = v
+			case "steps":
+				s.Steps = v
+			case "w":
+				s.Workers = v
+			}
+		case "seed":
+			v, err := strconv.ParseInt(val, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("verify: seed=%q is not an integer", val)
+			}
+			s.Seed = v
+		default:
+			return nil, fmt.Errorf("verify: unknown item %q", item)
+		}
+	}
+	if s.Shape == "" {
+		return nil, fmt.Errorf("verify: spec %q missing g=", spec)
+	}
+	if s.HostN < 1 {
+		return nil, fmt.Errorf("verify: spec %q needs n >= 1", spec)
+	}
+	if s.DelayKind == "" {
+		return nil, fmt.Errorf("verify: spec %q missing d=", spec)
+	}
+	if s.Rep < 1 {
+		return nil, fmt.Errorf("verify: spec %q needs rep >= 1", spec)
+	}
+	if s.Rep > s.HostN {
+		return nil, fmt.Errorf("verify: rep %d exceeds hosts %d", s.Rep, s.HostN)
+	}
+	if s.Steps < 1 {
+		return nil, fmt.Errorf("verify: spec %q needs steps >= 1", spec)
+	}
+	return s, nil
+}

@@ -1,0 +1,165 @@
+package verify
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestScenarioRoundTrip(t *testing.T) {
+	specs := []string{
+		"g=ring:24;n=8;d=uniform:1:9;bw=2;rep=2;steps=12;w=3;seed=7",
+		"g=line:5;n=2;d=const:3;bw=0;rep=1;steps=3;w=2;seed=1",
+		"g=mesh:3:4;n=6;d=bimodal:1:16;bw=1;rep=3;steps=8;w=4;seed=-2",
+		"g=tree:2;n=4;d=const:1;bw=0;rep=2;steps=5;w=2;seed=9",
+		"g=ring:24;n=8;d=uniform:1:9;bw=2;rep=2;steps=12;w=3;seed=7;f=7:outage=0.1x8",
+		"g=line:9;n=3;d=const:2;bw=1;rep=2;steps=4;w=2;seed=3;f=1:jitter=4@0.5;outage=0.2x6#1;slow=0.3x8/0;crash=0@9",
+	}
+	for _, spec := range specs {
+		sc, err := Parse(spec)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", spec, err)
+		}
+		if got := sc.String(); got != spec {
+			t.Errorf("round trip %q -> %q", spec, got)
+		}
+		if _, err := sc.Build(); err != nil {
+			t.Errorf("Build(%q): %v", spec, err)
+		}
+	}
+}
+
+func TestScenarioParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"g=ring:24",                                 // missing n, d
+		"n=4;d=const:1;rep=1;steps=3",               // missing g
+		"g=blob:9;n=4;d=const:1;rep=1;steps=3",      // unknown shape
+		"g=ring:x;n=4;d=const:1;rep=1;steps=3",      // bad dim
+		"g=mesh:3;n=4;d=const:1;rep=1;steps=3",      // mesh needs two dims
+		"g=ring:9;n=4;d=zipf:1:3;rep=1;steps=3",     // unknown delay kind
+		"g=ring:9;n=4;d=uniform:1;rep=1;steps=3",    // uniform needs hi
+		"g=ring:9;n=4;d=uniform:5:2;rep=1;steps=3",  // hi < lo
+		"g=ring:9;n=4;d=const:0;rep=1;steps=3",      // delay < 1
+		"g=ring:9;n=4;d=const:1;rep=0;steps=3",      // rep < 1
+		"g=ring:9;n=4;d=const:1;rep=9;steps=3",      // rep > hosts
+		"g=ring:9;n=0;d=const:1;rep=1;steps=3",      // no hosts
+		"g=ring:9;n=4;d=const:1;rep=1;steps=0",      // no steps
+		"g=ring:9;n=4;d=const:1;rep=1;steps=3;zz=1", // unknown key
+		"g=ring:9;n=4;d=const:1;rep=1;steps=3;f=no", // bad fault plan
+		"g=ring:9;n=4;d=const:1;rep=1;steps=3;bw=x", // non-numeric
+	}
+	for _, spec := range bad {
+		if _, err := Parse(spec); err == nil {
+			t.Errorf("Parse(%q) accepted", spec)
+		} else if strings.Count(err.Error(), "\n") != 0 {
+			t.Errorf("Parse(%q) error is not one line: %q", spec, err)
+		}
+	}
+}
+
+// Every generated scenario must stay inside the documented sample space,
+// build into a valid engine configuration, and round-trip its spec.
+func TestGenerateBoundsAndBuilds(t *testing.T) {
+	shapes := map[string]int{}
+	faulty, crashes := 0, 0
+	for i := 0; i < 300; i++ {
+		sc := Generate(42, i)
+		shapes[sc.Shape]++
+		if sc.HostN < 2 || sc.HostN > 12 {
+			t.Fatalf("scenario %d: hostN %d", i, sc.HostN)
+		}
+		if sc.Steps < 3 || sc.Steps > 12 {
+			t.Fatalf("scenario %d: steps %d", i, sc.Steps)
+		}
+		if sc.Workers < 2 || sc.Workers > 4 {
+			t.Fatalf("scenario %d: workers %d", i, sc.Workers)
+		}
+		if sc.Rep < 1 || sc.Rep > 3 || sc.Rep > sc.HostN {
+			t.Fatalf("scenario %d: rep %d of %d hosts", i, sc.Rep, sc.HostN)
+		}
+		if sc.Faults != nil {
+			faulty++
+			// Never enough crashes to orphan a column.
+			if got := len(sc.Faults.CrashedHosts()); got > 0 {
+				crashes++
+				if got >= sc.Rep {
+					t.Fatalf("scenario %d: %d crashed hosts at rep %d", i, got, sc.Rep)
+				}
+			}
+		}
+		cfg, err := sc.Build()
+		if err != nil {
+			t.Fatalf("scenario %d (%s): %v", i, sc, err)
+		}
+		if err := cfg.Validate(); err != nil {
+			t.Fatalf("scenario %d (%s): invalid config: %v", i, sc, err)
+		}
+		back, err := Parse(sc.String())
+		if err != nil {
+			t.Fatalf("scenario %d: reparse %q: %v", i, sc, err)
+		}
+		if back.String() != sc.String() {
+			t.Fatalf("scenario %d: round trip %q -> %q", i, sc, back)
+		}
+	}
+	for _, shape := range []string{"line", "ring", "mesh", "tree"} {
+		if shapes[shape] == 0 {
+			t.Errorf("300 scenarios never sampled shape %q", shape)
+		}
+	}
+	if faulty == 0 || crashes == 0 {
+		t.Errorf("300 scenarios sampled %d fault plans, %d with crashes", faulty, crashes)
+	}
+}
+
+// The generator must be a pure function of (seed, index) — the same pair
+// always yields the same spec, different pairs differ somewhere.
+func TestGenerateDeterministic(t *testing.T) {
+	if err := quick.Check(func(seed uint64, i uint8) bool {
+		return Generate(seed, int(i)).String() == Generate(seed, int(i)).String()
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+	distinct := map[string]bool{}
+	for i := 0; i < 50; i++ {
+		distinct[Generate(7, i).String()] = true
+	}
+	if len(distinct) < 45 {
+		t.Fatalf("only %d distinct scenarios in 50 draws", len(distinct))
+	}
+}
+
+func TestDelaysDeterministic(t *testing.T) {
+	sc := Generate(3, 11)
+	a, b := sc.Delays(), sc.Delays()
+	if len(a) != sc.HostN-1 {
+		t.Fatalf("delays %v for %d hosts", a, sc.HostN)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("delays not deterministic: %v vs %v", a, b)
+		}
+		if a[i] < 1 {
+			t.Fatalf("delay %d < 1", a[i])
+		}
+	}
+}
+
+// The replicated-blocks assignment must place every column on Rep distinct
+// hosts (consecutive mod hostN), so Rep-1 crashes cannot orphan anything.
+func TestAssignmentReplication(t *testing.T) {
+	sc := &Scenario{Shape: "ring", GA: 10, HostN: 4, Rep: 3}
+	a, err := sc.Assignment(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c, hs := range a.Holders {
+		if len(hs) != 3 {
+			t.Fatalf("column %d has %d holders", c, len(hs))
+		}
+	}
+	if a.MaxCopies() != 3 {
+		t.Fatalf("max copies %d", a.MaxCopies())
+	}
+}

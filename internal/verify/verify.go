@@ -1,0 +1,60 @@
+// Package verify is the model-based verification subsystem: an invariant
+// oracle over the canonical obs event stream, a seeded scenario generator,
+// and a metamorphic driver that runs generated scenarios through both
+// engines and cross-checks them.
+//
+// The paper's claims are all invariants — delivery precedes compute, each
+// directed link injects at most B pebbles per step, every multicast value is
+// delivered exactly once per needer, crashed hosts never compute, the
+// stall-cause tiling covers exactly procs x steps — so instead of
+// hand-writing a check per feature, the oracle (CheckRun) re-derives the
+// conservation laws from the recorded stream and the final Result, and the
+// driver (CheckScenario, Soak) replays randomly generated Scenario specs
+// through the sequential and parallel engines, asserting bit-identical
+// streams, an oracle-clean trace, and the metamorphic relations the model
+// guarantees (seed invariance, the replication slowdown bound, outage
+// monotonicity, mirror invariance).
+//
+// Three layers consume it: the quickcheck-style sweep and fuzz targets in
+// this package's tests, the `latencysim verify -seed -n` CLI subcommand for
+// long soak runs, and the CI soak job (fixed seed matrix under -race).
+package verify
+
+import "fmt"
+
+// Violation is one broken invariant, attributed to the check that caught it.
+type Violation struct {
+	// Invariant is the short identifier of the violated law, e.g.
+	// "bandwidth", "dependency-order", "conservation", "stall-tiling",
+	// "engine-equivalence".
+	Invariant string
+	// Detail pinpoints the violating event or quantity.
+	Detail string
+}
+
+func (v Violation) String() string { return v.Invariant + ": " + v.Detail }
+
+// maxViolations bounds how many violations a single check reports; a broken
+// engine trips thousands of them and one screenful is plenty.
+const maxViolations = 64
+
+// collector accumulates violations up to the cap.
+type collector struct {
+	vs        []Violation
+	truncated bool
+}
+
+func (c *collector) addf(invariant, format string, args ...any) {
+	if len(c.vs) >= maxViolations {
+		c.truncated = true
+		return
+	}
+	c.vs = append(c.vs, Violation{Invariant: invariant, Detail: fmt.Sprintf(format, args...)})
+}
+
+func (c *collector) result() []Violation {
+	if c.truncated {
+		c.vs = append(c.vs, Violation{Invariant: "truncated", Detail: "further violations suppressed"})
+	}
+	return c.vs
+}

@@ -37,6 +37,7 @@ import (
 	"latencyhide/internal/dataflow"
 	"latencyhide/internal/embedding"
 	"latencyhide/internal/expt"
+	"latencyhide/internal/fault"
 	"latencyhide/internal/guest"
 	"latencyhide/internal/layout"
 	"latencyhide/internal/mesharray"
@@ -44,6 +45,7 @@ import (
 	"latencyhide/internal/overlap"
 	"latencyhide/internal/sim"
 	"latencyhide/internal/uniform"
+	"latencyhide/internal/verify"
 )
 
 // Network is a host network of workstations with arbitrary link delays.
@@ -298,6 +300,47 @@ type OverlapSchedule = overlap.Schedule
 // NewNullDB is the dataflow-model database factory (constant digest,
 // stateless).
 var NewNullDB = guest.NewNullDB
+
+// FaultPlan is a deterministic fault-injection plan: link jitter, outage
+// windows, compute slowdowns and crash-stop workstations, all derived by
+// pure hashing from the plan seed (see internal/fault).
+type FaultPlan = fault.Plan
+
+// ParseFaultPlan reads the compact fault spec format, e.g.
+// "7:outage=0.1x8;crash=3@40". Pass the plan via Options.Faults.
+var ParseFaultPlan = fault.Parse
+
+// Scenario is a compact, seeded description of one randomized verification
+// run: guest shape, host line, delay profile, bandwidth, replication and an
+// optional fault plan (see internal/verify).
+type Scenario = verify.Scenario
+
+// Scenario constructors: ParseScenario reads the spec format
+// ("g=ring:24;n=8;d=uniform:1:9;..."), GenerateScenario derives the i-th
+// scenario of a seed's deterministic stream.
+var (
+	ParseScenario    = verify.Parse
+	GenerateScenario = verify.Generate
+)
+
+// VerifyReport is the outcome of checking one scenario: the metamorphic
+// relations exercised and every invariant violation found.
+type VerifyReport = verify.Report
+
+// VerifySoakResult aggregates a verification soak.
+type VerifySoakResult = verify.SoakResult
+
+// CheckScenario runs one scenario through the invariant oracle, both
+// engines and every applicable metamorphic relation.
+func CheckScenario(sc *Scenario) (*VerifyReport, error) {
+	return verify.CheckScenario(sc)
+}
+
+// VerifySoak generates and checks n scenarios from a seeded stream — the
+// library entry point behind `latencysim verify`.
+func VerifySoak(seed uint64, n int) (*VerifySoakResult, error) {
+	return verify.Soak(seed, n)
+}
 
 // ExperimentScale selects Quick or Full experiment sizes.
 type ExperimentScale = expt.Scale
