@@ -7,7 +7,7 @@ BENCH_TIME     ?= 3x
 
 COVER_MIN ?= 80
 
-.PHONY: all build test race bench bench-baseline bench-all ci check-binaries cover verify experiments examples clean
+.PHONY: all build test race bench bench-baseline bench-diff bench-all ci check-binaries cover verify experiments examples clean
 
 all: build test
 
@@ -73,6 +73,11 @@ bench:
 bench-baseline:
 	$(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' -benchtime $(BENCH_TIME) -count 1 . | tee bench.out
 	$(GO) run ./cmd/benchcmp -write $(BENCH_BASELINE) bench.out
+
+# Diff the newest two committed BENCH_*.json records, failing on a >15%
+# sequential-engine regression (parallel lines are reported but ungated).
+bench-diff:
+	$(GO) run ./cmd/benchcmp -diff-latest .
 
 # The full benchmark suite (every experiment bench), no comparison.
 bench-all:

@@ -596,6 +596,54 @@ func BenchmarkEngineParallelScaling(b *testing.B) {
 	}
 }
 
+// BenchmarkEngineParallelScalingSkewed repeats the scaling measurement on a
+// deliberately unbalanced workload: a quadratic column ramp plus a
+// replication hotspot concentrate several times more pebbles at the left end
+// of the line, so naive host-count splits produce stragglers and the
+// work-balanced cuts have to earn their keep.
+func BenchmarkEngineParallelScalingSkewed(b *testing.B) {
+	const hostN = 2048
+	delays := nowLine(hostN, 3)
+	m := 2 * hostN
+	owned := make([][]int, hostN)
+	add := func(p, c int) {
+		if p >= hostN {
+			p = hostN - 1
+		}
+		owned[p] = append(owned[p], c)
+	}
+	for c := 0; c < m; c++ {
+		frac := float64(c) / float64(m)
+		p := int(frac * frac * float64(hostN))
+		add(p, c)
+		if c < m/4 {
+			// The ramp's densest columns also carry a second replica on the
+			// neighboring host.
+			add(p+1, c)
+		}
+	}
+	a, err := assign.FromOwned(hostN, m, owned)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := sim.Config{
+		Delays: delays,
+		Guest:  guest.Spec{Graph: guest.NewLinearArray(m), Steps: 24, Seed: 7},
+		Assign: a,
+	}
+	for _, workers := range []int{0, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			c := cfg
+			c.Workers = workers
+			for i := 0; i < b.N; i++ {
+				if _, err := sim.Run(c); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkLayouts measures layout construction and annealing for a
 // mid-size guest.
 func BenchmarkLayouts(b *testing.B) {

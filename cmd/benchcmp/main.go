@@ -12,6 +12,12 @@
 //	benchcmp -write BENCH_1.json bench.out            # record a baseline
 //	benchcmp -baseline BENCH_1.json bench.out         # compare, exit 1 on regression
 //	benchcmp -baseline BENCH_1.json -report-only bench.out  # compare, always exit 0
+//	benchcmp -diff-latest .                           # newest two BENCH_*.json vs each other
+//
+// -diff-latest compares the two highest-numbered BENCH_*.json files in a
+// directory (the PR-over-PR history) and fails only on sequential-engine
+// regressions beyond 15%: parallel figures vary with the runner's core
+// count, but the sequential engine must never get slower.
 package main
 
 import (
@@ -19,8 +25,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"regexp"
 	"runtime"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
@@ -116,17 +124,132 @@ func readInput(path string) (string, error) {
 	return string(data), err
 }
 
+// seqEngine reports whether a benchmark exercises the sequential engine —
+// the regression gate for -diff-latest. Parallel figures vary with the
+// runner's core count; the sequential engine must never get slower.
+func seqEngine(name string) bool {
+	return strings.Contains(name, "EngineSequential") || strings.HasSuffix(name, "workers=0")
+}
+
+// loadBaseline reads and parses one persisted baseline JSON.
+func loadBaseline(path string) (*Baseline, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var b Baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("%s: %v", path, err)
+	}
+	return &b, nil
+}
+
+// diffLatest compares the two highest-numbered BENCH_*.json files in dir.
+// Only sequential-engine regressions beyond the threshold fail; everything
+// else is reported. Returns the process exit code.
+func diffLatest(dir string, threshold float64, reportOnly bool) int {
+	paths, err := filepath.Glob(filepath.Join(dir, "BENCH_*.json"))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchcmp:", err)
+		return 1
+	}
+	numRE := regexp.MustCompile(`BENCH_(\d+)\.json$`)
+	type numbered struct {
+		n    int
+		path string
+	}
+	var files []numbered
+	for _, p := range paths {
+		if m := numRE.FindStringSubmatch(p); m != nil {
+			n, _ := strconv.Atoi(m[1])
+			files = append(files, numbered{n, p})
+		}
+	}
+	if len(files) < 2 {
+		fmt.Printf("benchcmp: found %d baseline(s) in %s, nothing to diff\n", len(files), dir)
+		return 0
+	}
+	sort.Slice(files, func(i, j int) bool { return files[i].n < files[j].n })
+	prev, cur := files[len(files)-2], files[len(files)-1]
+	prevBase, err := loadBaseline(prev.path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchcmp:", err)
+		return 1
+	}
+	curBase, err := loadBaseline(cur.path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchcmp:", err)
+		return 1
+	}
+	fmt.Printf("benchcmp: diffing %s -> %s (gate: sequential engine, %.0f%%)\n",
+		prev.path, cur.path, 100*threshold)
+	byName := make(map[string]Benchmark, len(prevBase.Benchmarks))
+	for _, b := range prevBase.Benchmarks {
+		byName[b.Name] = b
+	}
+	regressions := 0
+	for _, b := range curBase.Benchmarks {
+		old, ok := byName[b.Name]
+		if !ok {
+			fmt.Printf("%-55s NEW (no entry in %s)\n", b.Name, prev.path)
+			continue
+		}
+		var delta float64
+		var unit string
+		switch {
+		case b.PebblesPS > 0 && old.PebblesPS > 0:
+			delta = -(b.PebblesPS/old.PebblesPS - 1) // higher throughput is better
+			unit = fmt.Sprintf("%12.0f -> %12.0f pebbles/sec", old.PebblesPS, b.PebblesPS)
+		case b.NsPerOp > 0 && old.NsPerOp > 0:
+			delta = b.NsPerOp/old.NsPerOp - 1 // higher wall time is worse
+			unit = fmt.Sprintf("%12.0f -> %12.0f ns/op      ", old.NsPerOp, b.NsPerOp)
+		default:
+			fmt.Printf("%-55s no comparable metric\n", b.Name)
+			continue
+		}
+		status := "ok"
+		if delta > threshold {
+			if seqEngine(b.Name) {
+				status = "REGRESSION"
+				regressions++
+			} else {
+				status = "slower (ungated)"
+			}
+		}
+		fmt.Printf("%-55s %s  %+6.1f%%  %s\n", b.Name, unit, -100*delta, status)
+	}
+	if regressions > 0 {
+		fmt.Printf("benchcmp: %d sequential-engine regression(s) beyond %.0f%%\n", regressions, 100*threshold)
+		if !reportOnly {
+			return 1
+		}
+		fmt.Println("benchcmp: report-only mode, not failing")
+	}
+	return 0
+}
+
 func main() {
 	write := flag.String("write", "", "record a baseline JSON at this path and exit")
 	baseline := flag.String("baseline", "", "compare against this baseline JSON")
 	threshold := flag.Float64("threshold", 0.10, "pebbles/sec regression fraction that fails the comparison")
 	reportOnly := flag.Bool("report-only", false, "report regressions but always exit 0")
+	latest := flag.String("diff-latest", "", "compare the newest two BENCH_*.json files in this directory (gate: sequential engine, 15% unless -threshold is set)")
 	var notes noteFlags
 	flag.Var(&notes, "note", "free-form note stored in the baseline (repeatable, with -write)")
 	flag.Parse()
 
+	if *latest != "" {
+		th := 0.15
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "threshold" {
+				th = *threshold
+			}
+		})
+		os.Exit(diffLatest(*latest, th, *reportOnly))
+	}
+
 	if flag.NArg() != 1 || (*write == "") == (*baseline == "") {
-		fmt.Fprintln(os.Stderr, "usage: benchcmp (-write out.json | -baseline base.json [-report-only]) bench.out|-")
+		fmt.Fprintln(os.Stderr, "usage: benchcmp (-write out.json | -baseline base.json [-report-only] | -diff-latest dir) bench.out|-")
 		os.Exit(2)
 	}
 	data, err := readInput(flag.Arg(0))

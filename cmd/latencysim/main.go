@@ -339,6 +339,9 @@ func cmdRun(args []string) error {
 	if out.Sim.Checked {
 		fmt.Println("check: all database replicas match the sequential reference executor")
 	}
+	if len(out.Sim.Chunks) > 0 {
+		obs.ChunkTable(out.Sim.Chunks).Fprint(os.Stdout)
+	}
 	if *trace {
 		if err := printTrace(out); err != nil {
 			return err

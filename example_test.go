@@ -168,7 +168,7 @@ func ExampleVerifySoak() {
 	}
 	res.Summary(os.Stdout)
 	// Output:
-	// verify: seed=1 scenarios=3 events=994
+	// verify: seed=1 scenarios=3 events=966
 	//   engine-equivalence   3 checked
 	//   outage-monotone      1 checked
 	//   replication-bound    2 checked

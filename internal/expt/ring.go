@@ -3,6 +3,7 @@ package expt
 import (
 	"fmt"
 	"math"
+	"runtime"
 
 	"latencyhide/internal/baseline"
 	"latencyhide/internal/metrics"
@@ -19,6 +20,20 @@ func delaysOf(g *network.Network) []int {
 		out[i] = e.Delay
 	}
 	return out
+}
+
+// defaultWorkers picks the parallel-engine worker count for experiment runs:
+// one per CPU, clamped to [2, 8]. Results are worker-invariant (bit-identity
+// is enforced by internal/verify), so this only affects wall-clock time.
+func defaultWorkers() int {
+	w := runtime.NumCPU()
+	if w < 2 {
+		w = 2
+	}
+	if w > 8 {
+		w = 8
+	}
+	return w
 }
 
 // nowDelay is the delay distribution used by the ring experiments: constant
@@ -64,7 +79,7 @@ func init() {
 				// ~5*sqrt(d_max) regardless of how slow the rare links are.
 				two, err := overlap.SimulateLine(delays, overlap.Options{
 					Variant: overlap.TwoLevel, Beta: 2, SqrtD: network.ISqrt(out.Dmax),
-					Steps: steps, Seed: 11, Workers: 4,
+					Steps: steps, Seed: 11, Workers: defaultWorkers(),
 				})
 				if err != nil {
 					return nil, err
@@ -120,7 +135,7 @@ func init() {
 				// clamped to 512): efficiency reaches O(1) — the
 				// simulation is genuinely work-preserving.
 				out, err := overlap.SimulateLine(delays, overlap.Options{
-					Variant: overlap.WorkEfficient, Beta: 0, Steps: 8, Seed: 21, Workers: 4,
+					Variant: overlap.WorkEfficient, Beta: 0, Steps: 8, Seed: 21, Workers: defaultWorkers(),
 				})
 				if err != nil {
 					return nil, err

@@ -1,0 +1,51 @@
+package obs
+
+import (
+	"fmt"
+	"time"
+
+	"latencyhide/internal/metrics"
+)
+
+// ChunkGauge is the parallel engine's per-chunk execution gauge: how much a
+// chunk computed, how often it shipped coalesced boundary batches, and how
+// long it sat blocked at its conservative horizon waiting for a neighbor's
+// clock. Unlike the canonical event stream, these are wall-clock engine
+// measurements — they vary run to run and across worker counts, so they are
+// reported next to the stall tiling rather than inside it.
+type ChunkGauge struct {
+	Lo, Hi           int           // host positions [Lo, Hi)
+	Pebbles          int64         // pebbles the chunk computed
+	Steps            int64         // final local clock
+	Flushes          int64         // coalesced boundary batches shipped
+	BatchedMsgs      int64         // messages carried by those batches
+	BlockedAtHorizon int64         // times the worker blocked on a neighbor
+	Blocked          time.Duration // wall time spent blocked
+}
+
+// ChunkTable renders per-chunk gauges as a metrics table, with per-flush
+// batching factor and blocked share so straggler chunks stand out.
+func ChunkTable(gs []ChunkGauge) *metrics.Table {
+	t := metrics.NewTable("parallel chunks (engine gauges)",
+		"chunk", "hosts", "pebbles", "steps", "flushes", "msgs/flush", "blocked", "blocked_ms")
+	var pebbles, flushes, msgs int64
+	for i, g := range gs {
+		perFlush := 0.0
+		if g.Flushes > 0 {
+			perFlush = float64(g.BatchedMsgs) / float64(g.Flushes)
+		}
+		t.AddRow(i, fmt.Sprintf("%d-%d", g.Lo, g.Hi), g.Pebbles, g.Steps,
+			g.Flushes, perFlush, g.BlockedAtHorizon,
+			float64(g.Blocked.Microseconds())/1000)
+		pebbles += g.Pebbles
+		flushes += g.Flushes
+		msgs += g.BatchedMsgs
+	}
+	if flushes > 0 {
+		t.AddNote("%d pebbles across %d chunks; %d boundary messages coalesced into %d updates (%.1f msgs/update)",
+			pebbles, len(gs), msgs, flushes, float64(msgs)/float64(flushes))
+	} else {
+		t.AddNote("%d pebbles across %d chunks; no boundary batches shipped", pebbles, len(gs))
+	}
+	return t
+}

@@ -104,6 +104,15 @@ type bucketCal struct {
 	due      []int32 // scratch for takeDue
 }
 
+// presizeScratch reserves takeDue's scratch up front so the first busy steps
+// do not grow it incrementally. Capacity only; scheduling semantics are
+// untouched.
+func (c *bucketCal) presizeScratch(n int) {
+	if n > cap(c.due) {
+		c.due = make([]int32, 0, n)
+	}
+}
+
 // schedule records a delivery key at the given step. step must be >= now.
 func (c *bucketCal) schedule(now, step int64, key int32) {
 	if step < now {

@@ -273,6 +273,7 @@ func newChunk(cfg *Config, rt *routeTable, lo, hi int) *chunk {
 		// All step-0 values are initial state, known everywhere, so every
 		// column starts ready (when T >= 1).
 		if c.T >= 1 {
+			p.ready = make(readyQueue, 0, len(p.cols))
 			for i := range p.cols {
 				p.ready.push(readyKey(1, int32(i)))
 			}
@@ -283,21 +284,67 @@ func newChunk(cfg *Config, rt *routeTable, lo, hi int) *chunk {
 		}
 		c.remaining += p.remaining
 	}
-	// Links.
+	// Links, pre-sized from the route table's per-link crossing counts so
+	// steady-state queueing never grows a slice (capacities only: the
+	// clamps keep wildly-multicast configurations from over-allocating).
 	c.right = make([]*dlink, hi-lo)
 	c.left = make([]*dlink, hi-lo)
+	presize := func(l *dlink, cross int32) *dlink {
+		if cross > 0 {
+			q := int(cross)
+			if q > 64 {
+				q = 64
+			}
+			l.queue = make([]msg, 0, q)
+			inf := 2 * int(cross)
+			if inf > 128 {
+				inf = 128
+			}
+			l.inflight = make([]timedMsg, 0, inf)
+		}
+		return l
+	}
 	for pos := lo; pos < hi; pos++ {
 		if pos < n-1 {
-			c.right[pos-lo] = &dlink{delay: cfg.Delays[pos], bw: cfg.linkBandwidth(pos)}
+			c.right[pos-lo] = presize(&dlink{delay: cfg.Delays[pos], bw: cfg.linkBandwidth(pos)}, rt.crossAt(rt.crossR, pos))
 		}
 		if pos > 0 {
-			c.left[pos-lo] = &dlink{delay: cfg.Delays[pos-1], bw: cfg.linkBandwidth(pos - 1)}
+			c.left[pos-lo] = presize(&dlink{delay: cfg.Delays[pos-1], bw: cfg.linkBandwidth(pos - 1)}, rt.crossAt(rt.crossL, pos-1))
 		}
 	}
+	// Boundary outboxes (parallel engine): size for a few steps' worth of
+	// crossing traffic so windowed coalescing appends without reallocating.
+	if lo > 0 {
+		if cross := rt.crossAt(rt.crossL, lo-1); cross > 0 {
+			c.outLeft = make([]timedMsg, 0, minInt(4*int(cross), 256))
+		}
+	}
+	if hi < n {
+		if cross := rt.crossAt(rt.crossR, hi-1); cross > 0 {
+			c.outRight = make([]timedMsg, 0, minInt(4*int(cross), 256))
+		}
+	}
+	c.cal.presizeScratch(minInt(2*(hi-lo), 64))
 	if cfg.Faults != nil {
 		c.initFaults(cfg.Faults)
 	}
 	return c
+}
+
+// crossAt reads a crossing-count entry, tolerating tables built for tiny
+// lines where the arrays are absent.
+func (rt *routeTable) crossAt(arr []int32, link int) int32 {
+	if link < 0 || link >= len(arr) {
+		return 0
+	}
+	return arr[link]
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
 }
 
 func (c *chunk) proc(pos int) *proc { return &c.procs[pos-c.lo] }

@@ -1,51 +1,107 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"runtime"
+	"runtime/pprof"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"latencyhide/internal/obs"
 )
 
-// The parallel engine is a conservative parallel discrete-event simulator:
-// the host line is split into contiguous chunks, one goroutine each, and
-// chunks synchronise with the classic null-message protocol. The lookahead
-// between adjacent chunks is the boundary link delay: a chunk whose clock is
-// at step s cannot send anything that arrives before s + d_boundary, so its
-// neighbor may safely simulate up to that horizon. Splits are nudged onto
-// the highest-delay links nearby, because lookahead — and therefore
-// parallelism — scales with the boundary delay.
+// The parallel engine (v2) is a conservative parallel discrete-event
+// simulator: the host line is split into contiguous chunks, one goroutine
+// each, with lookahead equal to the boundary link delay. A chunk whose
+// clock is at step s cannot send anything that arrives before s + d_boundary,
+// so its neighbor may safely simulate up to that horizon.
 //
-// The engine is bit-identical to the sequential one: chunk-local step
-// semantics are shared (chunk.go), boundary messages carry the same stamped
-// arrival steps they would have had on a local link, and same-step delivery
-// order is fixed by the calendar's (position, from-left-first) key.
+// v2 replaces v1's per-slice channel protocol with three mechanisms:
+//
+//   - Work-balanced cuts: splitPositionsWork places cut i at the i-th work
+//     quantile of the per-host pebble counts (not the i-th host quantile),
+//     then nudges it onto the highest-delay link nearby — balanced chunks
+//     eliminate stragglers, high-delay boundaries maximise lookahead.
+//
+//   - Published clocks + windowed batch coalescing: each worker owns one
+//     atomic "promised clock" per boundary — the guarantee "nothing from me
+//     will arrive before pub + d". Neighbors read it directly when computing
+//     their horizon, so null messages cost one atomic load instead of a
+//     channel round trip. Boundary messages accumulate in a per-direction
+//     outbox and ship as one batch per window (window = max(1, d/2) steps of
+//     clock advance), over a single-producer/single-consumer ring — the hot
+//     path has no channel operation, no select and no allocation (batch
+//     slices recycle through a reverse free ring).
+//
+//   - Demand-driven wakeups: a worker blocked at its horizon force-flushes
+//     both outboxes, publishes its clock and parks on a 1-slot notify
+//     channel guarded by an idle flag (store-idle, recheck, sleep on one
+//     side; publish, load-idle, signal on the other — the classic Dekker
+//     handshake, so wakeups are never lost under seq-cst atomics).
+//
+// Bit-identity with the sequential engine is preserved because coalescing
+// only delays *transport*, never reorders *simulation*: a batch held after a
+// flush at clock s0 contains messages injected at steps >= s0, which arrive
+// at or after s0 + d; the neighbor that read pub = s0 simulates strictly
+// below s0 + d, so no held message can be needed before the next flush
+// publishes it. Within a chunk, same-step delivery order is fixed by the
+// calendar's (position, from-left-first) key exactly as in the sequential
+// engine, and receiveBoundary stamps arrivals with the same steps a local
+// link would have produced. See DESIGN.md §5 for the full argument.
 
-// bupdate is one boundary message between adjacent chunks: a batch of
-// stamped messages plus the sender's new clock (the null-message part).
-type bupdate struct {
-	clock int64
-	batch []timedMsg
+const (
+	farFuture = math.MaxInt64 / 4
+
+	// boundaryRingCap bounds batches in flight per boundary direction; a
+	// full ring back-pressures the producer into draining its own inboxes.
+	boundaryRingCap = 256
+	// freeRingCap bounds recycled batch slices held per direction.
+	freeRingCap = 8
+	// boundaryBatchCap force-flushes an outbox regardless of the window,
+	// bounding coalescing memory on very high-bandwidth boundaries.
+	boundaryBatchCap = 4096
+)
+
+// side is one worker's view of one boundary direction: the rings to and
+// from that neighbor, the clock promised to it, and the flush state.
+type side struct {
+	delay    int64
+	window   int64 // clock advance between coalesced flushes
+	fromLeft bool  // batches popped from `in` arrive from our left
+
+	outbox *[]timedMsg       // chunk outbox feeding this boundary
+	in     *spsc[[]timedMsg] // neighbor -> us: message batches
+	out    *spsc[[]timedMsg] // us -> neighbor: message batches
+	free   *spsc[[]timedMsg] // our shipped slices, recycled back to us
+	retire *spsc[[]timedMsg] // consumed inbound slices, returned to neighbor
+
+	pub       atomic.Int64  // clock we promise this neighbor (it reads this)
+	peerClock *atomic.Int64 // the neighbor's promise to us (its side.pub)
+	peer      *worker
+
+	sentClock int64 // clock at the last batch flush
+	flushes   int64
+	sentMsgs  int64
 }
 
-const farFuture = math.MaxInt64 / 4
-
 type worker struct {
-	c                     *chunk
-	leftIn, rightIn       <-chan bupdate
-	leftOut, rightOut     chan<- bupdate
-	leftClock             int64
-	rightClock            int64
-	leftDelay, rightDelay int64
-	sentClock             int64
+	c           *chunk
+	left, right *side // nil at the line ends
+
+	idle   atomic.Bool
+	notify chan struct{} // 1-slot wakeup, paired with idle (Dekker handshake)
 
 	global   *int64 // remaining pebbles across all chunks
 	done     chan struct{}
 	doneOnce *sync.Once
 	errMu    *sync.Mutex
 	err      *error
+
+	blockedAtHorizon int64
+	blockedFor       time.Duration
 }
 
 func (w *worker) setErr(e error) {
@@ -57,96 +113,128 @@ func (w *worker) setErr(e error) {
 	w.doneOnce.Do(func() { close(w.done) })
 }
 
-// horizon is the largest step the chunk may safely simulate, exclusive.
-func (w *worker) horizon() int64 {
-	h := w.leftClock + w.leftDelay
-	if r := w.rightClock + w.rightDelay; r < h {
-		h = r
+func (w *worker) isDone() bool {
+	select {
+	case <-w.done:
+		return true
+	default:
+		return false
 	}
-	if h > farFuture {
-		h = farFuture
+}
+
+// wake signals this worker if it has parked (or is about to park) at its
+// horizon. Callers store their published state before calling, so the
+// idle-flag load orders after that store and the handshake cannot lose a
+// wakeup: either we observe idle and signal, or the worker's post-idle
+// recheck observes our store.
+func (w *worker) wake() {
+	if w.idle.Load() {
+		select {
+		case w.notify <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// horizon is the largest step the chunk may safely simulate, exclusive:
+// min over boundaries of the neighbor's promised clock plus the lookahead.
+func (w *worker) horizon() int64 {
+	h := int64(farFuture)
+	if w.left != nil {
+		if v := w.left.peerClock.Load() + w.left.delay; v < h {
+			h = v
+		}
+	}
+	if w.right != nil {
+		if v := w.right.peerClock.Load() + w.right.delay; v < h {
+			h = v
+		}
 	}
 	return h
 }
 
-func (w *worker) apply(fromLeft bool, u bupdate) {
-	if fromLeft {
-		w.c.receiveBoundary(true, u.batch)
-		if u.clock > w.leftClock {
-			w.leftClock = u.clock
-		}
-	} else {
-		w.c.receiveBoundary(false, u.batch)
-		if u.clock > w.rightClock {
-			w.rightClock = u.clock
-		}
+// drainSide consumes every pending inbound batch without blocking and
+// returns the emptied slices to the neighbor's free ring for reuse.
+func (w *worker) drainSide(s *side) {
+	if s == nil {
+		return
 	}
-}
-
-// drain consumes pending inbox updates without blocking.
-func (w *worker) drain() {
 	for {
-		progressed := false
-		if w.leftIn != nil {
-			select {
-			case u := <-w.leftIn:
-				w.apply(true, u)
-				progressed = true
-			default:
-			}
-		}
-		if w.rightIn != nil {
-			select {
-			case u := <-w.rightIn:
-				w.apply(false, u)
-				progressed = true
-			default:
-			}
-		}
-		if !progressed {
+		batch, ok := s.in.pop()
+		if !ok {
 			return
 		}
-	}
-}
-
-// send delivers u without deadlocking: while the channel is full it keeps
-// draining its own inboxes so the neighbor (possibly blocked sending to us)
-// can make progress.
-func (w *worker) send(ch chan<- bupdate, u bupdate) bool {
-	for {
-		select {
-		case ch <- u:
-			return true
-		case <-w.done:
-			return false
-		default:
-			w.drain()
-			runtime.Gosched()
+		w.c.receiveBoundary(s.fromLeft, batch)
+		if cap(batch) > 0 {
+			s.retire.push(batch[:0]) // best-effort; dropped when full
 		}
 	}
 }
 
-// flush ships accumulated boundary batches and the current clock to both
-// neighbors. Clock-only (null) updates are sent only when the clock moved.
-func (w *worker) flush() bool {
-	clock := w.c.now
-	moved := clock > w.sentClock
-	if w.leftOut != nil && (moved || len(w.c.outLeft) > 0) {
-		batch := w.c.outLeft
-		w.c.outLeft = nil
-		if !w.send(w.leftOut, bupdate{clock: clock, batch: batch}) {
+func (w *worker) drainAll() {
+	w.drainSide(w.left)
+	w.drainSide(w.right)
+}
+
+func (w *worker) pendingInput() bool {
+	return (w.left != nil && !w.left.in.empty()) ||
+		(w.right != nil && !w.right.in.empty())
+}
+
+// flushSide ships the accumulated outbox batch when the coalescing window
+// elapsed, the batch cap is hit, or the caller forces it (before parking at
+// the horizon). A full ring back-pressures: we keep draining our own inboxes
+// so the neighbor — possibly spinning on its own full ring — can progress.
+func (w *worker) flushSide(s *side, force bool) bool {
+	if s == nil {
+		return true
+	}
+	batch := *s.outbox
+	if len(batch) == 0 {
+		return true
+	}
+	now := w.c.now
+	if !force && now-s.sentClock < s.window && len(batch) < boundaryBatchCap {
+		return true
+	}
+	for !s.out.push(batch) {
+		if w.isDone() {
 			return false
 		}
+		w.drainAll()
+		s.peer.wake()
+		runtime.Gosched()
 	}
-	if w.rightOut != nil && (moved || len(w.c.outRight) > 0) {
-		batch := w.c.outRight
-		w.c.outRight = nil
-		if !w.send(w.rightOut, bupdate{clock: clock, batch: batch}) {
-			return false
-		}
+	s.flushes++
+	s.sentMsgs += int64(len(batch))
+	s.sentClock = now
+	var repl []timedMsg
+	if r, ok := s.free.pop(); ok {
+		repl = r
 	}
-	w.sentClock = clock
+	*s.outbox = repl
+	s.peer.wake()
 	return true
+}
+
+// publish advances the clock promised to s's neighbor. With an empty outbox
+// every future injection happens at a step >= now, so now itself is safe;
+// with messages still held, only the last flushed clock is (held messages
+// were injected at steps >= sentClock and arrive >= sentClock + delay).
+// The store orders after any flushSide ring push, so a neighbor that reads
+// the new clock is guaranteed to pop the batch it covers first.
+func (w *worker) publish(s *side) {
+	if s == nil {
+		return
+	}
+	safe := w.c.now
+	if len(*s.outbox) > 0 {
+		safe = s.sentClock
+	}
+	if safe > s.pub.Load() {
+		s.pub.Store(safe)
+		s.peer.wake()
+	}
 }
 
 // runUntil simulates local steps strictly below h, decrementing the global
@@ -182,52 +270,107 @@ func (w *worker) runUntil(h, maxSteps int64) bool {
 	return true
 }
 
-func (w *worker) run(maxSteps int64, wg *sync.WaitGroup) {
-	defer wg.Done()
+func (w *worker) loop(maxSteps int64) {
 	for {
 		if atomic.LoadInt64(w.global) == 0 {
 			return
 		}
-		w.drain()
+		if w.isDone() {
+			return // an error or the watchdog fired elsewhere
+		}
+		// Sample clocks before draining: any batch covering a clock we
+		// read was pushed before that clock was published, so the drain
+		// below observes it and nothing within the horizon is missed.
 		h := w.horizon()
+		w.drainAll()
 		if w.c.now < h {
 			if !w.runUntil(h, maxSteps) {
 				return
 			}
-			if !w.flush() {
+			if !w.flushSide(w.left, false) || !w.flushSide(w.right, false) {
 				return
+			}
+			w.publish(w.left)
+			w.publish(w.right)
+			continue
+		}
+		// Blocked at the horizon: everything we hold is due — ship it,
+		// promise our current clock (the demand-driven null message), then
+		// park until a neighbor publishes or the run ends.
+		if !w.flushSide(w.left, true) || !w.flushSide(w.right, true) {
+			return
+		}
+		w.publish(w.left)
+		w.publish(w.right)
+		w.idle.Store(true)
+		if w.horizon() > w.c.now || w.pendingInput() || w.isDone() {
+			w.idle.Store(false)
+			if w.isDone() && atomic.LoadInt64(w.global) != 0 {
+				return // error or watchdog
 			}
 			continue
 		}
-		// Blocked at the horizon: wait for a neighbor update or global
-		// completion.
-		if w.leftIn == nil && w.rightIn == nil {
-			// Single chunk can never block on neighbors.
-			w.setErr(fmt.Errorf("sim: single parallel chunk stalled at step %d", w.c.now))
-			return
-		}
-		var li, ri <-chan bupdate
-		li, ri = w.leftIn, w.rightIn
+		w.blockedAtHorizon++
+		start := time.Now()
 		select {
-		case u := <-li:
-			w.apply(true, u)
-		case u := <-ri:
-			w.apply(false, u)
+		case <-w.notify:
 		case <-w.done:
-			return
+		}
+		w.idle.Store(false)
+		w.blockedFor += time.Since(start)
+		if w.isDone() {
+			return // global hit zero, an error surfaced, or the watchdog fired
 		}
 	}
 }
 
-// splitPositions splits [0, n) into w contiguous chunks, nudging each cut
-// onto the largest-delay link within a window around the even split (larger
-// boundary delay = larger lookahead).
+// splitPositions splits [0, n) into w contiguous chunks assuming uniform
+// per-host work, nudging each cut onto the largest-delay link within a
+// window around the even split (larger boundary delay = larger lookahead).
 func splitPositions(delays []int, w int) []int {
+	return splitPositionsWork(delays, nil, w)
+}
+
+// splitPositionsWork splits [0, n) into w contiguous chunks at the work
+// quantiles of the per-host work estimates (nil work = uniform), then nudges
+// each cut onto the largest-delay link within a window around its quantile
+// position. Cuts are strictly increasing and every chunk is non-empty for
+// any 2 <= w <= n/2.
+func splitPositionsWork(delays []int, work []int64, w int) []int {
 	n := len(delays) + 1
-	cuts := []int{0}
+	cuts := make([]int, 1, w+1)
 	window := n / (4 * w)
+	if window < 1 {
+		window = 1 // n < 4w would otherwise collapse the nudge search
+	}
+	var prefix []int64
+	var total int64
+	if work != nil {
+		prefix = make([]int64, n+1)
+		for p := 0; p < n; p++ {
+			prefix[p+1] = prefix[p] + work[p]
+		}
+		total = prefix[n]
+	}
 	for i := 1; i < w; i++ {
-		target := i * n / w
+		var target int
+		if total > 0 {
+			// Smallest position whose work prefix reaches the i-th
+			// quantile: chunk i gets ~1/w of the total work.
+			want := int64(i) * total
+			lo, hi := 0, n
+			for lo < hi {
+				mid := (lo + hi) / 2
+				if prefix[mid]*int64(w) < want {
+					lo = mid + 1
+				} else {
+					hi = mid
+				}
+			}
+			target = lo
+		} else {
+			target = i * n / w
+		}
 		lo, hi := target-window, target+window
 		if lo < cuts[len(cuts)-1]+1 {
 			lo = cuts[len(cuts)-1] + 1
@@ -235,7 +378,7 @@ func splitPositions(delays []int, w int) []int {
 		if hi > n-(w-i) {
 			hi = n - (w - i)
 		}
-		best, bestD := target, -1
+		best, bestD := -1, -1
 		for p := lo; p <= hi && p-1 < len(delays); p++ {
 			if p < 1 {
 				continue
@@ -244,13 +387,19 @@ func splitPositions(delays []int, w int) []int {
 				best, bestD = p, d
 			}
 		}
+		if best < 0 {
+			// Defensive: the feasible window [prev+1, n-(w-i)] is never
+			// empty for w <= n/2, but fall back to its left edge anyway.
+			best = lo
+		}
 		cuts = append(cuts, best)
 	}
 	cuts = append(cuts, n)
 	return cuts
 }
 
-// runParallel executes the simulation with cfg.Workers conservative chunks.
+// runParallel executes the simulation with cfg.Workers conservative chunks,
+// cut at the work quantiles of the assignment's per-host pebble counts.
 func runParallel(cfg *Config, rt *routeTable) (*Result, error) {
 	n := cfg.hostN()
 	w := cfg.Workers
@@ -260,7 +409,32 @@ func runParallel(cfg *Config, rt *routeTable) (*Result, error) {
 	if w < 2 {
 		return runSequential(cfg, rt)
 	}
-	cuts := splitPositions(cfg.Delays, w)
+	// Per-host work estimate: pebbles to compute, plus a baseline unit so
+	// pure relay hosts still count toward chunk sizes.
+	work := make([]int64, n)
+	for p := 0; p < n; p++ {
+		work[p] = 1 + int64(len(cfg.Assign.Owned[p]))*int64(cfg.Guest.Steps)
+	}
+	return runParallelWithCuts(cfg, rt, splitPositionsWork(cfg.Delays, work, w))
+}
+
+// runParallelWithCuts runs the parallel engine over an explicit cut vector
+// (cuts[0] = 0 < cuts[1] < ... < cuts[w] = hostN). Any valid cut vector
+// produces bit-identical results — the fuzz harness exercises exactly that.
+func runParallelWithCuts(cfg *Config, rt *routeTable, cuts []int) (*Result, error) {
+	n := cfg.hostN()
+	w := len(cuts) - 1
+	if w < 1 || cuts[0] != 0 || cuts[w] != n {
+		return nil, fmt.Errorf("sim: invalid cut vector %v for %d hosts", cuts, n)
+	}
+	for i := 1; i <= w; i++ {
+		if cuts[i] <= cuts[i-1] {
+			return nil, fmt.Errorf("sim: cut vector %v not strictly increasing", cuts)
+		}
+	}
+	if w == 1 {
+		return runSequential(cfg, rt)
+	}
 	chunks := make([]*chunk, w)
 	var global int64
 	for i := 0; i < w; i++ {
@@ -271,12 +445,6 @@ func runParallel(cfg *Config, rt *routeTable) (*Result, error) {
 		return collect(cfg, chunks)
 	}
 
-	chans := make([]chan bupdate, w-1) // rightward: i -> i+1
-	back := make([]chan bupdate, w-1)  // leftward: i+1 -> i
-	for i := range chans {
-		chans[i] = make(chan bupdate, 256)
-		back[i] = make(chan bupdate, 256)
-	}
 	done := make(chan struct{})
 	var doneOnce sync.Once
 	var errMu sync.Mutex
@@ -284,72 +452,107 @@ func runParallel(cfg *Config, rt *routeTable) (*Result, error) {
 
 	workers := make([]*worker, w)
 	for i := 0; i < w; i++ {
-		wk := &worker{
+		workers[i] = &worker{
 			c: chunks[i], global: &global, done: done, doneOnce: &doneOnce,
 			errMu: &errMu, err: &firstErr,
-			leftClock: farFuture, rightClock: farFuture,
-			leftDelay: 1, rightDelay: 1,
+			notify: make(chan struct{}, 1),
 		}
-		if i > 0 {
-			wk.leftIn = chans[i-1]
-			wk.leftOut = back[i-1]
-			wk.leftClock = 1 // neighbors start at step 1
-			wk.leftDelay = int64(cfg.Delays[cuts[i]-1])
+	}
+	for i := 0; i < w-1; i++ {
+		d := int64(cfg.Delays[cuts[i+1]-1])
+		win := d / 2
+		if win < 1 {
+			win = 1
 		}
-		if i < w-1 {
-			wk.rightIn = back[i]
-			wk.rightOut = chans[i]
-			wk.rightClock = 1
-			wk.rightDelay = int64(cfg.Delays[cuts[i+1]-1])
+		east := newSPSC[[]timedMsg](boundaryRingCap) // batches i -> i+1
+		west := newSPSC[[]timedMsg](boundaryRingCap) // batches i+1 -> i
+		eastFree := newSPSC[[]timedMsg](freeRingCap)
+		westFree := newSPSC[[]timedMsg](freeRingCap)
+		r := &side{
+			delay: d, window: win, fromLeft: false,
+			outbox: &chunks[i].outRight,
+			in:     west, out: east, free: eastFree, retire: westFree,
+			peer: workers[i+1], sentClock: 1,
 		}
-		workers[i] = wk
+		l := &side{
+			delay: d, window: win, fromLeft: true,
+			outbox: &chunks[i+1].outLeft,
+			in:     east, out: west, free: westFree, retire: eastFree,
+			peer: workers[i], sentClock: 1,
+		}
+		r.pub.Store(1) // all workers start at step 1
+		l.pub.Store(1)
+		r.peerClock = &l.pub
+		l.peerClock = &r.pub
+		workers[i].right = r
+		workers[i+1].left = l
 	}
 
-	// Watchdog: if no pebble completes for several seconds the dataflow is
-	// deadlocked (a correct run is compute-bound and never wall-clock
-	// idle).
-	watchStop := make(chan struct{})
-	go func() {
-		last := atomic.LoadInt64(&global)
-		idle := 0
-		ticker := time.NewTicker(2 * time.Second)
-		defer ticker.Stop()
-		for {
-			select {
-			case <-watchStop:
-				return
-			case <-ticker.C:
-				cur := atomic.LoadInt64(&global)
-				if cur == 0 {
+	// Watchdog: if no pebble completes for WatchdogIdle of wall time the
+	// run is wedged (a correct run is compute-bound and never idles that
+	// long; genuine dataflow deadlocks usually hit the step cap first, the
+	// watchdog is the backstop for anything else).
+	var watchStop chan struct{}
+	if idle := cfg.WatchdogIdle; idle >= 0 {
+		if idle == 0 {
+			idle = 6 * time.Second // historical default: 3 strikes of 2s
+		}
+		period := idle / 3
+		if period < time.Millisecond {
+			period = time.Millisecond
+		}
+		watchStop = make(chan struct{})
+		go func() {
+			last := atomic.LoadInt64(&global)
+			strikes := 0
+			ticker := time.NewTicker(period)
+			defer ticker.Stop()
+			for {
+				select {
+				case <-watchStop:
 					return
-				}
-				if cur == last {
-					idle++
-					if idle >= 3 {
-						errMu.Lock()
-						if firstErr == nil {
-							firstErr = fmt.Errorf("sim: parallel engine made no progress with %d pebbles remaining (deadlock)", cur)
-						}
-						errMu.Unlock()
-						doneOnce.Do(func() { close(done) })
+				case <-ticker.C:
+					cur := atomic.LoadInt64(&global)
+					if cur == 0 {
 						return
 					}
-				} else {
-					idle = 0
-					last = cur
+					if cur == last {
+						strikes++
+						if strikes >= 3 {
+							errMu.Lock()
+							if firstErr == nil {
+								firstErr = fmt.Errorf("sim: parallel engine made no progress with %d pebbles remaining (deadlock)", cur)
+							}
+							errMu.Unlock()
+							doneOnce.Do(func() { close(done) })
+							return
+						}
+					} else {
+						strikes = 0
+						last = cur
+					}
 				}
 			}
-		}
-	}()
+		}()
+	}
 
 	var wg sync.WaitGroup
 	maxSteps := cfg.maxSteps()
-	for _, wk := range workers {
+	for i, wk := range workers {
 		wg.Add(1)
-		go wk.run(maxSteps, &wg)
+		labels := pprof.Labels("engine", "parallel",
+			"chunk", fmt.Sprintf("%d:%d-%d", i, wk.c.lo, wk.c.hi))
+		go func(wk *worker) {
+			defer wg.Done()
+			pprof.Do(context.Background(), labels, func(context.Context) {
+				wk.loop(maxSteps)
+			})
+		}(wk)
 	}
 	wg.Wait()
-	close(watchStop)
+	if watchStop != nil {
+		close(watchStop)
+	}
 
 	errMu.Lock()
 	err := firstErr
@@ -360,5 +563,34 @@ func runParallel(cfg *Config, rt *routeTable) (*Result, error) {
 	if rem := atomic.LoadInt64(&global); rem != 0 {
 		return nil, fmt.Errorf("sim: parallel engine finished with %d pebbles remaining", rem)
 	}
-	return collect(cfg, chunks)
+	res, err := collect(cfg, chunks)
+	if err != nil {
+		return nil, err
+	}
+	res.Chunks = chunkGauges(workers)
+	return res, nil
+}
+
+// chunkGauges snapshots per-worker engine gauges for the result.
+func chunkGauges(workers []*worker) []obs.ChunkGauge {
+	out := make([]obs.ChunkGauge, len(workers))
+	for i, wk := range workers {
+		g := obs.ChunkGauge{
+			Lo: wk.c.lo, Hi: wk.c.hi,
+			Steps:            wk.c.now,
+			BlockedAtHorizon: wk.blockedAtHorizon,
+			Blocked:          wk.blockedFor,
+		}
+		for j := range wk.c.procs {
+			g.Pebbles += wk.c.procs[j].computed
+		}
+		for _, s := range []*side{wk.left, wk.right} {
+			if s != nil {
+				g.Flushes += s.flushes
+				g.BatchedMsgs += s.sentMsgs
+			}
+		}
+		out[i] = g
+	}
+	return out
 }

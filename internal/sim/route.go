@@ -30,8 +30,11 @@ type routeTable struct {
 	// bySender[p] lists, for each guest column p holds, the route ids p
 	// must feed; indexed parallel to assign.Owned[p].
 	bySender [][][]int32
-	// needs[p] lists the guest columns whose values position p consumes
-	// (its own columns' dependency sets); used for sanity checks.
+	// crossR[i] / crossL[i] count the routes whose traffic crosses link
+	// (i, i+1) rightward / leftward — i.e. messages per guest step in each
+	// direction. Chunks use them to pre-size link queues and boundary
+	// outboxes so the steady-state hot path never grows a slice.
+	crossR, crossL []int32
 }
 
 // buildRoutes derives the multicast routing table from the guest graph and
@@ -158,7 +161,38 @@ func buildRoutes(g guest.Graph, a *assign.Assignment, avoid []int) *routeTable {
 			rt.bySender[k.sender][idx] = append(rt.bySender[k.sender][idx], id)
 		}
 	}
+	rt.countCrossings(a.HostN)
 	return rt
+}
+
+// countCrossings fills crossR/crossL via difference arrays: a rightward
+// route from s whose last destination is L crosses links s..L-1; a leftward
+// one crosses links L..s-1 (link i connects positions i and i+1).
+func (rt *routeTable) countCrossings(hostN int) {
+	if hostN < 2 {
+		return
+	}
+	diffR := make([]int32, hostN)
+	diffL := make([]int32, hostN)
+	for _, r := range rt.routes {
+		last := r.dests[len(r.dests)-1]
+		if r.dir > 0 {
+			diffR[r.sender]++
+			diffR[last]--
+		} else {
+			diffL[last]++
+			diffL[r.sender]--
+		}
+	}
+	rt.crossR = make([]int32, hostN-1)
+	rt.crossL = make([]int32, hostN-1)
+	var sumR, sumL int32
+	for i := 0; i < hostN-1; i++ {
+		sumR += diffR[i]
+		sumL += diffL[i]
+		rt.crossR[i] = sumR
+		rt.crossL[i] = sumL
+	}
 }
 
 // validateRoutes double-checks structural soundness; engines call it in

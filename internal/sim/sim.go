@@ -27,6 +27,7 @@ package sim
 
 import (
 	"fmt"
+	"time"
 
 	"latencyhide/internal/assign"
 	"latencyhide/internal/fault"
@@ -81,6 +82,12 @@ type Config struct {
 	// Run fails fast with *UncomputableError. Nil or empty plans are a true
 	// no-op.
 	Faults *fault.Plan
+	// WatchdogIdle is how long the parallel engine tolerates zero global
+	// progress before declaring the dataflow deadlocked. Zero keeps the
+	// historical default (6s); negative disables the watchdog entirely
+	// (useful under -race on slow shared runners, where a correct run can
+	// wall-clock stall long enough to trip a fixed timeout).
+	WatchdogIdle time.Duration
 }
 
 func (c *Config) hostN() int { return len(c.Delays) + 1 }
@@ -190,6 +197,11 @@ type Result struct {
 
 	// Trace is the utilization timeline when Config.TraceWindow > 0.
 	Trace *Trace
+
+	// Chunks holds per-chunk engine gauges from parallel runs (empty for
+	// the sequential engine). These are wall-clock measurements — they are
+	// not part of the deterministic result and differ run to run.
+	Chunks []obs.ChunkGauge
 }
 
 // Trace is a windowed timeline of engine activity: entry w covers host

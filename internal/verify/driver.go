@@ -137,15 +137,21 @@ func CheckScenario(sc *Scenario) (*Report, error) {
 		if err != nil {
 			return nil, fmt.Errorf("verify: scenario %q rep=1 variant: %w", sc, err)
 		}
-		// Work scales by Rep and each of the T guest rounds pays at most one
-		// extra max-delay hop plus its compute slot per replica.
+		// Work scales by the realised load ratio (not Rep: consecutive
+		// replica blocks overlap on middle hosts, so a small line can load a
+		// host by more than Rep), and each of the T guest rounds pays at most
+		// one extra max-delay hop plus its compute slot per replica.
 		dmax := 0
 		for _, d := range cfg.Delays {
 			if d > dmax {
 				dmax = d
 			}
 		}
-		bound := int64(sc.Rep) * (oneRes.HostSteps + int64(sc.Steps*(dmax+1)))
+		factor := int64((seqRes.Load + oneRes.Load - 1) / oneRes.Load)
+		if factor < 1 {
+			factor = 1
+		}
+		bound := factor * (oneRes.HostSteps + int64(sc.Steps*(dmax+1)))
 		if seqRes.HostSteps > bound {
 			fail("replication-bound", "rep=%d took %d host steps > bound %d (rep=1 took %d)",
 				sc.Rep, seqRes.HostSteps, bound, oneRes.HostSteps)

@@ -84,6 +84,13 @@ func Generate(seed uint64, i int) *Scenario {
 		Seed:    int64(r.rangeInt(1, 1000)),
 		BW:      r.intn(4),
 	}
+	if i%4 == 0 {
+		// Every fourth scenario is wide: enough hosts and workers that the
+		// parallel engine runs >= 4 chunks, so interior chunks (boundaries on
+		// both sides) and multi-hop boundary relays are always in the soak.
+		sc.Workers = r.rangeInt(4, 6)
+		sc.HostN = r.rangeInt(2*sc.Workers, 16)
+	}
 	switch r.intn(4) {
 	case 0:
 		sc.Shape, sc.GA = "line", r.rangeInt(3, 32)
@@ -221,9 +228,15 @@ func (s *Scenario) Assignment(columns int) (*assign.Assignment, error) {
 	owned := make([][]int, s.HostN)
 	for c := 0; c < columns; c++ {
 		base := c * s.HostN / columns
+		if base > s.HostN-s.Rep {
+			// Clamp the tail blocks instead of wrapping: a replica that wraps
+			// to host 0 sits a full line away from its siblings, which both
+			// breaks the "consecutive hosts" contract and voids the one-extra-
+			// hop slack in the replication-bound relation.
+			base = s.HostN - s.Rep
+		}
 		for j := 0; j < s.Rep; j++ {
-			p := (base + j) % s.HostN
-			owned[p] = append(owned[p], c)
+			owned[base+j] = append(owned[base+j], c)
 		}
 	}
 	return assign.FromOwned(s.HostN, columns, owned)

@@ -62,18 +62,22 @@ func TestScenarioParseErrors(t *testing.T) {
 // build into a valid engine configuration, and round-trip its spec.
 func TestGenerateBoundsAndBuilds(t *testing.T) {
 	shapes := map[string]int{}
-	faulty, crashes := 0, 0
+	faulty, crashes, wide := 0, 0, 0
 	for i := 0; i < 300; i++ {
 		sc := Generate(42, i)
 		shapes[sc.Shape]++
-		if sc.HostN < 2 || sc.HostN > 12 {
+		if sc.HostN < 2 || sc.HostN > 16 {
 			t.Fatalf("scenario %d: hostN %d", i, sc.HostN)
 		}
 		if sc.Steps < 3 || sc.Steps > 12 {
 			t.Fatalf("scenario %d: steps %d", i, sc.Steps)
 		}
-		if sc.Workers < 2 || sc.Workers > 4 {
+		if sc.Workers < 2 || sc.Workers > 6 {
 			t.Fatalf("scenario %d: workers %d", i, sc.Workers)
+		}
+		// chunks = min(Workers, HostN/2) after the engine's clamp.
+		if chunks := min(sc.Workers, sc.HostN/2); chunks >= 4 {
+			wide++
 		}
 		if sc.Rep < 1 || sc.Rep > 3 || sc.Rep > sc.HostN {
 			t.Fatalf("scenario %d: rep %d of %d hosts", i, sc.Rep, sc.HostN)
@@ -110,6 +114,11 @@ func TestGenerateBoundsAndBuilds(t *testing.T) {
 	}
 	if faulty == 0 || crashes == 0 {
 		t.Errorf("300 scenarios sampled %d fault plans, %d with crashes", faulty, crashes)
+	}
+	// Every fourth scenario is wide by construction: at least a quarter of
+	// the soak must run the parallel engine with >= 4 chunks.
+	if wide < 75 {
+		t.Errorf("only %d/300 scenarios run >= 4 chunks (want >= 75)", wide)
 	}
 }
 
