@@ -2,7 +2,7 @@
 
 GO ?= go
 BENCH_BASELINE ?= BENCH_1.json
-BENCH_PATTERN  ?= Engine
+BENCH_PATTERN  ?= Engine|Telemetry
 BENCH_TIME     ?= 3x
 
 COVER_MIN ?= 80
@@ -78,6 +78,12 @@ bench-baseline:
 # sequential-engine regression (parallel lines are reported but ungated).
 bench-diff:
 	$(GO) run ./cmd/benchcmp -diff-latest .
+
+# Tight telemetry-disabled gate: the sequential engine with a nil registry
+# must stay within 2% of the previous committed baseline (deterministic —
+# both records are committed files, no benchmarks run here).
+bench-telemetry-gate:
+	$(GO) run ./cmd/benchcmp -diff-latest . -threshold 0.02 -only EngineSequential
 
 # The full benchmark suite (every experiment bench), no comparison.
 bench-all:

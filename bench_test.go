@@ -23,6 +23,7 @@ import (
 	"latencyhide/internal/obs"
 	"latencyhide/internal/overlap"
 	"latencyhide/internal/sim"
+	"latencyhide/internal/telemetry"
 	"latencyhide/internal/tree"
 	"latencyhide/internal/uniform"
 )
@@ -316,6 +317,47 @@ func benchEngine(b *testing.B, workers int) {
 		Assign:  a,
 		Workers: workers,
 	}
+	// B/op divided by pebbles/op is the engine's allocation footprint per
+	// pebble; benchcmp derives and tracks it as bytes_per_pebble.
+	b.ReportAllocs()
+	b.ResetTimer()
+	var pebbles int64
+	for i := 0; i < b.N; i++ {
+		res, err := sim.Run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		pebbles = res.PebblesComputed
+	}
+	b.ReportMetric(float64(pebbles), "pebbles/op")
+}
+
+// BenchmarkTelemetryOverhead guards the zero-cost-when-disabled contract of
+// the telemetry registry: Config.Telemetry nil (the default) leaves only
+// plain int64 field increments on the hot path and must track
+// BenchmarkEngineSequential. CI gates the disabled path at 2% via
+// benchcmp -diff-latest.
+func BenchmarkTelemetryOverhead(b *testing.B) {
+	benchEngine(b, 0)
+}
+
+// BenchmarkTelemetryEnabled pays for a live registry: per-chunk shards,
+// periodic flushes every 64 steps, histogram observes and peak scans.
+// Compare against BenchmarkTelemetryOverhead to price instrumentation.
+func BenchmarkTelemetryEnabled(b *testing.B) {
+	delays := nowLine(1024, 3)
+	t := tree.Build(delays, 4)
+	a, err := assign.TwoLevel(t, 2, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := sim.Config{
+		Delays:    delays,
+		Guest:     guest.Spec{Graph: guest.NewLinearArray(a.Columns), Steps: 64, Seed: 7},
+		Assign:    a,
+		Telemetry: telemetry.NewRegistry(),
+	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	var pebbles int64
 	for i := 0; i < b.N; i++ {

@@ -42,6 +42,9 @@ type Benchmark struct {
 	NsPerOp   float64            `json:"ns_per_op"`
 	Metrics   map[string]float64 `json:"metrics,omitempty"`
 	PebblesPS float64            `json:"pebbles_per_sec,omitempty"`
+	// BytesPerPebble is B/op divided by pebbles/op — the engine's allocation
+	// footprint per unit of useful work (needs -benchmem or b.ReportAllocs).
+	BytesPerPebble float64 `json:"bytes_per_pebble,omitempty"`
 }
 
 // Baseline is the persisted BENCH_1.json schema.
@@ -101,6 +104,9 @@ func parse(data string) ([]Benchmark, []string) {
 		}
 		if p, ok := b.Metrics["pebbles/op"]; ok && b.NsPerOp > 0 {
 			b.PebblesPS = p / (b.NsPerOp * 1e-9)
+			if alloc, ok := b.Metrics["B/op"]; ok && p > 0 {
+				b.BytesPerPebble = alloc / p
+			}
 		}
 		out = append(out, b)
 		raw = append(raw, strings.TrimSpace(line))
@@ -146,8 +152,9 @@ func loadBaseline(path string) (*Baseline, error) {
 
 // diffLatest compares the two highest-numbered BENCH_*.json files in dir.
 // Only sequential-engine regressions beyond the threshold fail; everything
-// else is reported. Returns the process exit code.
-func diffLatest(dir string, threshold float64, reportOnly bool) int {
+// else is reported. A non-empty only restricts the comparison to benchmarks
+// whose name contains it. Returns the process exit code.
+func diffLatest(dir string, threshold float64, reportOnly bool, only string) int {
 	paths, err := filepath.Glob(filepath.Join(dir, "BENCH_*.json"))
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchcmp:", err)
@@ -189,6 +196,9 @@ func diffLatest(dir string, threshold float64, reportOnly bool) int {
 	}
 	regressions := 0
 	for _, b := range curBase.Benchmarks {
+		if only != "" && !strings.Contains(b.Name, only) {
+			continue
+		}
 		old, ok := byName[b.Name]
 		if !ok {
 			fmt.Printf("%-55s NEW (no entry in %s)\n", b.Name, prev.path)
@@ -217,6 +227,11 @@ func diffLatest(dir string, threshold float64, reportOnly bool) int {
 			}
 		}
 		fmt.Printf("%-55s %s  %+6.1f%%  %s\n", b.Name, unit, -100*delta, status)
+		if b.BytesPerPebble > 0 && old.BytesPerPebble > 0 {
+			fmt.Printf("%-55s %12.1f -> %12.1f bytes/pebble %+6.1f%%  (memory, ungated)\n",
+				"", old.BytesPerPebble, b.BytesPerPebble,
+				100*(b.BytesPerPebble/old.BytesPerPebble-1))
+		}
 	}
 	if regressions > 0 {
 		fmt.Printf("benchcmp: %d sequential-engine regression(s) beyond %.0f%%\n", regressions, 100*threshold)
@@ -234,6 +249,7 @@ func main() {
 	threshold := flag.Float64("threshold", 0.10, "pebbles/sec regression fraction that fails the comparison")
 	reportOnly := flag.Bool("report-only", false, "report regressions but always exit 0")
 	latest := flag.String("diff-latest", "", "compare the newest two BENCH_*.json files in this directory (gate: sequential engine, 15% unless -threshold is set)")
+	only := flag.String("only", "", "with -diff-latest, restrict the comparison to benchmarks whose name contains this substring")
 	var notes noteFlags
 	flag.Var(&notes, "note", "free-form note stored in the baseline (repeatable, with -write)")
 	flag.Parse()
@@ -245,7 +261,7 @@ func main() {
 				th = *threshold
 			}
 		})
-		os.Exit(diffLatest(*latest, th, *reportOnly))
+		os.Exit(diffLatest(*latest, th, *reportOnly, *only))
 	}
 
 	if flag.NArg() != 1 || (*write == "") == (*baseline == "") {

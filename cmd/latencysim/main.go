@@ -16,13 +16,17 @@
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"runtime/pprof"
 	"sort"
 	"strings"
+	"sync"
+	"time"
 
 	"latencyhide/internal/embedding"
 	"latencyhide/internal/expt"
@@ -31,6 +35,7 @@ import (
 	"latencyhide/internal/network"
 	"latencyhide/internal/obs"
 	"latencyhide/internal/overlap"
+	"latencyhide/internal/telemetry"
 	"latencyhide/internal/tree"
 )
 
@@ -59,6 +64,8 @@ func main() {
 		err = cmdGuest(os.Args[2:])
 	case "verify":
 		err = cmdVerify(os.Args[2:])
+	case "manifest":
+		err = cmdManifest(os.Args[2:])
 	case "-h", "--help", "help":
 		usage()
 	default:
@@ -91,7 +98,12 @@ commands:
   plan    analyse a host and recommend OVERLAP parameters
   lower   certify the Theorem 9 / Theorem 10 lower bounds on H1 / H2
   verify  soak randomized scenarios through the invariant oracle and metamorphic relations
-  exp     regenerate the paper experiments (E1..E17)`)
+  exp     regenerate the paper experiments (E1..E17)
+  manifest  inspect or validate a run manifest written with -manifest-out
+
+run, sweep, exp and verify accept -manifest-out <file.json> (machine-readable
+run record: config hash, engine metrics, memory series, bytes/pebble) and
+-live (refreshing progress line on stderr).`)
 }
 
 // hostFlags builds a host network from common flags.
@@ -270,11 +282,28 @@ func cmdRun(args []string) error {
 	traceOut := fs.String("trace-out", "", "write a Chrome trace-event JSON of the run to this file")
 	profile := fs.String("profile", "", "write a CPU pprof profile of the run to this file")
 	faults := fs.String("faults", "", "deterministic fault plan, e.g. '7:outage=0.1x8;crash=3@40' (see DESIGN.md)")
+	manifestOut, liveFlag := manifestFlags(fs)
 	fs.Parse(args)
 
 	plan, err := validateRunFlags(*workers, *traceOut, *faults)
 	if err != nil {
 		return err
+	}
+	mr := startMRun("run", args, *manifestOut, *liveFlag)
+	if mr.active() {
+		// A manifest promises boundary telemetry (ring occupancy, published
+		// clock lag), which only the parallel engine produces; default to two
+		// chunks unless the user picked an engine explicitly.
+		workersSet := false
+		fs.Visit(func(f *flag.Flag) {
+			if f.Name == "workers" {
+				workersSet = true
+			}
+		})
+		if !workersSet {
+			*workers = 2
+			fmt.Println("manifest: defaulting to -workers 2 so boundary telemetry is captured (pass -workers to override)")
+		}
 	}
 	g, err := hf.build()
 	if err != nil {
@@ -287,6 +316,7 @@ func cmdRun(args []string) error {
 	opts := overlap.Options{
 		Variant: v, Steps: *steps, Beta: *beta, Seed: *seed,
 		Bandwidth: *bw, Workers: *workers, Check: *check, Faults: plan,
+		Telemetry: mr.registry(),
 	}
 	if *trace {
 		// Collect the timeline during the one and only run; printTrace
@@ -294,7 +324,8 @@ func cmdRun(args []string) error {
 		opts.TraceWindow = 8
 	}
 	var rec *obs.Buffer
-	if *traceOut != "" {
+	if *traceOut != "" || mr.active() {
+		// The manifest's stall tiling needs the event stream too.
 		rec = obs.NewBuffer()
 		opts.Recorder = rec
 	}
@@ -313,7 +344,10 @@ func cmdRun(args []string) error {
 			fmt.Printf("profile: wrote %s\n", *profile)
 		}()
 	}
+	mr.startSampling()
+	mr.startLive(*liveFlag, mr.engineStatus)
 	out, err := overlap.Simulate(g, opts)
+	mr.stopLive()
 	if err != nil {
 		return err
 	}
@@ -349,13 +383,34 @@ func cmdRun(args []string) error {
 	}
 	if rec != nil {
 		a := obs.Analyze(rec.Events(), *out.ObsInfo)
-		if err := obs.WriteChromeTraceFile(*traceOut, rec.Events(), a.StallSpans(), *out.ObsInfo); err != nil {
-			return err
+		if *traceOut != "" {
+			if err := obs.WriteChromeTraceFile(*traceOut, rec.Events(), a.StallSpans(), *out.ObsInfo); err != nil {
+				return err
+			}
+			fmt.Printf("trace-out: wrote %s (%d events; open in chrome://tracing or Perfetto)\n",
+				*traceOut, rec.Len())
 		}
-		fmt.Printf("trace-out: wrote %s (%d events; open in chrome://tracing or Perfetto)\n",
-			*traceOut, rec.Len())
+		if mr != nil {
+			s := a.Stalls()
+			mr.m.Stalls = &telemetry.StallSummary{
+				ProcSteps: s.ProcSteps, Busy: s.Busy, Idle: s.Idle,
+				Dependency: s.Dependency, Bandwidth: s.Bandwidth, Fault: s.Fault,
+			}
+		}
 	}
-	return nil
+	if mr != nil {
+		mr.m.Scenario = fmt.Sprintf("%s variant=%s steps=%d", g, out.Variant, *steps)
+		mr.m.Engine = "sequential"
+		if len(out.Sim.Chunks) > 1 {
+			mr.m.Engine = "parallel"
+		}
+		mr.m.Workers = *workers
+		mr.m.GuestSteps = out.Sim.GuestSteps
+		mr.m.HostSteps = out.Sim.HostSteps
+		mr.m.Slowdown = out.Sim.Slowdown
+		mr.m.Pebbles = out.Sim.PebblesComputed
+	}
+	return mr.finish()
 }
 
 // coarsen sums groups of k adjacent counters.
@@ -535,36 +590,69 @@ func cmdSweep(args []string) error {
 	from := fs.Int("from", 128, "smallest n")
 	to := fs.Int("to", 1024, "largest n")
 	csv := fs.Bool("csv", false, "emit CSV instead of an aligned table")
+	manifestOut, liveFlag := manifestFlags(fs)
 	fs.Parse(args)
 
 	v, err := parseVariant(*variant)
 	if err != nil {
 		return err
 	}
+	mr := startMRun("sweep", args, *manifestOut, *liveFlag)
+	var status struct {
+		sync.Mutex
+		line string
+	}
+	setStatus := func(format string, a ...any) {
+		status.Lock()
+		status.line = fmt.Sprintf(format, a...)
+		status.Unlock()
+	}
+	mr.startSampling()
+	mr.startLive(*liveFlag, func() string {
+		status.Lock()
+		defer status.Unlock()
+		return status.line
+	})
 	t := metrics.NewTable(fmt.Sprintf("sweep %s host, variant %s", *hf.kind, v),
 		"n", "d_ave", "d_max", "guest", "load", "slowdown", "efficiency")
 	var xs, ys []float64
 	for n := *from; n <= *to; n *= 2 {
+		setStatus("sweep: n=%d (of %d..%d)", n, *from, *to)
 		*hf.n = n
 		g, err := hf.build()
 		if err != nil {
 			return err
 		}
-		out, err := overlap.Simulate(g, overlap.Options{Variant: v, Steps: *steps, Seed: 7})
+		pointStart := time.Now()
+		out, err := overlap.Simulate(g, overlap.Options{
+			Variant: v, Steps: *steps, Seed: 7, Telemetry: mr.registry(),
+		})
 		if err != nil {
 			return err
 		}
 		t.AddRow(n, out.Dave, out.Dmax, out.GuestCols, out.Load, out.Sim.Slowdown, out.Efficiency())
 		xs = append(xs, float64(n))
 		ys = append(ys, out.Sim.Slowdown)
+		if mr != nil {
+			mr.m.Sweep = append(mr.m.Sweep, telemetry.SweepPoint{
+				N: n, Slowdown: out.Sim.Slowdown, Efficiency: out.Efficiency(),
+				Pebbles:     out.Sim.PebblesComputed,
+				WallSeconds: time.Since(pointStart).Seconds(),
+			})
+			mr.m.Pebbles += out.Sim.PebblesComputed
+		}
 	}
+	mr.stopLive()
 	t.AddNote("log-log slope of slowdown vs n: %.2f", metrics.LogLogSlope(xs, ys))
 	if *csv {
 		t.CSV(os.Stdout)
 	} else {
 		t.Fprint(os.Stdout)
 	}
-	return nil
+	if mr != nil {
+		mr.m.Scenario = fmt.Sprintf("%s host %d..%d variant=%s steps=%d", *hf.kind, *from, *to, v, *steps)
+	}
+	return mr.finish()
 }
 
 func cmdExp(args []string) error {
@@ -572,19 +660,24 @@ func cmdExp(args []string) error {
 	scaleStr := fs.String("scale", "quick", "experiment scale: quick|full")
 	md := fs.Bool("md", false, "emit markdown tables")
 	only := fs.String("only", "", "run a single experiment, e.g. E3")
+	manifestOut, liveFlag := manifestFlags(fs)
 	fs.Parse(args)
 
 	scale, err := expt.ParseScale(*scaleStr)
 	if err != nil {
 		return err
 	}
+	mr := startMRun("exp", args, *manifestOut, *liveFlag)
+	mr.startSampling()
 	if *only != "" {
 		e := expt.Get(strings.ToUpper(*only))
 		if e == nil {
 			return fmt.Errorf("unknown experiment %q", *only)
 		}
 		fmt.Printf("=== %s: %s (%s) ===\n\n", e.ID, e.Title, e.Paper)
+		start := time.Now()
 		tables, err := e.Run(scale)
+		wall := time.Since(start)
 		if err != nil {
 			return err
 		}
@@ -596,7 +689,45 @@ func cmdExp(args []string) error {
 				fmt.Println()
 			}
 		}
-		return nil
+		if mr != nil {
+			mr.m.Scenario = fmt.Sprintf("experiment %s scale=%s", e.ID, *scaleStr)
+			mr.m.Experiments = []telemetry.ExpTiming{{ID: e.ID, WallSeconds: wall.Seconds()}}
+		}
+		return mr.finish()
 	}
-	return expt.RunAll(os.Stdout, scale, *md)
+	var status struct {
+		sync.Mutex
+		line string
+	}
+	mr.startLive(*liveFlag, func() string {
+		status.Lock()
+		defer status.Unlock()
+		return status.line
+	})
+	// Render into a buffer while the live line owns the terminal; flush after.
+	var buf bytes.Buffer
+	out := io.Writer(os.Stdout)
+	if mr != nil && mr.live != nil {
+		out = &buf
+	}
+	timings, runErr := expt.RunAllTimed(out, scale, *md, 0, func(done, total int, id string) {
+		status.Lock()
+		status.line = fmt.Sprintf("exp: %d/%d done (last %s)", done, total, id)
+		status.Unlock()
+	})
+	mr.stopLive()
+	if buf.Len() > 0 {
+		os.Stdout.Write(buf.Bytes())
+	}
+	if runErr != nil {
+		return runErr
+	}
+	if mr != nil {
+		mr.m.Scenario = fmt.Sprintf("all experiments scale=%s", *scaleStr)
+		for _, tm := range timings {
+			mr.m.Experiments = append(mr.m.Experiments,
+				telemetry.ExpTiming{ID: tm.ID, WallSeconds: tm.Wall.Seconds()})
+		}
+	}
+	return mr.finish()
 }

@@ -9,6 +9,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"latencyhide/internal/telemetry"
 )
 
 var update = flag.Bool("update", false, "rewrite the golden files under testdata/")
@@ -333,6 +335,91 @@ func TestFlagErrorsGolden(t *testing.T) {
 	collect("run/trace -faults bad kind", err)
 	collect("verify -n", runVerify([]string{"-n", "0"}, io.Discard))
 	checkGolden(t, "flag_errors", sb.String())
+}
+
+// End-to-end: `run -manifest-out` must emit a manifest that passes the
+// schema contract (parallel engine by default, so boundary telemetry is
+// present), and `manifest -check` must accept it.
+func TestRunManifestRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "m.json")
+	if err := cmdRun([]string{"-host", "line", "-n", "64", "-steps", "16",
+		"-variant", "loadone", "-manifest-out", path}); err != nil {
+		t.Fatalf("run -manifest-out: %v", err)
+	}
+	m, err := telemetry.LoadManifest(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatalf("manifest fails its own contract: %v", err)
+	}
+	if m.Command != "run" || m.Engine != "parallel" || m.Workers != 2 {
+		t.Fatalf("manifest run identity wrong: command=%q engine=%q workers=%d",
+			m.Command, m.Engine, m.Workers)
+	}
+	if m.Pebbles <= 0 || m.BytesPerPebble <= 0 {
+		t.Fatalf("memory accounting missing: pebbles=%d bytes/pebble=%f",
+			m.Pebbles, m.BytesPerPebble)
+	}
+	if m.Stalls == nil || m.Stalls.Busy != m.Pebbles {
+		t.Fatalf("stall tiling missing or inconsistent: %+v (pebbles=%d)", m.Stalls, m.Pebbles)
+	}
+	if got := m.Metrics.Counter("pebbles_computed"); got != m.Pebbles {
+		t.Fatalf("telemetry pebbles %d != result pebbles %d", got, m.Pebbles)
+	}
+	if err := cmdManifest([]string{"-check", path}); err != nil {
+		t.Fatalf("manifest -check: %v", err)
+	}
+	// An explicitly sequential run must also validate (boundary gauges exempt).
+	seqPath := filepath.Join(dir, "seq.json")
+	if err := cmdRun([]string{"-host", "line", "-n", "64", "-steps", "16",
+		"-variant", "loadone", "-workers", "0", "-manifest-out", seqPath}); err != nil {
+		t.Fatalf("sequential run -manifest-out: %v", err)
+	}
+	if err := cmdManifest([]string{"-check", seqPath}); err != nil {
+		t.Fatalf("sequential manifest -check: %v", err)
+	}
+	if err := cmdManifest([]string{filepath.Join(dir, "missing.json")}); err == nil {
+		t.Fatal("missing manifest accepted")
+	}
+}
+
+// verify and sweep manifests must carry their per-command sections.
+func TestVerifySweepManifests(t *testing.T) {
+	dir := t.TempDir()
+	vPath := filepath.Join(dir, "v.json")
+	if err := runVerify([]string{"-seed", "1", "-n", "2", "-manifest-out", vPath}, io.Discard); err != nil {
+		t.Fatalf("verify -manifest-out: %v", err)
+	}
+	vm, err := telemetry.LoadManifest(vPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := vm.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if vm.Verify == nil || vm.Verify.Scenarios != 2 || vm.Verify.Events <= 0 {
+		t.Fatalf("verify section wrong: %+v", vm.Verify)
+	}
+	sPath := filepath.Join(dir, "s.json")
+	if err := cmdSweep([]string{"-host", "line", "-from", "32", "-to", "64",
+		"-steps", "4", "-csv", "-manifest-out", sPath}); err != nil {
+		t.Fatalf("sweep -manifest-out: %v", err)
+	}
+	sm, err := telemetry.LoadManifest(sPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sm.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(sm.Sweep) != 2 || sm.Sweep[0].N != 32 || sm.Sweep[1].N != 64 {
+		t.Fatalf("sweep points wrong: %+v", sm.Sweep)
+	}
+	if sm.Sweep[0].Pebbles <= 0 || sm.Pebbles != sm.Sweep[0].Pebbles+sm.Sweep[1].Pebbles {
+		t.Fatalf("sweep pebble accounting wrong: total=%d points=%+v", sm.Pebbles, sm.Sweep)
+	}
 }
 
 // End-to-end: run with a fault plan completes and prints the plan; a

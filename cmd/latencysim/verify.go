@@ -5,7 +5,9 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sync/atomic"
 
+	"latencyhide/internal/telemetry"
 	"latencyhide/internal/verify"
 )
 
@@ -20,15 +22,33 @@ func runVerify(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("verify", flag.ExitOnError)
 	seed := fs.Uint64("seed", 1, "scenario stream seed")
 	n := fs.Int("n", 100, "number of generated scenarios to check")
+	manifestOut, liveFlag := manifestFlags(fs)
 	fs.Parse(args)
 	if *n < 1 {
 		return fmt.Errorf("-n must be >= 1, got %d", *n)
 	}
-	res, err := verify.Soak(*seed, *n)
+	mr := startMRun("verify", args, *manifestOut, *liveFlag)
+	var done atomic.Int64
+	mr.startSampling()
+	mr.startLive(*liveFlag, func() string {
+		return fmt.Sprintf("verify: %d/%d scenarios", done.Load(), *n)
+	})
+	res, err := verify.SoakProgress(*seed, *n, func(d int) { done.Store(int64(d)) })
+	mr.stopLive()
 	if err != nil {
 		return err
 	}
 	res.Summary(w)
+	if mr != nil {
+		mr.m.Scenario = fmt.Sprintf("soak seed=%d n=%d", *seed, *n)
+		mr.m.Verify = &telemetry.VerifySummary{
+			Seed: res.Seed, Scenarios: res.Scenarios, Events: res.Events,
+			Relations: res.Relations, Failures: len(res.Failures),
+		}
+	}
+	if err := mr.finish(); err != nil {
+		return err
+	}
 	if !res.OK() {
 		return fmt.Errorf("verification failed: %d of %d scenarios violated invariants",
 			len(res.Failures), res.Scenarios)

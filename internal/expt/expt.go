@@ -13,6 +13,8 @@ import (
 	"runtime/debug"
 	"sort"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"latencyhide/internal/metrics"
 )
@@ -98,9 +100,25 @@ func runOne(e *Experiment, scale Scale) (tables []*metrics.Table, err error) {
 	return e.Run(scale)
 }
 
+// Timing is one experiment's wall-clock cost from a timed harness run.
+type Timing struct {
+	ID   string
+	Wall time.Duration
+}
+
 // RunAllWorkers is RunAll with an explicit concurrency bound; workers <= 0
 // means GOMAXPROCS, 1 runs strictly sequentially.
 func RunAllWorkers(w io.Writer, scale Scale, md bool, workers int) error {
+	_, err := RunAllTimed(w, scale, md, workers, nil)
+	return err
+}
+
+// RunAllTimed is RunAllWorkers returning per-experiment wall timings (in ID
+// order) and reporting progress: after each experiment finishes, progress is
+// called with the completion count, the total, and the experiment's ID.
+// progress may be called from multiple goroutines concurrently; nil disables
+// it.
+func RunAllTimed(w io.Writer, scale Scale, md bool, workers int, progress func(done, total int, id string)) ([]Timing, error) {
 	exps := All()
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -110,26 +128,33 @@ func RunAllWorkers(w io.Writer, scale Scale, md bool, workers int) error {
 	}
 
 	type result struct {
-		buf bytes.Buffer
-		err error // already wrapped with the experiment ID
+		buf  bytes.Buffer
+		err  error // already wrapped with the experiment ID
+		wall time.Duration
 	}
 	results := make([]result, len(exps))
+	var doneCount atomic.Int64
 	renderOne := func(i int) {
 		e, out := exps[i], &results[i]
+		start := time.Now()
 		fmt.Fprintf(&out.buf, "\n=== %s: %s (%s) ===\n\n", e.ID, e.Title, e.Paper)
 		tables, err := runOne(e, scale)
 		if err != nil {
 			fmt.Fprintf(&out.buf, "FAILED: %v\n", err)
 			out.err = fmt.Errorf("%s: %w", e.ID, err)
-			return
-		}
-		for _, t := range tables {
-			if md {
-				t.Markdown(&out.buf)
-			} else {
-				t.Fprint(&out.buf)
-				fmt.Fprintln(&out.buf)
+		} else {
+			for _, t := range tables {
+				if md {
+					t.Markdown(&out.buf)
+				} else {
+					t.Fprint(&out.buf)
+					fmt.Fprintln(&out.buf)
+				}
 			}
+		}
+		out.wall = time.Since(start)
+		if progress != nil {
+			progress(int(doneCount.Add(1)), len(exps), e.ID)
 		}
 	}
 
@@ -157,13 +182,15 @@ func RunAllWorkers(w io.Writer, scale Scale, md bool, workers int) error {
 	}
 
 	var firstErr error
+	timings := make([]Timing, len(exps))
 	for i := range results {
+		timings[i] = Timing{ID: exps[i].ID, Wall: results[i].wall}
 		if _, err := w.Write(results[i].buf.Bytes()); err != nil {
-			return err
+			return timings, err
 		}
 		if results[i].err != nil && firstErr == nil {
 			firstErr = results[i].err
 		}
 	}
-	return firstErr
+	return timings, firstErr
 }

@@ -28,7 +28,7 @@ func NewTable(title string, headers ...string) *Table {
 
 // AddRow appends a row; values are formatted with %v, floats with %.3g
 // unless already strings.
-func (t *Table) AddRow(cells ...interface{}) {
+func (t *Table) AddRow(cells ...any) {
 	row := make([]string, len(cells))
 	for i, c := range cells {
 		row[i] = formatCell(c)
@@ -37,11 +37,11 @@ func (t *Table) AddRow(cells ...interface{}) {
 }
 
 // AddNote appends a caption line rendered under the table.
-func (t *Table) AddNote(format string, args ...interface{}) {
+func (t *Table) AddNote(format string, args ...any) {
 	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
 }
 
-func formatCell(c interface{}) string {
+func formatCell(c any) string {
 	switch v := c.(type) {
 	case string:
 		return v

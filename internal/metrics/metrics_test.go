@@ -43,8 +43,41 @@ func TestTableRendering(t *testing.T) {
 	}
 }
 
+// Markdown notes render as italic caption paragraphs under the table, one
+// per AddNote call, in insertion order, each preceded by a blank line.
+func TestMarkdownAddNote(t *testing.T) {
+	tb := NewTable("captions", "x")
+	tb.AddRow(1)
+	tb.AddNote("slope %.2f", 1.5)
+	tb.AddNote("second %s", "caption")
+
+	var buf bytes.Buffer
+	tb.Markdown(&buf)
+	md := buf.String()
+	first := strings.Index(md, "\n*slope 1.50*\n")
+	second := strings.Index(md, "\n*second caption*\n")
+	if first < 0 || second < 0 {
+		t.Fatalf("notes missing or not italicised:\n%s", md)
+	}
+	if first > second {
+		t.Fatalf("notes out of insertion order:\n%s", md)
+	}
+	if strings.Index(md, "| 1 |") > first {
+		t.Fatalf("notes must follow the rows:\n%s", md)
+	}
+
+	// No notes: no stray caption markup.
+	plain := NewTable("bare", "x")
+	plain.AddRow(2)
+	buf.Reset()
+	plain.Markdown(&buf)
+	if strings.Contains(buf.String(), "*") {
+		t.Fatalf("noteless table emitted caption markup:\n%s", buf.String())
+	}
+}
+
 func TestFormatCell(t *testing.T) {
-	cases := map[interface{}]string{
+	cases := map[any]string{
 		"s":            "s",
 		0:              "0",
 		float64(0):     "0",

@@ -1,0 +1,106 @@
+package obs_test
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"latencyhide/internal/assign"
+	"latencyhide/internal/guest"
+	"latencyhide/internal/obs"
+	"latencyhide/internal/sim"
+	"latencyhide/internal/tree"
+)
+
+// ChunkTable's layout is a contract with everything that scrapes latencysim
+// output, so the rendering of a fixed gauge set is pinned exactly. Gauges are
+// hand-built: a table from a live run would leak wall-clock fields
+// (blocked_ms) into the golden.
+func TestChunkTableGolden(t *testing.T) {
+	gs := []obs.ChunkGauge{
+		{Lo: 0, Hi: 512, Pebbles: 1000, Steps: 64, Flushes: 8, BatchedMsgs: 24,
+			BlockedAtHorizon: 3, Blocked: 1500 * time.Microsecond},
+		{Lo: 512, Hi: 1024, Pebbles: 2000, Steps: 66, Flushes: 10, BatchedMsgs: 10,
+			BlockedAtHorizon: 0, Blocked: 0},
+	}
+	var buf bytes.Buffer
+	obs.ChunkTable(gs).Fprint(&buf)
+	want := strings.Join([]string{
+		"## parallel chunks (engine gauges)",
+		"chunk  hosts     pebbles  steps  flushes  msgs/flush  blocked  blocked_ms",
+		"-----  --------  -------  -----  -------  ----------  -------  ----------",
+		"0      0-512     1000     64     8        3.000       3        1.500",
+		"1      512-1024  2000     66     10       1.000       0        0",
+		"note: 3000 pebbles across 2 chunks; 34 boundary messages coalesced into 18 updates (1.9 msgs/update)",
+		"",
+	}, "\n")
+	if got := buf.String(); got != want {
+		t.Fatalf("chunk table changed:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+
+	// No flushes: the note must not divide by zero.
+	buf.Reset()
+	obs.ChunkTable([]obs.ChunkGauge{{Lo: 0, Hi: 4, Pebbles: 5}}).Fprint(&buf)
+	if !strings.Contains(buf.String(), "no boundary batches shipped") {
+		t.Fatalf("flushless note wrong:\n%s", buf.String())
+	}
+}
+
+// The parallel engine fills one ChunkGauge per worker goroutine; under -race
+// this checks the gauges are published without data races and that their
+// deterministic fields agree with the run result across concurrent readers.
+func TestChunkGaugesConcurrent(t *testing.T) {
+	delays := make([]int, 255)
+	for i := range delays {
+		delays[i] = 1 + i%3
+	}
+	tr := tree.Build(delays, 4)
+	a, err := assign.Overlap(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := sim.Config{
+		Delays:  delays,
+		Guest:   guest.Spec{Graph: guest.NewLinearArray(a.Columns), Steps: 24, Seed: 3},
+		Assign:  a,
+		Workers: 4,
+	}
+	res, err := sim.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Chunks) < 2 {
+		t.Fatalf("parallel run produced %d chunk gauges", len(res.Chunks))
+	}
+	var wg sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var pebbles int64
+			prevHi := 0
+			for _, g := range res.Chunks {
+				if g.Lo != prevHi || g.Hi <= g.Lo {
+					t.Errorf("chunk bounds not contiguous: %+v", res.Chunks)
+					return
+				}
+				prevHi = g.Hi
+				pebbles += g.Pebbles
+			}
+			if prevHi != len(delays)+1 {
+				t.Errorf("chunks cover [0,%d), want [0,%d)", prevHi, len(delays)+1)
+			}
+			if pebbles != res.PebblesComputed {
+				t.Errorf("gauge pebbles %d != result %d", pebbles, res.PebblesComputed)
+			}
+			var buf bytes.Buffer
+			obs.ChunkTable(res.Chunks).Fprint(&buf)
+			if !strings.Contains(buf.String(), "pebbles across") {
+				t.Errorf("table render missing note:\n%s", buf.String())
+			}
+		}()
+	}
+	wg.Wait()
+}

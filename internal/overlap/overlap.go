@@ -25,6 +25,7 @@ import (
 	"latencyhide/internal/network"
 	"latencyhide/internal/obs"
 	"latencyhide/internal/sim"
+	"latencyhide/internal/telemetry"
 	"latencyhide/internal/tree"
 )
 
@@ -84,6 +85,9 @@ type Options struct {
 	// Faults passes a deterministic fault plan through to the engine
 	// (internal/fault); nil is a true no-op.
 	Faults *fault.Plan
+	// Telemetry passes a metrics registry through to the engine
+	// (internal/telemetry); nil disables instrumentation.
+	Telemetry *telemetry.Registry
 	// NewDatabase overrides the guest database implementation.
 	NewDatabase guest.Factory
 	// Op overrides the per-pebble computation (nil = the paper's digest
@@ -277,6 +281,7 @@ func SimulateLine(delays []int, opt Options) (*Outcome, error) {
 		TraceWindow:    opt.TraceWindow,
 		Recorder:       opt.Recorder,
 		Faults:         opt.Faults,
+		Telemetry:      opt.Telemetry,
 	}
 	res, err := sim.Run(cfg)
 	if err != nil {

@@ -102,6 +102,14 @@ type bucketCal struct {
 	inRing   int // total entries across ring buckets
 	overflow calOverflow
 	due      []int32 // scratch for takeDue
+
+	// always-on accounting (plain fields, read by the telemetry flush):
+	// total keys delivered, total overflow spills, and the depth high-water
+	// mark across ring + heap.
+	dueTotal      int64
+	overflowTotal int64
+	depthPeak     int
+	overflowPeak  int
 }
 
 // presizeScratch reserves takeDue's scratch up front so the first busy steps
@@ -122,9 +130,16 @@ func (c *bucketCal) schedule(now, step int64, key int32) {
 		i := int(step & calRingMask)
 		c.ring[i] = append(c.ring[i], key)
 		c.inRing++
-		return
+	} else {
+		c.overflow.push(calEntry{step: step, key: key})
+		c.overflowTotal++
+		if n := len(c.overflow); n > c.overflowPeak {
+			c.overflowPeak = n
+		}
 	}
-	c.overflow.push(calEntry{step: step, key: key})
+	if d := c.inRing + len(c.overflow); d > c.depthPeak {
+		c.depthPeak = d
+	}
 }
 
 // empty reports whether no events are pending.
@@ -166,6 +181,7 @@ func (c *bucketCal) takeDue(now int64) []int32 {
 	if len(due) > 1 {
 		slices.Sort(due)
 	}
+	c.dueTotal += int64(len(due))
 	c.due = due
 	return due
 }

@@ -6,6 +6,7 @@ import (
 	"latencyhide/internal/fault"
 	"latencyhide/internal/guest"
 	"latencyhide/internal/obs"
+	"latencyhide/internal/telemetry"
 )
 
 // kkey packs a (column, step) pair into a map key for knowledge tables.
@@ -137,6 +138,10 @@ type proc struct {
 	crashed   bool // crash-stopped: never computes again
 	computed  int64
 	remaining int64 // pebbles this workstation still has to compute
+
+	// waiter-pool accounting (always-on plain increments; flushed into the
+	// telemetry shard periodically when a registry is attached)
+	waitHits, waitGrows int64
 }
 
 // addWaiter blocks owned index idx (dependency slot `slot`) on key, pooling
@@ -145,9 +150,11 @@ func (p *proc) addWaiter(key uint64, idx, slot int32) {
 	ni := p.waitFree
 	if ni >= 0 {
 		p.waitFree = p.waitPool[ni].next
+		p.waitHits++
 	} else {
 		ni = int32(len(p.waitPool))
 		p.waitPool = append(p.waitPool, waitNode{})
+		p.waitGrows++
 	}
 	next := int32(-1)
 	if head, ok := p.waiting.get(key); ok {
@@ -209,6 +216,17 @@ type chunk struct {
 	// so the parallel engine records race-free. collect() merges and
 	// replays the canonical stream into the configured Recorder.
 	buf *obs.Buffer
+
+	// telemetry (Config.Telemetry != nil): one shard per chunk plus the
+	// flushed-watermark bookkeeping for delta pushes (see telemetry.go).
+	tel                             *telemetry.Shard
+	met                             *engineMetrics
+	telTick                         int64
+	telScan                         int // rotating proc index for knowledge-table probe scans
+	telInitWork                     int64
+	telPebbles, telDue, telOverflow int64
+	telMsgs, telHops, telDeliv      int64
+	telWaitHits, telWaitGrows       int64
 }
 
 // newChunk builds chunk state for positions [lo, hi).
@@ -328,6 +346,7 @@ func newChunk(cfg *Config, rt *routeTable, lo, hi int) *chunk {
 	if cfg.Faults != nil {
 		c.initFaults(cfg.Faults)
 	}
+	c.initTelemetry()
 	return c
 }
 
@@ -556,7 +575,11 @@ func (c *chunk) deliveriesFor(l *dlink, pos int) bool {
 // step, in deterministic (position, from-left-first) order.
 func (c *chunk) runDeliveries() bool {
 	did := false
-	for _, key := range c.cal.takeDue(c.now) {
+	due := c.cal.takeDue(c.now)
+	if c.tel != nil && len(due) > 0 {
+		c.tel.Observe(c.met.duePerStep, int64(len(due)))
+	}
+	for _, key := range due {
 		pos := int(key / 2)
 		fromRight := key%2 == 1
 		var l *dlink
@@ -708,6 +731,12 @@ func (c *chunk) step() bool {
 	d1 := c.runDeliveries()
 	d2 := c.runCompute()
 	d3 := c.runTransmit()
+	if c.tel != nil {
+		c.telTick++
+		if c.telTick&(telFlushInterval-1) == 0 {
+			c.flushTelemetry()
+		}
+	}
 	return d1 || d2 || d3
 }
 

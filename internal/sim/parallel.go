@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"latencyhide/internal/obs"
+	"latencyhide/internal/telemetry"
 )
 
 // The parallel engine (v2) is a conservative parallel discrete-event
@@ -201,6 +202,9 @@ func (w *worker) flushSide(s *side, force bool) bool {
 		if w.isDone() {
 			return false
 		}
+		if tel := w.c.tel; tel != nil {
+			tel.Inc(w.c.met.ringFullStalls)
+		}
 		w.drainAll()
 		s.peer.wake()
 		runtime.Gosched()
@@ -208,6 +212,13 @@ func (w *worker) flushSide(s *side, force bool) bool {
 	s.flushes++
 	s.sentMsgs += int64(len(batch))
 	s.sentClock = now
+	if tel := w.c.tel; tel != nil {
+		m := w.c.met
+		tel.Inc(m.boundaryFlushes)
+		tel.Add(m.boundaryMsgs, int64(len(batch)))
+		tel.Observe(m.batchSize, int64(len(batch)))
+		tel.SetMax(m.ringOccupancyPeak, int64(s.out.len()))
+	}
 	var repl []timedMsg
 	if r, ok := s.free.pop(); ok {
 		repl = r
@@ -234,6 +245,26 @@ func (w *worker) publish(s *side) {
 	if safe > s.pub.Load() {
 		s.pub.Store(safe)
 		s.peer.wake()
+	}
+}
+
+// recordClockLag samples how far this chunk's clock runs ahead of each
+// neighbor's published promise — the conservative-sync slack the chunk is
+// carrying. Sampled per outer loop iteration and at every park, not per
+// step.
+func (w *worker) recordClockLag() {
+	tel := w.c.tel
+	if tel == nil {
+		return
+	}
+	m := w.c.met
+	for _, s := range []*side{w.left, w.right} {
+		if s == nil {
+			continue
+		}
+		if lag := w.c.now - s.peerClock.Load(); lag > 0 {
+			tel.SetMax(m.pubclockLagMax, lag)
+		}
 	}
 }
 
@@ -283,6 +314,7 @@ func (w *worker) loop(maxSteps int64) {
 		// below observes it and nothing within the horizon is missed.
 		h := w.horizon()
 		w.drainAll()
+		w.recordClockLag()
 		if w.c.now < h {
 			if !w.runUntil(h, maxSteps) {
 				return
@@ -311,9 +343,16 @@ func (w *worker) loop(maxSteps int64) {
 			continue
 		}
 		w.blockedAtHorizon++
+		w.recordClockLag()
+		if tel := w.c.tel; tel != nil {
+			tel.Inc(w.c.met.workerParks)
+		}
 		start := time.Now()
 		select {
 		case <-w.notify:
+			if tel := w.c.tel; tel != nil {
+				tel.Inc(w.c.met.workerWakes)
+			}
 		case <-w.done:
 		}
 		w.idle.Store(false)
@@ -501,6 +540,12 @@ func runParallelWithCuts(cfg *Config, rt *routeTable, cuts []int) (*Result, erro
 		if period < time.Millisecond {
 			period = time.Millisecond
 		}
+		// The watchdog gets its own shard: its ticks are wall-clock events
+		// that belong to no chunk.
+		var wdTel *telemetry.Shard
+		if cfg.em != nil {
+			wdTel = cfg.Telemetry.NewShard("watchdog")
+		}
 		watchStop = make(chan struct{})
 		go func() {
 			last := atomic.LoadInt64(&global)
@@ -512,6 +557,9 @@ func runParallelWithCuts(cfg *Config, rt *routeTable, cuts []int) (*Result, erro
 				case <-watchStop:
 					return
 				case <-ticker.C:
+					if cfg.em != nil {
+						wdTel.Inc(cfg.em.watchdogTicks)
+					}
 					cur := atomic.LoadInt64(&global)
 					if cur == 0 {
 						return

@@ -60,3 +60,8 @@ func (r *spsc[T]) pop() (v T, ok bool) {
 
 // empty reports whether the ring has nothing pending (consumer view).
 func (r *spsc[T]) empty() bool { return r.head.Load() == r.tail.Load() }
+
+// len reports how many elements are pending. Racy across threads (the two
+// loads are not a snapshot) but exact from either owner's side — good enough
+// for occupancy telemetry.
+func (r *spsc[T]) len() int { return int(r.tail.Load() - r.head.Load()) }

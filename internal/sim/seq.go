@@ -68,6 +68,7 @@ func collect(cfg *Config, chunks []*chunk) (*Result, error) {
 	res := &Result{}
 	var dups int64
 	for _, c := range chunks {
+		c.flushTelemetry() // final delta push; no-op without a registry
 		if c.lastComputeStep > res.HostSteps {
 			res.HostSteps = c.lastComputeStep
 		}

@@ -34,6 +34,7 @@ import (
 	"latencyhide/internal/guest"
 	"latencyhide/internal/network"
 	"latencyhide/internal/obs"
+	"latencyhide/internal/telemetry"
 )
 
 // Config describes one host simulation run.
@@ -88,6 +89,16 @@ type Config struct {
 	// (useful under -race on slow shared runners, where a correct run can
 	// wall-clock stall long enough to trip a fixed timeout).
 	WatchdogIdle time.Duration
+	// Telemetry, when non-nil, receives the engine's runtime metrics: Run
+	// registers the engine schema on it and both engines cut one shard per
+	// chunk (plus one for the parallel watchdog). Hot-path accumulation is
+	// plain fields flushed into the shard every 64 steps, so enabling it is
+	// cheap and nil disables it down to a single branch per step. See
+	// internal/sim/telemetry.go for the metric names.
+	Telemetry *telemetry.Registry
+
+	// em caches the resolved metric IDs for this run; set by Run.
+	em *engineMetrics
 }
 
 func (c *Config) hostN() int { return len(c.Delays) + 1 }
@@ -269,6 +280,9 @@ func Run(cfg Config) (*Result, error) {
 		}
 	}
 	routes := buildRoutes(cfg.Guest.Graph, cfg.Assign, crashed)
+	if cfg.Telemetry != nil {
+		cfg.em = registerEngineMetrics(cfg.Telemetry)
+	}
 	var (
 		res *Result
 		err error

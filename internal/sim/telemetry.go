@@ -1,0 +1,164 @@
+package sim
+
+import (
+	"fmt"
+
+	"latencyhide/internal/telemetry"
+)
+
+// This file wires the engines into package telemetry. The contract with the
+// hot path is layered by cost:
+//
+//   - Always-on plain counters. The cheapest signals (waiter-pool reuse,
+//     calendar due/overflow totals, depth peaks) are plain int64 fields on
+//     the proc / bucketCal they describe, maintained unconditionally — an
+//     increment or compare on state the hot path already touches.
+//
+//   - Periodic flush. Every 64 simulated steps (and once at collect) a chunk
+//     pushes the accumulated deltas into its telemetry shard, samples peaks
+//     that need scanning (ready heaps, injection queues), and probes one
+//     knowledge table round-robin. With telemetry disabled the per-step cost
+//     is a single nil check.
+//
+//   - Event-grained writes. Rare-but-interesting events (boundary flushes,
+//     worker parks, watchdog ticks) write straight to the shard at the point
+//     they happen; they are orders of magnitude rarer than pebbles.
+//
+// The metric names below are the engine's telemetry schema; the manifest
+// validator (telemetry.RunManifest.Validate) and the docs reference them by
+// name, so treat renames as schema changes.
+
+// engineMetrics holds the resolved metric IDs for one run's registry.
+type engineMetrics struct {
+	// counters
+	pebblesComputed   telemetry.CounterID // pebbles computed (includes redundant replicas)
+	pebblesTotal      telemetry.CounterID // pebbles the run will compute (for progress/ETA)
+	calDueEvents      telemetry.CounterID // calendar keys popped by takeDue
+	calOverflowEvents telemetry.CounterID // arrivals beyond the ring span (heap path)
+	messagesInjected  telemetry.CounterID // pebble transmissions entering link queues
+	linkHops          telemetry.CounterID // individual link crossings
+	deliveries        telemetry.CounterID // values delivered to a knowledge table
+	waiterPoolHits    telemetry.CounterID // waiter nodes recycled from the freelist
+	waiterPoolGrows   telemetry.CounterID // waiter nodes that grew the pool
+	mapProbeSamples   telemetry.CounterID // knowledge-table probe scans taken
+	boundaryFlushes   telemetry.CounterID // coalesced boundary batches shipped
+	boundaryMsgs      telemetry.CounterID // messages carried by those batches
+	ringFullStalls    telemetry.CounterID // producer retries against a full SPSC ring
+	workerParks       telemetry.CounterID // workers parked at their horizon
+	workerWakes       telemetry.CounterID // parked workers woken by a neighbor
+	watchdogTicks     telemetry.CounterID // watchdog wakeups that found progress pending
+
+	// high-water-mark gauges
+	calRingDepthPeak  telemetry.GaugeID // peak pending calendar entries (ring + overflow)
+	calOverflowPeak   telemetry.GaugeID // peak overflow-heap size
+	readyHeapPeak     telemetry.GaugeID // deepest per-proc ready heap sampled
+	txQueuePeak       telemetry.GaugeID // deepest link injection queue
+	mapLoadPctPeak    telemetry.GaugeID // peak knowledge-table load factor (percent)
+	mapProbeLenMax    telemetry.GaugeID // longest knowledge-table probe chain sampled
+	ringOccupancyPeak telemetry.GaugeID // peak SPSC boundary-ring occupancy (batches)
+	pubclockLagMax    telemetry.GaugeID // max (local clock - neighbor's published clock)
+
+	// histograms
+	duePerStep telemetry.HistID // calendar keys due per busy step
+	batchSize  telemetry.HistID // messages per coalesced boundary batch
+}
+
+// registerEngineMetrics registers (or re-resolves) the engine schema on reg.
+// Must run before the first shard is cut from reg.
+func registerEngineMetrics(reg *telemetry.Registry) *engineMetrics {
+	return &engineMetrics{
+		pebblesComputed:   reg.Counter("pebbles_computed"),
+		pebblesTotal:      reg.Counter("pebbles_total"),
+		calDueEvents:      reg.Counter("cal_due_events"),
+		calOverflowEvents: reg.Counter("cal_overflow_events"),
+		messagesInjected:  reg.Counter("messages_injected"),
+		linkHops:          reg.Counter("link_hops"),
+		deliveries:        reg.Counter("deliveries"),
+		waiterPoolHits:    reg.Counter("waiter_pool_hits"),
+		waiterPoolGrows:   reg.Counter("waiter_pool_grows"),
+		mapProbeSamples:   reg.Counter("u64map_probe_samples"),
+		boundaryFlushes:   reg.Counter("boundary_flushes"),
+		boundaryMsgs:      reg.Counter("boundary_msgs"),
+		ringFullStalls:    reg.Counter("ring_full_stalls"),
+		workerParks:       reg.Counter("worker_parks"),
+		workerWakes:       reg.Counter("worker_wakes"),
+		watchdogTicks:     reg.Counter("watchdog_ticks"),
+
+		calRingDepthPeak:  reg.Gauge("cal_ring_depth_peak"),
+		calOverflowPeak:   reg.Gauge("cal_overflow_peak"),
+		readyHeapPeak:     reg.Gauge("ready_heap_peak"),
+		txQueuePeak:       reg.Gauge("tx_queue_peak"),
+		mapLoadPctPeak:    reg.Gauge("u64map_load_pct_peak"),
+		mapProbeLenMax:    reg.Gauge("u64map_probe_len_max"),
+		ringOccupancyPeak: reg.Gauge("ring_occupancy_peak"),
+		pubclockLagMax:    reg.Gauge("pubclock_lag_max"),
+
+		duePerStep: reg.Histogram("cal_due_per_step"),
+		batchSize:  reg.Histogram("boundary_batch_size"),
+	}
+}
+
+// telFlushInterval is how many simulated steps pass between shard flushes
+// (power of two: the step loop masks against it).
+const telFlushInterval = 64
+
+// initTelemetry attaches a shard to the chunk when the run carries a
+// registry. Called from newChunk after the chunk's work is counted.
+func (c *chunk) initTelemetry() {
+	if c.cfg.em == nil {
+		return
+	}
+	c.met = c.cfg.em
+	c.tel = c.cfg.Telemetry.NewShard(fmt.Sprintf("chunk[%d,%d)", c.lo, c.hi))
+	c.telInitWork = c.remaining
+	c.tel.Add(c.met.pebblesTotal, c.remaining)
+}
+
+// flushTelemetry pushes the chunk's plain accumulators into its shard:
+// counter deltas since the last flush, peaks that need a scan (ready heaps,
+// injection queues), and one knowledge table's probe statistics, round-robin
+// so the per-flush cost stays O(procs + one table).
+func (c *chunk) flushTelemetry() {
+	if c.tel == nil {
+		return
+	}
+	flush := func(id telemetry.CounterID, cur int64, last *int64) {
+		if d := cur - *last; d != 0 {
+			c.tel.Add(id, d)
+			*last = cur
+		}
+	}
+	flush(c.met.pebblesComputed, c.telInitWork-c.remaining, &c.telPebbles)
+	flush(c.met.calDueEvents, c.cal.dueTotal, &c.telDue)
+	flush(c.met.calOverflowEvents, c.cal.overflowTotal, &c.telOverflow)
+	flush(c.met.messagesInjected, c.messages, &c.telMsgs)
+	flush(c.met.linkHops, c.hops, &c.telHops)
+	flush(c.met.deliveries, c.delivered, &c.telDeliv)
+
+	var hits, grows, readyPeak int64
+	for i := range c.procs {
+		p := &c.procs[i]
+		hits += p.waitHits
+		grows += p.waitGrows
+		if n := int64(len(p.ready)); n > readyPeak {
+			readyPeak = n
+		}
+	}
+	flush(c.met.waiterPoolHits, hits, &c.telWaitHits)
+	flush(c.met.waiterPoolGrows, grows, &c.telWaitGrows)
+
+	c.tel.SetMax(c.met.calRingDepthPeak, int64(c.cal.depthPeak))
+	c.tel.SetMax(c.met.calOverflowPeak, int64(c.cal.overflowPeak))
+	c.tel.SetMax(c.met.readyHeapPeak, readyPeak)
+	c.tel.SetMax(c.met.txQueuePeak, int64(c.peakQueue()))
+
+	if len(c.procs) > 0 {
+		p := &c.procs[c.telScan%len(c.procs)]
+		c.telScan++
+		if load, probe := p.known.probeStats(); probe > 0 {
+			c.tel.Inc(c.met.mapProbeSamples)
+			c.tel.SetMax(c.met.mapLoadPctPeak, load)
+			c.tel.SetMax(c.met.mapProbeLenMax, probe)
+		}
+	}
+}

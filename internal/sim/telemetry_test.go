@@ -1,0 +1,151 @@
+package sim
+
+import (
+	"testing"
+
+	"latencyhide/internal/assign"
+	"latencyhide/internal/guest"
+	"latencyhide/internal/telemetry"
+)
+
+// delaysOf builds an n-host line with the given uniform delay.
+func delaysOf(n, d int) []int {
+	out := make([]int, n-1)
+	for i := range out {
+		out[i] = d
+	}
+	return out
+}
+
+func TestTelemetrySequentialAgreesWithResult(t *testing.T) {
+	a, _ := assign.SingleCopyBlocks(8, 32)
+	reg := telemetry.NewRegistry()
+	res, err := Run(Config{
+		Delays:    delaysOf(8, 2),
+		Guest:     guest.Spec{Graph: guest.NewLinearArray(32), Steps: 24, Seed: 5},
+		Assign:    a,
+		Check:     true,
+		Telemetry: reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := reg.Snapshot()
+	// The deterministic counters must agree exactly with the Result the
+	// engine already reports — telemetry is a view, not a second accounting.
+	for _, tc := range []struct {
+		name string
+		want int64
+	}{
+		{"pebbles_computed", res.PebblesComputed},
+		{"pebbles_total", res.PebblesComputed}, // complete run: all work done
+		{"messages_injected", res.Messages},
+		{"link_hops", res.MessageHops},
+		{"deliveries", res.DeliveredValues},
+	} {
+		if got := snap.Counter(tc.name); got != tc.want {
+			t.Errorf("counter %s = %d, want %d", tc.name, got, tc.want)
+		}
+	}
+	if snap.Counter("cal_due_events") <= 0 {
+		t.Error("cal_due_events not counted")
+	}
+	if snap.Gauge("cal_ring_depth_peak") <= 0 {
+		t.Error("cal_ring_depth_peak not tracked")
+	}
+	if snap.Gauge("tx_queue_peak") <= 0 {
+		t.Error("tx_queue_peak not tracked")
+	}
+	if snap.Counter("waiter_pool_hits")+snap.Counter("waiter_pool_grows") <= 0 {
+		t.Error("waiter pool not tracked")
+	}
+	if snap.Counter("u64map_probe_samples") <= 0 {
+		t.Error("no knowledge-table probe samples taken")
+	}
+	if snap.Gauge("u64map_load_pct_peak") <= 0 || snap.Gauge("u64map_probe_len_max") <= 0 {
+		t.Errorf("u64map gauges empty: load=%d probe=%d",
+			snap.Gauge("u64map_load_pct_peak"), snap.Gauge("u64map_probe_len_max"))
+	}
+	h, ok := snap.Hists["cal_due_per_step"]
+	if !ok || h.Count <= 0 {
+		t.Error("cal_due_per_step histogram empty")
+	}
+	// Sequential engine must not report parallel-only metrics.
+	if snap.Gauge("ring_occupancy_peak") != 0 || snap.Counter("boundary_flushes") != 0 {
+		t.Error("sequential run reported boundary telemetry")
+	}
+}
+
+func TestTelemetryParallelBoundaryMetrics(t *testing.T) {
+	a, _ := assign.SingleCopyBlocks(16, 32)
+	reg := telemetry.NewRegistry()
+	cfg := Config{
+		Delays:    delaysOf(16, 2),
+		Guest:     guest.Spec{Graph: guest.NewLinearArray(32), Steps: 64, Seed: 7},
+		Assign:    a,
+		Workers:   4,
+		Check:     true,
+		Telemetry: reg,
+	}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := reg.Snapshot()
+	if got := snap.Counter("pebbles_computed"); got != res.PebblesComputed {
+		t.Errorf("pebbles_computed = %d, want %d", got, res.PebblesComputed)
+	}
+	if got := snap.Counter("messages_injected"); got != res.Messages {
+		t.Errorf("messages_injected = %d, want %d", got, res.Messages)
+	}
+	if snap.Counter("boundary_flushes") <= 0 || snap.Counter("boundary_msgs") <= 0 {
+		t.Errorf("boundary coalescing not tracked: flushes=%d msgs=%d",
+			snap.Counter("boundary_flushes"), snap.Counter("boundary_msgs"))
+	}
+	if snap.Gauge("ring_occupancy_peak") <= 0 {
+		t.Error("ring_occupancy_peak not tracked")
+	}
+	if snap.Gauge("pubclock_lag_max") <= 0 {
+		t.Error("pubclock_lag_max not tracked")
+	}
+	if h, ok := snap.Hists["boundary_batch_size"]; !ok || h.Count != snap.Counter("boundary_flushes") {
+		t.Errorf("batch-size histogram count %d != flushes %d",
+			h.Count, snap.Counter("boundary_flushes"))
+	}
+	// One shard per chunk plus the watchdog's.
+	labels := reg.ShardLabels()
+	if len(labels) != 5 {
+		t.Errorf("shard labels = %v, want 4 chunks + watchdog", labels)
+	}
+	// Telemetry must not perturb results: same config without a registry is
+	// bit-identical.
+	cfg2 := cfg
+	cfg2.Telemetry = nil
+	res2, err := Run(cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.HostSteps != res.HostSteps || res2.PebblesComputed != res.PebblesComputed ||
+		res2.MessageHops != res.MessageHops {
+		t.Errorf("telemetry perturbed the run: %+v vs %+v", res, res2)
+	}
+}
+
+func TestU64mapProbeStats(t *testing.T) {
+	m := newU64map()
+	if load, probe := m.probeStats(); load != 0 || probe != 0 {
+		t.Fatalf("empty map stats = %d,%d", load, probe)
+	}
+	for i := uint64(1); i <= 40; i++ {
+		m.put(i, i*i)
+	}
+	load, probe := m.probeStats()
+	// 40 entries in a >=128-slot table after 50%-load growth: load is in
+	// (0, 50] percent and every present key has probe length >= 1.
+	if load <= 0 || load > 50 {
+		t.Errorf("load = %d%%, want in (0,50]", load)
+	}
+	if probe < 1 {
+		t.Errorf("probe = %d, want >= 1", probe)
+	}
+}

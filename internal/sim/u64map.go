@@ -147,3 +147,20 @@ func (m *u64map) rehash(capacity int) {
 
 // size reports the number of live entries.
 func (m *u64map) size() int { return m.n }
+
+// probeStats scans the table and reports its load factor (percent of slots
+// occupied) and the longest probe chain (slots examined to reach the most
+// displaced entry; 0 when empty). O(capacity) — callers sample it, they do
+// not run it per operation.
+func (m *u64map) probeStats() (loadPct, maxProbe int64) {
+	for i, k := range m.keys {
+		if k == 0 {
+			continue
+		}
+		home := u64hash(k) & m.mask
+		if d := int64((uint64(i)-home)&m.mask) + 1; d > maxProbe {
+			maxProbe = d
+		}
+	}
+	return int64(m.n) * 100 / int64(len(m.keys)), maxProbe
+}

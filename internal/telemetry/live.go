@@ -1,0 +1,100 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Live renders a refreshing single-line status to a terminal while a long
+// run or sweep is in flight: the caller supplies a render function (called
+// on the Live goroutine, so it must be safe to run concurrently with the
+// work — registry snapshots are) and Live repaints it every interval with a
+// carriage return, erasing the previous frame. Stop() clears the line, so
+// normal output never interleaves with a stale frame.
+type Live struct {
+	w        io.Writer
+	render   func() string
+	interval time.Duration
+	stop     chan struct{}
+	done     chan struct{}
+	mu       sync.Mutex
+	lastLen  int
+}
+
+// StartLive begins repainting. interval 0 means 500ms.
+func StartLive(w io.Writer, interval time.Duration, render func() string) *Live {
+	if interval <= 0 {
+		interval = 500 * time.Millisecond
+	}
+	l := &Live{
+		w: w, render: render, interval: interval,
+		stop: make(chan struct{}), done: make(chan struct{}),
+	}
+	go l.loop()
+	return l
+}
+
+func (l *Live) loop() {
+	defer close(l.done)
+	ticker := time.NewTicker(l.interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-l.stop:
+			return
+		case <-ticker.C:
+			l.paint(l.render())
+		}
+	}
+}
+
+func (l *Live) paint(line string) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	// Pad with spaces to fully overwrite the previous frame.
+	pad := ""
+	if n := l.lastLen - len(line); n > 0 {
+		pad = strings.Repeat(" ", n)
+	}
+	fmt.Fprintf(l.w, "\r%s%s", line, pad)
+	l.lastLen = len(line)
+}
+
+// Stop halts repainting and clears the status line.
+func (l *Live) Stop() {
+	close(l.stop)
+	<-l.done
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.lastLen > 0 {
+		fmt.Fprintf(l.w, "\r%s\r", strings.Repeat(" ", l.lastLen))
+	}
+}
+
+// Rate formats a per-second figure compactly (1234567 -> "1.2M/s").
+func Rate(v float64) string {
+	switch {
+	case v >= 1e9:
+		return fmt.Sprintf("%.1fG/s", v/1e9)
+	case v >= 1e6:
+		return fmt.Sprintf("%.1fM/s", v/1e6)
+	case v >= 1e3:
+		return fmt.Sprintf("%.1fk/s", v/1e3)
+	default:
+		return fmt.Sprintf("%.0f/s", v)
+	}
+}
+
+// ETA formats a remaining-time estimate from work done and total (elapsed
+// since start); "--" when the rate is unknown or total is unset.
+func ETA(done, total int64, elapsed time.Duration) string {
+	if done <= 0 || total <= 0 || done >= total || elapsed <= 0 {
+		return "--"
+	}
+	rate := float64(done) / elapsed.Seconds()
+	rem := time.Duration(float64(total-done)/rate) * time.Second
+	return rem.Round(time.Second).String()
+}

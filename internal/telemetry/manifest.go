@@ -1,0 +1,199 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"os"
+	"strings"
+)
+
+// ManifestSchema identifies the manifest format; bump the suffix on
+// incompatible changes so downstream tooling (sweep results stores,
+// benchcmp-style differs) can dispatch.
+const ManifestSchema = "latencyhide/run-manifest/v1"
+
+// StallSummary is the stall-cause tiling of a recorded run (see
+// obs.StallBreakdown): every processor-step attributed to exactly one cause.
+type StallSummary struct {
+	ProcSteps  int64 `json:"proc_steps"`
+	Busy       int64 `json:"busy"`
+	Idle       int64 `json:"idle"`
+	Dependency int64 `json:"dependency"`
+	Bandwidth  int64 `json:"bandwidth"`
+	Fault      int64 `json:"fault,omitempty"`
+}
+
+// SweepPoint is one row of a sweep manifest.
+type SweepPoint struct {
+	N           int     `json:"n"`
+	Slowdown    float64 `json:"slowdown"`
+	Efficiency  float64 `json:"efficiency"`
+	Pebbles     int64   `json:"pebbles"`
+	WallSeconds float64 `json:"wall_seconds"`
+}
+
+// ExpTiming is one experiment's wall time in an exp manifest.
+type ExpTiming struct {
+	ID          string  `json:"id"`
+	WallSeconds float64 `json:"wall_seconds"`
+}
+
+// VerifySummary is the verify-soak section of a manifest.
+type VerifySummary struct {
+	Seed      uint64         `json:"seed"`
+	Scenarios int            `json:"scenarios"`
+	Events    int64          `json:"events"`
+	Relations map[string]int `json:"relations,omitempty"`
+	Failures  int            `json:"failures"`
+}
+
+// RunManifest is the machine-readable record of one latencysim invocation:
+// what ran (config hash + scenario spec), on which engine, how long it took,
+// what the engine's telemetry registry measured, how memory evolved, and
+// where the time went (stall tiling). `latencysim run|sweep|exp|verify
+// -manifest-out` emit it; `latencysim manifest -check` validates it; fleet
+// sweeps use it as their per-shard result record.
+type RunManifest struct {
+	Schema     string `json:"schema"`
+	Command    string `json:"command"`
+	ConfigHash string `json:"config_hash"`
+	Scenario   string `json:"scenario"`
+	StartedAt  string `json:"started_at"` // RFC3339
+
+	Engine  string `json:"engine"` // "sequential" | "parallel"
+	Workers int    `json:"workers"`
+
+	WallSeconds float64 `json:"wall_seconds"`
+	GuestSteps  int     `json:"guest_steps,omitempty"`
+	HostSteps   int64   `json:"host_steps,omitempty"`
+	Slowdown    float64 `json:"slowdown,omitempty"`
+
+	Pebbles        int64   `json:"pebbles,omitempty"`
+	PebblesPerSec  float64 `json:"pebbles_per_sec,omitempty"`
+	BytesPerPebble float64 `json:"bytes_per_pebble,omitempty"` // allocated bytes / pebble
+	PeakRSSBytes   uint64  `json:"peak_rss_bytes,omitempty"`
+
+	Metrics *Snapshot `json:"metrics,omitempty"`
+
+	MemSeries []MemSample `json:"mem_series,omitempty"`
+
+	Stalls *StallSummary `json:"stalls,omitempty"`
+
+	Sweep       []SweepPoint   `json:"sweep,omitempty"`
+	Experiments []ExpTiming    `json:"experiments,omitempty"`
+	Verify      *VerifySummary `json:"verify,omitempty"`
+}
+
+// ConfigHash hashes the canonical argument list of a run into a stable
+// identifier, so result stores can key on "same configuration" without
+// parsing flags.
+func ConfigHash(args []string) string {
+	h := fnv.New64a()
+	for _, a := range args {
+		h.Write([]byte(a))
+		h.Write([]byte{0})
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// WriteFile writes the manifest as indented JSON.
+func (m *RunManifest) WriteFile(path string) error {
+	if m.Schema == "" {
+		m.Schema = ManifestSchema
+	}
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// LoadManifest reads and decodes a manifest file.
+func LoadManifest(path string) (*RunManifest, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var m RunManifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("%s: %v", path, err)
+	}
+	return &m, nil
+}
+
+// Validate checks the manifest's structural contract: correct schema id, a
+// known command, and — for engine-bearing commands — nonzero run figures and
+// the telemetry the engine promises. Parallel runs must additionally carry
+// SPSC ring occupancy and published-clock lag; the sequential engine has no
+// boundary rings, so those are exempt.
+func (m *RunManifest) Validate() error {
+	var errs []string
+	fail := func(format string, args ...any) { errs = append(errs, fmt.Sprintf(format, args...)) }
+
+	if m.Schema != ManifestSchema {
+		fail("schema %q != %q", m.Schema, ManifestSchema)
+	}
+	switch m.Command {
+	case "run", "sweep", "exp", "verify":
+	default:
+		fail("unknown command %q", m.Command)
+	}
+	if m.ConfigHash == "" {
+		fail("missing config_hash")
+	}
+	if m.WallSeconds <= 0 {
+		fail("wall_seconds must be > 0")
+	}
+	switch m.Command {
+	case "run":
+		if m.Engine != "sequential" && m.Engine != "parallel" {
+			fail("engine %q (want sequential or parallel)", m.Engine)
+		}
+		if m.Pebbles <= 0 {
+			fail("pebbles must be > 0")
+		}
+		if m.BytesPerPebble <= 0 {
+			fail("bytes_per_pebble must be > 0")
+		}
+		if m.Metrics == nil {
+			fail("missing metrics snapshot")
+		} else {
+			need := []string{"cal_due_events"}
+			for _, name := range need {
+				if m.Metrics.Counter(name) <= 0 {
+					fail("counter %s must be > 0", name)
+				}
+			}
+			if m.Metrics.Gauge("cal_ring_depth_peak") <= 0 {
+				fail("gauge cal_ring_depth_peak must be > 0")
+			}
+			if m.Engine == "parallel" {
+				if m.Metrics.Gauge("ring_occupancy_peak") <= 0 {
+					fail("gauge ring_occupancy_peak must be > 0 on the parallel engine")
+				}
+				if m.Metrics.Gauge("pubclock_lag_max") <= 0 {
+					fail("gauge pubclock_lag_max must be > 0 on the parallel engine")
+				}
+			}
+		}
+	case "sweep":
+		if len(m.Sweep) == 0 {
+			fail("sweep manifest has no points")
+		}
+	case "exp":
+		if len(m.Experiments) == 0 {
+			fail("exp manifest has no experiment timings")
+		}
+	case "verify":
+		if m.Verify == nil {
+			fail("verify manifest has no verify section")
+		} else if m.Verify.Scenarios <= 0 {
+			fail("verify scenarios must be > 0")
+		}
+	}
+	if len(errs) > 0 {
+		return fmt.Errorf("manifest invalid:\n  %s", strings.Join(errs, "\n  "))
+	}
+	return nil
+}

@@ -1,0 +1,270 @@
+package telemetry
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestRegistryMerge(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("pebbles_computed")
+	g := r.Gauge("depth_peak")
+	h := r.Histogram("batch")
+
+	s1 := r.NewShard("w0")
+	s2 := r.NewShard("w1")
+	s1.Add(c, 10)
+	s2.Add(c, 32)
+	s1.SetMax(g, 7)
+	s2.SetMax(g, 5)
+	s1.Observe(h, 0)
+	s1.Observe(h, 1)
+	s2.Observe(h, 100)
+
+	snap := r.Snapshot()
+	if got := snap.Counter("pebbles_computed"); got != 42 {
+		t.Errorf("counter merged to %d, want 42", got)
+	}
+	if got := snap.Gauge("depth_peak"); got != 7 {
+		t.Errorf("gauge merged to %d, want 7 (max)", got)
+	}
+	hs := snap.Hists["batch"]
+	if hs.Count != 3 || hs.Sum != 101 {
+		t.Errorf("hist count=%d sum=%d, want 3/101", hs.Count, hs.Sum)
+	}
+	// Bucket layout: v=0 -> bucket 0, v=1 -> bucket 1, v=100 -> bucket 7.
+	if len(hs.Buckets) != 8 || hs.Buckets[0] != 1 || hs.Buckets[1] != 1 || hs.Buckets[7] != 1 {
+		t.Errorf("hist buckets = %v", hs.Buckets)
+	}
+	if hs.P50 != 1 {
+		t.Errorf("P50 = %d, want 1", hs.P50)
+	}
+	if hs.P99 != 127 {
+		t.Errorf("P99 = %d, want 127 (top of the [64,128) bucket)", hs.P99)
+	}
+}
+
+func TestNilShardIsNoop(t *testing.T) {
+	var s *Shard
+	// The disabled fast path: all writes on a nil shard must be safe no-ops.
+	s.Add(0, 5)
+	s.Inc(0)
+	s.SetMax(0, 5)
+	s.Observe(0, 5)
+	var r *Registry
+	if sh := r.NewShard("x"); sh != nil {
+		t.Fatal("nil registry must hand out nil shards")
+	}
+	if snap := r.Snapshot(); snap == nil || len(snap.Counters) != 0 {
+		t.Fatal("nil registry snapshot must be empty, not nil")
+	}
+}
+
+func TestRegisterAfterShardPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a")
+	r.NewShard("w0")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("registering a new metric after NewShard must panic")
+		}
+	}()
+	r.Counter("b")
+}
+
+func TestConcurrentShardWritesAndSnapshots(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("ops")
+	g := r.Gauge("peak")
+	h := r.Histogram("sizes")
+	const workers, per = 8, 1000
+	shards := make([]*Shard, workers)
+	for i := range shards {
+		shards[i] = r.NewShard("w")
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(s *Shard) {
+			defer wg.Done()
+			for j := 0; j < per; j++ {
+				s.Inc(c)
+				s.SetMax(g, int64(j))
+				s.Observe(h, int64(j))
+			}
+		}(shards[i])
+	}
+	// Concurrent reader: snapshots mid-run must be safe and monotone.
+	var last int64
+	for i := 0; i < 50; i++ {
+		snap := r.Snapshot()
+		if v := snap.Counter("ops"); v < last {
+			t.Errorf("counter went backwards: %d -> %d", last, v)
+		} else {
+			last = v
+		}
+	}
+	wg.Wait()
+	snap := r.Snapshot()
+	if got := snap.Counter("ops"); got != workers*per {
+		t.Errorf("ops = %d, want %d", got, workers*per)
+	}
+	if got := snap.Gauge("peak"); got != per-1 {
+		t.Errorf("peak = %d, want %d", got, per-1)
+	}
+	if got := snap.Hists["sizes"].Count; got != workers*per {
+		t.Errorf("hist count = %d, want %d", got, workers*per)
+	}
+}
+
+func TestSamplerSeries(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("pebbles_computed")
+	sh := r.NewShard("w0")
+	s := StartSampler(r, time.Millisecond)
+	for i := 0; i < 100; i++ {
+		sh.Add(c, 10)
+		time.Sleep(100 * time.Microsecond)
+	}
+	series := s.Stop()
+	if len(series) == 0 {
+		t.Fatal("sampler produced no samples")
+	}
+	last := series[len(series)-1]
+	if last.HeapAlloc == 0 || last.TotalAlloc == 0 {
+		t.Errorf("final sample has empty MemStats: %+v", last)
+	}
+	if last.Pebbles != 1000 {
+		t.Errorf("final sample pebbles = %d, want 1000", last.Pebbles)
+	}
+	for i := 1; i < len(series); i++ {
+		if series[i].ElapsedMS < series[i-1].ElapsedMS {
+			t.Fatalf("series not time-ordered at %d", i)
+		}
+	}
+}
+
+func TestManifestRoundTripAndValidate(t *testing.T) {
+	dir := t.TempDir()
+	path := dir + "/m.json"
+	snap := &Snapshot{
+		Counters: map[string]int64{"cal_due_events": 123},
+		Gauges: map[string]int64{
+			"cal_ring_depth_peak": 4,
+			"ring_occupancy_peak": 2,
+			"pubclock_lag_max":    17,
+		},
+	}
+	m := &RunManifest{
+		Command:        "run",
+		ConfigHash:     ConfigHash([]string{"run", "-n", "256"}),
+		Scenario:       "host=random n=256",
+		Engine:         "parallel",
+		Workers:        2,
+		WallSeconds:    0.5,
+		Pebbles:        1000,
+		BytesPerPebble: 24.5,
+		Metrics:        snap,
+	}
+	if err := m.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadManifest(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Schema != ManifestSchema {
+		t.Errorf("schema = %q", got.Schema)
+	}
+	if err := got.Validate(); err != nil {
+		t.Errorf("valid manifest rejected: %v", err)
+	}
+
+	// A parallel run without ring telemetry must be rejected.
+	bad := *got
+	bad.Metrics = &Snapshot{
+		Counters: map[string]int64{"cal_due_events": 123},
+		Gauges:   map[string]int64{"cal_ring_depth_peak": 4},
+	}
+	if err := bad.Validate(); err == nil ||
+		!strings.Contains(err.Error(), "ring_occupancy_peak") {
+		t.Errorf("missing ring telemetry not flagged: %v", err)
+	}
+	// A sequential run without it is fine.
+	seq := bad
+	seq.Engine = "sequential"
+	seq.Workers = 0
+	if err := seq.Validate(); err != nil {
+		t.Errorf("sequential manifest rejected: %v", err)
+	}
+	// Wrong schema fails.
+	ws := *got
+	ws.Schema = "nope"
+	if err := ws.Validate(); err == nil {
+		t.Error("wrong schema accepted")
+	}
+}
+
+func TestConfigHashStable(t *testing.T) {
+	a := ConfigHash([]string{"run", "-n", "256"})
+	b := ConfigHash([]string{"run", "-n", "256"})
+	c := ConfigHash([]string{"run", "-n", "512"})
+	if a != b {
+		t.Error("hash not deterministic")
+	}
+	if a == c {
+		t.Error("hash ignores arguments")
+	}
+	// The NUL separator keeps ["ab","c"] distinct from ["a","bc"].
+	if ConfigHash([]string{"ab", "c"}) == ConfigHash([]string{"a", "bc"}) {
+		t.Error("hash does not separate arguments")
+	}
+}
+
+func TestLiveStatus(t *testing.T) {
+	var buf bytes.Buffer
+	var mu sync.Mutex
+	n := 0
+	l := StartLive(&mu2Writer{mu: &mu, w: &buf}, time.Millisecond, func() string {
+		n++
+		return "frame"
+	})
+	time.Sleep(20 * time.Millisecond)
+	l.Stop()
+	mu.Lock()
+	out := buf.String()
+	mu.Unlock()
+	if !strings.Contains(out, "\rframe") {
+		t.Errorf("live output missing frames: %q", out)
+	}
+	if !strings.HasSuffix(out, "\r") {
+		t.Errorf("live output does not end with a cleared line: %q", out)
+	}
+}
+
+// mu2Writer serializes writes so the test can read the buffer safely.
+type mu2Writer struct {
+	mu *sync.Mutex
+	w  *bytes.Buffer
+}
+
+func (m *mu2Writer) Write(p []byte) (int, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.w.Write(p)
+}
+
+func TestRateAndETA(t *testing.T) {
+	if got := Rate(1_500_000); got != "1.5M/s" {
+		t.Errorf("Rate = %q", got)
+	}
+	if got := ETA(50, 100, 10*time.Second); got != "10s" {
+		t.Errorf("ETA = %q, want 10s", got)
+	}
+	if got := ETA(0, 100, time.Second); got != "--" {
+		t.Errorf("ETA with no progress = %q, want --", got)
+	}
+}

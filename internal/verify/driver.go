@@ -290,6 +290,13 @@ func (r *SoakResult) Summary(w io.Writer) {
 // Soak generates and checks n scenarios from the seed's stream. The error
 // return is infrastructural; verification failures are in the result.
 func Soak(seed uint64, n int) (*SoakResult, error) {
+	return SoakProgress(seed, n, nil)
+}
+
+// SoakProgress is Soak with a progress callback invoked after each scenario
+// with the number checked so far (nil disables it); the CLI's -live status
+// line hangs off it.
+func SoakProgress(seed uint64, n int, progress func(done int)) (*SoakResult, error) {
 	out := &SoakResult{Seed: seed, Scenarios: n, Relations: map[string]int{}}
 	for i := 0; i < n; i++ {
 		rep, err := CheckScenario(Generate(seed, i))
@@ -302,6 +309,9 @@ func Soak(seed uint64, n int) (*SoakResult, error) {
 		}
 		if len(rep.Violations) > 0 {
 			out.Failures = append(out.Failures, rep)
+		}
+		if progress != nil {
+			progress(i + 1)
 		}
 	}
 	return out, nil
