@@ -7,7 +7,7 @@ BENCH_TIME     ?= 3x
 
 COVER_MIN ?= 80
 
-.PHONY: all build test race bench bench-baseline bench-diff bench-all ci check-binaries cover verify experiments examples clean
+.PHONY: all build test race bench bench-baseline bench-diff bench-telemetry-gate bench-parallel-gate bench-all ci check-binaries cover verify experiments examples clean
 
 all: build test
 
@@ -84,6 +84,11 @@ bench-diff:
 # both records are committed files, no benchmarks run here).
 bench-telemetry-gate:
 	$(GO) run ./cmd/benchcmp -diff-latest . -threshold 0.02 -only EngineSequential
+
+# Same deterministic 2% gate for the 4-worker parallel engine (-gate-all
+# because parallel benchmarks sit outside the default sequential-only gate).
+bench-parallel-gate:
+	$(GO) run ./cmd/benchcmp -diff-latest . -threshold 0.02 -only EngineParallel4 -gate-all
 
 # The full benchmark suite (every experiment bench), no comparison.
 bench-all:

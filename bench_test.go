@@ -332,6 +332,39 @@ func benchEngine(b *testing.B, workers int) {
 	b.ReportMetric(float64(pebbles), "pebbles/op")
 }
 
+// BenchmarkEngineLarge is the memory-tier benchmark: a single run computes
+// over five million pebbles, so B/op ÷ pebbles/op (benchcmp's
+// bytes_per_pebble) reflects steady-state allocation behavior at scale
+// rather than per-run setup cost — the first step toward the ROADMAP
+// "millions of guest columns" item.
+func BenchmarkEngineLarge(b *testing.B) {
+	delays := nowLine(4096, 3)
+	t := tree.Build(delays, 4)
+	a, err := assign.TwoLevel(t, 2, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := sim.Config{
+		Delays: delays,
+		Guest:  guest.Spec{Graph: guest.NewLinearArray(a.Columns), Steps: 160, Seed: 7},
+		Assign: a,
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var pebbles int64
+	for i := 0; i < b.N; i++ {
+		res, err := sim.Run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		pebbles = res.PebblesComputed
+	}
+	if pebbles < 5_000_000 {
+		b.Fatalf("run computed %d pebbles, want >= 5M for the memory tier", pebbles)
+	}
+	b.ReportMetric(float64(pebbles), "pebbles/op")
+}
+
 // BenchmarkTelemetryOverhead guards the zero-cost-when-disabled contract of
 // the telemetry registry: Config.Telemetry nil (the default) leaves only
 // plain int64 field increments on the hot path and must track

@@ -151,10 +151,13 @@ func loadBaseline(path string) (*Baseline, error) {
 }
 
 // diffLatest compares the two highest-numbered BENCH_*.json files in dir.
-// Only sequential-engine regressions beyond the threshold fail; everything
-// else is reported. A non-empty only restricts the comparison to benchmarks
-// whose name contains it. Returns the process exit code.
-func diffLatest(dir string, threshold float64, reportOnly bool, only string) int {
+// Only sequential-engine regressions beyond the threshold fail (gateAll
+// widens the gate to every compared benchmark); everything else is reported.
+// A non-empty only restricts the comparison to benchmarks whose name
+// contains it — and failing when it matches nothing, so a renamed benchmark
+// cannot silently turn a CI gate into a no-op. Returns the process exit
+// code.
+func diffLatest(dir string, threshold float64, reportOnly bool, only string, gateAll bool) int {
 	paths, err := filepath.Glob(filepath.Join(dir, "BENCH_*.json"))
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchcmp:", err)
@@ -188,17 +191,22 @@ func diffLatest(dir string, threshold float64, reportOnly bool, only string) int
 		fmt.Fprintln(os.Stderr, "benchcmp:", err)
 		return 1
 	}
-	fmt.Printf("benchcmp: diffing %s -> %s (gate: sequential engine, %.0f%%)\n",
-		prev.path, cur.path, 100*threshold)
+	gate := "sequential engine"
+	if gateAll {
+		gate = "all compared"
+	}
+	fmt.Printf("benchcmp: diffing %s -> %s (gate: %s, %.0f%%)\n",
+		prev.path, cur.path, gate, 100*threshold)
 	byName := make(map[string]Benchmark, len(prevBase.Benchmarks))
 	for _, b := range prevBase.Benchmarks {
 		byName[b.Name] = b
 	}
-	regressions := 0
+	regressions, compared := 0, 0
 	for _, b := range curBase.Benchmarks {
 		if only != "" && !strings.Contains(b.Name, only) {
 			continue
 		}
+		compared++
 		old, ok := byName[b.Name]
 		if !ok {
 			fmt.Printf("%-55s NEW (no entry in %s)\n", b.Name, prev.path)
@@ -219,7 +227,7 @@ func diffLatest(dir string, threshold float64, reportOnly bool, only string) int
 		}
 		status := "ok"
 		if delta > threshold {
-			if seqEngine(b.Name) {
+			if gateAll || seqEngine(b.Name) {
 				status = "REGRESSION"
 				regressions++
 			} else {
@@ -233,8 +241,13 @@ func diffLatest(dir string, threshold float64, reportOnly bool, only string) int
 				100*(b.BytesPerPebble/old.BytesPerPebble-1))
 		}
 	}
+	if only != "" && compared == 0 {
+		fmt.Fprintf(os.Stderr, "benchcmp: -only %q matched no benchmark in %s — the gate would be vacuous\n",
+			only, cur.path)
+		return 1
+	}
 	if regressions > 0 {
-		fmt.Printf("benchcmp: %d sequential-engine regression(s) beyond %.0f%%\n", regressions, 100*threshold)
+		fmt.Printf("benchcmp: %d gated regression(s) beyond %.0f%%\n", regressions, 100*threshold)
 		if !reportOnly {
 			return 1
 		}
@@ -249,7 +262,8 @@ func main() {
 	threshold := flag.Float64("threshold", 0.10, "pebbles/sec regression fraction that fails the comparison")
 	reportOnly := flag.Bool("report-only", false, "report regressions but always exit 0")
 	latest := flag.String("diff-latest", "", "compare the newest two BENCH_*.json files in this directory (gate: sequential engine, 15% unless -threshold is set)")
-	only := flag.String("only", "", "with -diff-latest, restrict the comparison to benchmarks whose name contains this substring")
+	only := flag.String("only", "", "with -diff-latest, restrict the comparison to benchmarks whose name contains this substring (fails if nothing matches)")
+	gateAll := flag.Bool("gate-all", false, "with -diff-latest, gate every compared benchmark on the threshold, not just the sequential engine")
 	var notes noteFlags
 	flag.Var(&notes, "note", "free-form note stored in the baseline (repeatable, with -write)")
 	flag.Parse()
@@ -261,7 +275,7 @@ func main() {
 				th = *threshold
 			}
 		})
-		os.Exit(diffLatest(*latest, th, *reportOnly, *only))
+		os.Exit(diffLatest(*latest, th, *reportOnly, *only, *gateAll))
 	}
 
 	if flag.NArg() != 1 || (*write == "") == (*baseline == "") {

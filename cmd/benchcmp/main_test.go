@@ -1,0 +1,98 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// writeBaseline persists a minimal BENCH_n.json into dir.
+func writeBaseline(t *testing.T, dir string, n string, benches []Benchmark) {
+	t.Helper()
+	b := Baseline{RecordedAt: "test", Benchmarks: benches}
+	data, err := json.Marshal(&b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "BENCH_"+n+".json"), data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDiffLatest(t *testing.T) {
+	seqOK := Benchmark{Name: "BenchmarkEngineSequential", NsPerOp: 1e8, Metrics: map[string]float64{}, PebblesPS: 5e6}
+	seqSlow := seqOK
+	seqSlow.PebblesPS = 4e6 // 20% throughput regression
+	parOK := Benchmark{Name: "BenchmarkEngineParallel4", NsPerOp: 5e7, Metrics: map[string]float64{}, PebblesPS: 1e7}
+	parSlow := parOK
+	parSlow.PebblesPS = 8e6 // 20% regression, ungated by default
+
+	cases := []struct {
+		name     string
+		prev     []Benchmark
+		cur      []Benchmark
+		only     string
+		gateAll  bool
+		report   bool
+		wantExit int
+	}{
+		{"no regression", []Benchmark{seqOK, parOK}, []Benchmark{seqOK, parOK}, "", false, false, 0},
+		{"seq regression gated", []Benchmark{seqOK}, []Benchmark{seqSlow}, "", false, false, 1},
+		{"seq regression report-only", []Benchmark{seqOK}, []Benchmark{seqSlow}, "", false, true, 0},
+		{"parallel regression ungated", []Benchmark{parOK}, []Benchmark{parSlow}, "", false, false, 0},
+		{"parallel regression gate-all", []Benchmark{parOK}, []Benchmark{parSlow}, "", true, false, 1},
+		{"only matches, clean", []Benchmark{seqOK, parOK}, []Benchmark{seqOK, parOK}, "EngineSequential", false, false, 0},
+		{"only hides the regression", []Benchmark{seqOK, parOK}, []Benchmark{seqSlow, parOK}, "EngineParallel4", false, false, 0},
+		{"only matches nothing", []Benchmark{seqOK}, []Benchmark{seqOK}, "EngineRenamed", false, false, 1},
+		{"only matches nothing report-only", []Benchmark{seqOK}, []Benchmark{seqOK}, "EngineRenamed", false, true, 1},
+		{"only gate-all regression", []Benchmark{parOK}, []Benchmark{parSlow}, "EngineParallel4", true, false, 1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			writeBaseline(t, dir, "3", tc.prev)
+			writeBaseline(t, dir, "4", tc.cur)
+			if got := diffLatest(dir, 0.15, tc.report, tc.only, tc.gateAll); got != tc.wantExit {
+				t.Errorf("diffLatest exit = %d, want %d", got, tc.wantExit)
+			}
+		})
+	}
+}
+
+func TestDiffLatestTooFewBaselines(t *testing.T) {
+	dir := t.TempDir()
+	if got := diffLatest(dir, 0.15, false, "", false); got != 0 {
+		t.Errorf("empty dir exit = %d, want 0", got)
+	}
+	writeBaseline(t, dir, "1", []Benchmark{{Name: "BenchmarkEngineSequential", NsPerOp: 1e8, PebblesPS: 5e6}})
+	if got := diffLatest(dir, 0.15, false, "", false); got != 0 {
+		t.Errorf("single baseline exit = %d, want 0", got)
+	}
+}
+
+func TestParseDerivesBytesPerPebble(t *testing.T) {
+	out := `
+goos: linux
+BenchmarkEngineSequential-8   3   200000000 ns/op   520960 pebbles/op   93696000 B/op   1200 allocs/op
+BenchmarkE10Killing-8         5   300000 ns/op
+PASS
+`
+	benches, raw := parse(out)
+	if len(benches) != 2 || len(raw) != 2 {
+		t.Fatalf("parsed %d benches, %d raw", len(benches), len(raw))
+	}
+	seq := benches[0]
+	if seq.Name != "BenchmarkEngineSequential" {
+		t.Fatalf("name %q (CPU suffix not trimmed?)", seq.Name)
+	}
+	if want := 520960 / 0.2; seq.PebblesPS != want {
+		t.Errorf("pebbles/sec = %f, want %f", seq.PebblesPS, want)
+	}
+	if want := 93696000.0 / 520960; seq.BytesPerPebble != want {
+		t.Errorf("bytes/pebble = %f, want %f", seq.BytesPerPebble, want)
+	}
+	if benches[1].PebblesPS != 0 {
+		t.Errorf("non-engine bench grew a throughput figure: %f", benches[1].PebblesPS)
+	}
+}

@@ -9,7 +9,9 @@ import (
 	"latencyhide/internal/telemetry"
 )
 
-// kkey packs a (column, step) pair into a map key for knowledge tables.
+// kkey packs a (column, step) pair into a map key. The engine itself no
+// longer hashes — knowledge lives in the dense generation-indexed store
+// (dense.go) — but the u64map oracle tests still key it this way.
 func kkey(col, step int32) uint64 { return uint64(uint32(col))<<32 | uint64(uint32(step)) }
 
 // msg is one pebble value in transit along a route.
@@ -96,11 +98,13 @@ func (l *dlink) popInflight() msg {
 // greedy progress state for its pebble column.
 type ownedCol struct {
 	col       int32
+	selfDense int32  // col's index in the proc's dense knowledge store
 	next      int32  // next guest step to compute (1-based; T+1 when done)
 	missing   int32  // unknown dependencies for step `next`
 	lastVal   uint64 // value at step next-1 (own column, computed locally)
 	db        guest.Database
 	neighbors []int32 // guest-neighbor columns, ascending
+	nbDense   []int32 // dense store indexes, parallel to neighbors
 	routes    []int32 // routes this position feeds for this column
 	// depVals caches the dependency values for step `next`, parallel to
 	// neighbors. Slots are filled when the column advances (value already
@@ -127,10 +131,11 @@ type waitNode struct {
 
 // proc is the state of one workstation.
 type proc struct {
-	pos       int32
-	cols      []ownedCol
-	known     *u64map
-	waiting   *u64map // (col,step) key -> head index into waitPool
+	pos  int32
+	cols []ownedCol
+	// know is the dense knowledge store: known values and pending-waiter
+	// anchors, indexed by (dense column, step) — see dense.go.
+	know      denseKnow
 	waitPool  []waitNode
 	waitFree  int32 // freelist head, -1 when empty
 	ready     readyQueue
@@ -144,9 +149,10 @@ type proc struct {
 	waitHits, waitGrows int64
 }
 
-// addWaiter blocks owned index idx (dependency slot `slot`) on key, pooling
-// the list node.
-func (p *proc) addWaiter(key uint64, idx, slot int32) {
+// addWaiter blocks owned index idx (dependency slot `slot`) on the value
+// (dense, step), pooling the list node. The chain head lives directly in
+// the dense store's slot, so registering a waiter never hashes.
+func (p *proc) addWaiter(dense, step, idx, slot int32) {
 	ni := p.waitFree
 	if ni >= 0 {
 		p.waitFree = p.waitPool[ni].next
@@ -156,12 +162,9 @@ func (p *proc) addWaiter(key uint64, idx, slot int32) {
 		p.waitPool = append(p.waitPool, waitNode{})
 		p.waitGrows++
 	}
-	next := int32(-1)
-	if head, ok := p.waiting.get(key); ok {
-		next = int32(head)
-	}
-	p.waitPool[ni] = waitNode{idx: idx, slot: slot, next: next}
-	p.waiting.put(key, uint64(ni))
+	s := p.know.waiterSlot(dense, step)
+	p.waitPool[ni] = waitNode{idx: idx, slot: slot, next: s.waitHead}
+	s.waitHead = ni
 }
 
 // chunk simulates a contiguous slice [lo, hi) of the host line. The
@@ -222,11 +225,11 @@ type chunk struct {
 	tel                             *telemetry.Shard
 	met                             *engineMetrics
 	telTick                         int64
-	telScan                         int // rotating proc index for knowledge-table probe scans
 	telInitWork                     int64
 	telPebbles, telDue, telOverflow int64
 	telMsgs, telHops, telDeliv      int64
 	telWaitHits, telWaitGrows       int64
+	telKnowGrows                    int64
 }
 
 // newChunk builds chunk state for positions [lo, hi).
@@ -250,16 +253,18 @@ func newChunk(cfg *Config, rt *routeTable, lo, hi int) *chunk {
 		p.pos = int32(pos)
 		owned := cfg.Assign.Owned[pos]
 		p.cols = make([]ownedCol, len(owned))
-		p.known = newU64map()
-		p.waiting = newU64map()
+		universe := colUniverse(cfg.Guest.Graph.Neighbors, owned)
+		p.know = newDenseKnow(universe)
 		p.waitFree = -1
 		for i, col := range owned {
 			oc := &p.cols[i]
 			oc.col = int32(col)
+			oc.selfDense = denseIndex(universe, oc.col)
 			oc.next = 1
 			oc.db = factory(col, cfg.Guest.Seed)
 			for _, nb := range cfg.Guest.Graph.Neighbors(col) {
 				oc.neighbors = append(oc.neighbors, int32(nb))
+				oc.nbDense = append(oc.nbDense, denseIndex(universe, int32(nb)))
 			}
 			// Step-1 dependencies are the initial values, known up front.
 			oc.depVals = make([]uint64, len(oc.neighbors))
@@ -410,7 +415,7 @@ func (c *chunk) enqueueFrom(pos int, dir int8, m msg) {
 func (c *chunk) handleArrival(pos int, m msg) {
 	r := &c.rt.routes[m.route]
 	if int(r.dests[m.di]) == pos {
-		c.deliverValue(pos, m.route, r.col, m.step, m.value)
+		c.deliverValue(pos, m.route, r.col, r.destDense[m.di], m.step, m.value)
 		m.di++
 		if int(m.di) >= len(r.dests) {
 			return
@@ -420,10 +425,11 @@ func (c *chunk) handleArrival(pos int, m msg) {
 }
 
 // deliverValue records (col, step) = value at pos and unblocks waiters.
-func (c *chunk) deliverValue(pos int, route int32, col, step int32, value uint64) {
+// `dense` is col's index in pos's knowledge store, precomputed on the route
+// at build time so the delivery path never resolves a column.
+func (c *chunk) deliverValue(pos int, route int32, col, dense, step int32, value uint64) {
 	p := c.proc(pos)
-	key := kkey(col, step)
-	if p.known.has(key) {
+	if p.know.has(dense, step) {
 		c.duplicates++
 		return
 	}
@@ -431,36 +437,32 @@ func (c *chunk) deliverValue(pos int, route int32, col, step int32, value uint64
 	if c.buf != nil {
 		c.buf.RecordDeliver(c.now, int32(pos), route, col, step)
 	}
-	c.recordValue(p, key, value)
+	c.recordValue(p, dense, step, value)
 }
 
 // recordValue inserts a known value and unblocks any owned columns waiting
 // on it. Used both for network deliveries and locally computed pebbles.
-func (c *chunk) recordValue(p *proc, key uint64, value uint64) {
-	p.known.put(key, value)
+func (c *chunk) recordValue(p *proc, dense, step int32, value uint64) {
+	head := p.know.put(dense, step, value)
 	if p.crashed {
 		return // still relays and stores, but never schedules work again
 	}
-	if head, ok := p.waiting.get(key); ok {
-		ni := int32(head)
-		for ni >= 0 {
-			n := &p.waitPool[ni]
-			oc := &p.cols[n.idx]
-			oc.depVals[n.slot] = value
-			oc.missing--
-			if oc.missing == 0 {
-				p.ready.push(readyKey(oc.next, n.idx))
-				if !p.active {
-					p.active = true
-					c.activeList = append(c.activeList, p.pos)
-				}
+	for ni := head; ni >= 0; {
+		n := &p.waitPool[ni]
+		oc := &p.cols[n.idx]
+		oc.depVals[n.slot] = value
+		oc.missing--
+		if oc.missing == 0 {
+			p.ready.push(readyKey(oc.next, n.idx))
+			if !p.active {
+				p.active = true
+				c.activeList = append(c.activeList, p.pos)
 			}
-			next := n.next
-			n.next = p.waitFree
-			p.waitFree = ni
-			ni = next
 		}
-		p.waiting.del(key)
+		next := n.next
+		n.next = p.waitFree
+		p.waitFree = ni
+		ni = next
 	}
 }
 
@@ -503,7 +505,7 @@ func (c *chunk) computeOne(p *proc) bool {
 	// Values at the final step have no consumers anywhere (they would
 	// only feed step T+1), so skip both retention and transmission.
 	if t < c.T {
-		c.recordValue(p, kkey(oc.col, t), v)
+		c.recordValue(p, oc.selfDense, t, v)
 		for _, rid := range oc.routes {
 			r := &c.rt.routes[rid]
 			c.enqueueFrom(int(p.pos), r.dir, msg{route: rid, di: 0, step: t, value: v})
@@ -513,9 +515,9 @@ func (c *chunk) computeOne(p *proc) bool {
 
 	// Release step t-1 dependency values no local column still needs.
 	if t >= 2 {
-		c.release(p, oc.consSelf, oc.col, t-1)
-		for j, nb := range oc.neighbors {
-			c.release(p, oc.consNb[j], nb, t-1)
+		c.release(p, oc.consSelf, oc.selfDense, t-1)
+		for j := range oc.neighbors {
+			c.release(p, oc.consNb[j], oc.nbDense[j], t-1)
 		}
 	}
 
@@ -526,12 +528,12 @@ func (c *chunk) computeOne(p *proc) bool {
 	}
 	missing := int32(0)
 	// Self value (oc.col, t) was stored above (t < T here since next <= T).
-	for j, nb := range oc.neighbors {
-		if dv, ok := p.known.get(kkey(nb, t)); ok {
+	for j := range oc.neighbors {
+		if dv, ok := p.know.get(oc.nbDense[j], t); ok {
 			oc.depVals[j] = dv
 		} else {
 			missing++
-			p.addWaiter(kkey(nb, t), idx, int32(j))
+			p.addWaiter(oc.nbDense[j], t, idx, int32(j))
 		}
 	}
 	oc.missing = missing
@@ -541,16 +543,17 @@ func (c *chunk) computeOne(p *proc) bool {
 	return true
 }
 
-// release deletes (col, step) from p.known once every consumer in cons (the
-// owned indexes that read col's values) has advanced past needing it (a
-// consumer needs step s values while its next computed step is <= s+1).
-func (c *chunk) release(p *proc, cons []int32, col, step int32) {
+// release retires (dense, step) from p.know once every consumer in cons
+// (the owned indexes that read that column's values) has advanced past
+// needing it (a consumer needs step s values while its next computed step
+// is <= s+1).
+func (c *chunk) release(p *proc, cons []int32, dense, step int32) {
 	for _, idx := range cons {
 		if p.cols[idx].next <= step+1 {
 			return
 		}
 	}
-	p.known.del(kkey(col, step))
+	p.know.del(dense, step)
 }
 
 // deliveriesFor pops every message on l arriving exactly at step `now` and

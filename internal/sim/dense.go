@@ -1,0 +1,264 @@
+package sim
+
+import "sort"
+
+// Dense generation-indexed knowledge storage.
+//
+// The knowledge tables keyed by (column, step) used to be open-addressing
+// hash maps (u64map), and profiling showed the engine spending roughly half
+// its cycles hashing and probing them. But the key space is structured: a
+// workstation only ever keys the columns it holds plus their guest
+// neighbors (a small static universe fixed by the assignment), and for each
+// column the live steps form a short window — a value dies as soon as every
+// local consumer has computed past it. So instead of hashing, each column
+// gets a flat ring over its live step window, indexed directly by
+// step mod len(ring) with the step itself stored as a generation tag:
+//
+//   - lookup/insert/delete are a single indexed load or store plus a tag
+//     compare — no hash, no probe chain, no tombstones;
+//   - deletion just clears the tag; generation tags make stale slots
+//     self-invalidating, so churn can never degrade later lookups the way
+//     tombstones or displaced entries degrade a hash table;
+//   - when two live steps of one column collide mod the ring size (the
+//     retirement window outgrew the ring), the ring doubles until it covers
+//     the live span — capacity >= span guarantees distinct live steps map
+//     to distinct slots, so growth is always conflict-free.
+//
+// The pooled waiter lists that used to hang off a second hash map rehome
+// onto the same slots: a slot whose value has not arrived yet carries the
+// head of the waiter chain instead, so addWaiter and recordValue never hash
+// either. u64map survives only as the differential test oracle
+// (FuzzDenseKnowledge).
+//
+// Slot states, for a slot whose tag matches the queried step:
+//
+//	waitHead <  0: the value is known and stored in val
+//	waitHead >= 0: the value is still missing; waitHead chains the pooled
+//	               waiter nodes that want it (see proc.waitPool)
+//
+// A zero tag means the slot is empty (guest steps are >= 1).
+type kslot struct {
+	step     int32 // generation tag: the guest step stored here; 0 = empty
+	waitHead int32 // waiter chain head when the value is pending; -1 = value known
+	val      uint64
+}
+
+// kring is one column's flat ring over its live step window.
+type kring struct {
+	slots []kslot
+	live  int32 // claimed slots (known values + pending waiter anchors)
+}
+
+func (r *kring) at(step int32) *kslot {
+	return &r.slots[uint32(step)&uint32(len(r.slots)-1)]
+}
+
+// denseKnow is one workstation's knowledge store: one ring per column in
+// its universe. All counters are plain fields maintained inline (an
+// increment on state the operation already touches), so the telemetry
+// gauges that replaced the old O(capacity) probeStats scans are O(1) reads.
+type denseKnow struct {
+	universe []int32 // sorted distinct guest columns this store can key
+	rings    []kring // parallel to universe
+
+	live      int32 // claimed slots across all rings
+	livePeak  int32 // high-water of live
+	slots     int32 // allocated ring slots across all rings (never shrinks)
+	retireLag int32 // peak per-ring occupancy seen at claim time: how far
+	// retirement trails the frontier, in unretired steps
+	grows int64 // ring growth events
+}
+
+// initRingSlots is the initial per-column ring capacity. Most columns never
+// hold more than a few live steps at once (retirement runs one step behind
+// the frontier), so start small and let skewed columns grow on demand.
+const initRingSlots = 8
+
+// colUniverse returns the sorted distinct guest columns that can ever be
+// keyed at a position holding `owned`: the owned columns plus their guest
+// neighbors. Routes only deliver a column's values to holders of its
+// neighbors, and local computes only record owned columns, so this universe
+// is exact and static for the whole run.
+func colUniverse(neighbors func(int) []int, owned []int) []int32 {
+	if len(owned) == 0 {
+		return nil
+	}
+	u := make([]int32, 0, 4*len(owned))
+	for _, c := range owned {
+		u = append(u, int32(c))
+		for _, nb := range neighbors(c) {
+			u = append(u, int32(nb))
+		}
+	}
+	sort.Slice(u, func(i, j int) bool { return u[i] < u[j] })
+	out := u[:1]
+	for _, c := range u[1:] {
+		if c != out[len(out)-1] {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// denseIndex returns col's index in the sorted universe, or -1.
+func denseIndex(universe []int32, col int32) int32 {
+	lo, hi := 0, len(universe)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if universe[mid] < col {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(universe) && universe[lo] == col {
+		return int32(lo)
+	}
+	return -1
+}
+
+func newDenseKnow(universe []int32) denseKnow {
+	k := denseKnow{universe: universe, rings: make([]kring, len(universe))}
+	// One backing array for all initial rings keeps init to a single
+	// allocation; rings that grow reallocate individually.
+	backing := make([]kslot, len(universe)*initRingSlots)
+	for i := range k.rings {
+		lo := i * initRingSlots
+		k.rings[i].slots = backing[lo : lo+initRingSlots : lo+initRingSlots]
+	}
+	k.slots = int32(len(universe) * initRingSlots)
+	return k
+}
+
+// denseOf resolves a guest column to its dense ring index (-1 when the
+// column is outside this store's universe). The engine hot paths never call
+// it — compute paths carry precomputed indexes on ownedCol and deliveries
+// carry them on the route — it exists for tests and diagnostics.
+func (k *denseKnow) denseOf(col int32) int32 { return denseIndex(k.universe, col) }
+
+// get returns the value stored for (dense, step) and whether it is known. A
+// tag mismatch means the step is genuinely absent: a live step is only ever
+// stored at its own residue, so no other slot could hold it.
+func (k *denseKnow) get(dense, step int32) (uint64, bool) {
+	s := k.rings[dense].at(step)
+	if s.step == step && s.waitHead < 0 {
+		return s.val, true
+	}
+	return 0, false
+}
+
+// has reports whether the value for (dense, step) is known.
+func (k *denseKnow) has(dense, step int32) bool {
+	s := k.rings[dense].at(step)
+	return s.step == step && s.waitHead < 0
+}
+
+// ensure returns the slot for (ring, step), growing the ring first when the
+// slot is claimed by a different live step.
+func (k *denseKnow) ensure(r *kring, step int32) *kslot {
+	s := r.at(step)
+	if s.step == step || s.step == 0 {
+		return s
+	}
+	k.grow(r, step)
+	return r.at(step)
+}
+
+// claim marks an empty slot live for step and updates the occupancy
+// accounting shared by put and waiterSlot.
+func (k *denseKnow) claim(r *kring, s *kslot, step int32) {
+	if r.live > k.retireLag {
+		// Everything already live in this ring is an older step not yet
+		// retired — the occupancy at claim time is the retirement lag.
+		k.retireLag = r.live
+	}
+	s.step = step
+	r.live++
+	k.live++
+	if k.live > k.livePeak {
+		k.livePeak = k.live
+	}
+}
+
+// put stores the value for (dense, step) and returns the head of any waiter
+// chain that was pending on it (-1 when none). The caller owns draining the
+// chain; the slot itself transitions to the known state.
+func (k *denseKnow) put(dense, step int32, val uint64) int32 {
+	r := &k.rings[dense]
+	s := k.ensure(r, step)
+	if s.step == 0 {
+		k.claim(r, s, step)
+		s.waitHead = -1
+		s.val = val
+		return -1
+	}
+	head := s.waitHead
+	s.waitHead = -1
+	s.val = val
+	return head
+}
+
+// waiterSlot returns the slot for (dense, step) with the value still
+// pending, claiming it when empty, so the caller can push a waiter node
+// onto its chain. The pointer is valid until the store's next mutation.
+func (k *denseKnow) waiterSlot(dense, step int32) *kslot {
+	r := &k.rings[dense]
+	s := k.ensure(r, step)
+	if s.step == 0 {
+		k.claim(r, s, step)
+		s.waitHead = -1
+		s.val = 0
+	}
+	return s
+}
+
+// del retires a known value. Clearing the generation tag is the entire
+// deletion — no backward shift, no tombstone — which is why heavy churn
+// cannot degrade this store. Pending-waiter slots are never deleted: the
+// engine only retires values whose consumers have all advanced past them,
+// and a consumer blocked on the value has, by definition, not.
+func (k *denseKnow) del(dense, step int32) {
+	r := &k.rings[dense]
+	s := r.at(step)
+	if s.step == step && s.waitHead < 0 {
+		s.step = 0
+		s.val = 0
+		r.live--
+		k.live--
+	}
+}
+
+// size reports the claimed slots across all rings (known values plus
+// pending waiter anchors).
+func (k *denseKnow) size() int { return int(k.live) }
+
+// grow widens r until its capacity covers the whole live step span
+// including step, then rehomes every live slot. Capacity >= span keeps
+// distinct live steps at distinct residues, so rehoming never conflicts.
+func (k *denseKnow) grow(r *kring, step int32) {
+	k.grows++
+	lo, hi := step, step
+	for i := range r.slots {
+		if s := r.slots[i].step; s != 0 {
+			if s < lo {
+				lo = s
+			}
+			if s > hi {
+				hi = s
+			}
+		}
+	}
+	span := int(hi-lo) + 1
+	newCap := 2 * len(r.slots)
+	for newCap < span {
+		newCap *= 2
+	}
+	old := r.slots
+	r.slots = make([]kslot, newCap)
+	for i := range old {
+		if old[i].step != 0 {
+			*r.at(old[i].step) = old[i]
+		}
+	}
+	k.slots += int32(newCap - len(old))
+}

@@ -1,0 +1,200 @@
+package sim
+
+import (
+	"testing"
+
+	"latencyhide/internal/guest"
+)
+
+func singleColKnow() denseKnow {
+	return newDenseKnow([]int32{7})
+}
+
+func TestColUniverse(t *testing.T) {
+	g := guest.NewLinearArray(10)
+	u := colUniverse(g.Neighbors, []int{3, 4})
+	want := []int32{2, 3, 4, 5}
+	if len(u) != len(want) {
+		t.Fatalf("universe %v, want %v", u, want)
+	}
+	for i := range want {
+		if u[i] != want[i] {
+			t.Fatalf("universe %v, want %v", u, want)
+		}
+	}
+	for i, c := range want {
+		if d := denseIndex(u, c); d != int32(i) {
+			t.Errorf("denseIndex(%d) = %d, want %d", c, d, i)
+		}
+	}
+	if d := denseIndex(u, 9); d != -1 {
+		t.Errorf("denseIndex(9) = %d, want -1", d)
+	}
+	if colUniverse(g.Neighbors, nil) != nil {
+		t.Error("empty owned list must give empty universe")
+	}
+}
+
+// The sliding window of the engine: put step s, retire step s-2, forever.
+// The ring must wrap in place without ever growing.
+func TestDenseRingWrapNoGrowth(t *testing.T) {
+	k := singleColKnow()
+	for s := int32(1); s <= 200; s++ {
+		if head := k.put(0, s, uint64(s)*3); head != -1 {
+			t.Fatalf("step %d: unexpected waiter chain %d", s, head)
+		}
+		if s > 2 {
+			k.del(0, s-2)
+		}
+		if v, ok := k.get(0, s); !ok || v != uint64(s)*3 {
+			t.Fatalf("step %d lost", s)
+		}
+		if s > 1 {
+			if _, ok := k.get(0, s-1); !ok {
+				t.Fatalf("step %d prematurely gone", s-1)
+			}
+		}
+	}
+	if k.grows != 0 {
+		t.Errorf("sliding window grew the ring %d times", k.grows)
+	}
+	if k.slots != initRingSlots {
+		t.Errorf("slots = %d, want %d", k.slots, initRingSlots)
+	}
+	if k.live != 2 {
+		t.Errorf("live = %d, want 2", k.live)
+	}
+}
+
+// Two live steps that collide mod the ring size force a growth that must
+// rehome every live slot conflict-free.
+func TestDenseRingGrowthRehomes(t *testing.T) {
+	k := singleColKnow()
+	k.put(0, 1, 100)
+	k.put(0, 1+initRingSlots, 200) // same residue as step 1: must grow
+	if k.grows != 1 {
+		t.Fatalf("grows = %d, want 1", k.grows)
+	}
+	if v, ok := k.get(0, 1); !ok || v != 100 {
+		t.Fatal("step 1 lost across growth")
+	}
+	if v, ok := k.get(0, 1+initRingSlots); !ok || v != 200 {
+		t.Fatal("colliding step lost across growth")
+	}
+	if k.slots <= initRingSlots {
+		t.Errorf("slots = %d did not grow", k.slots)
+	}
+	// A colliding span wider than double the capacity must grow past one
+	// doubling, straight to a capacity covering the whole live span.
+	k2 := singleColKnow()
+	k2.put(0, 1, 1)
+	k2.put(0, 1001, 2) // 1001 ≡ 1 mod 8: conflict, span 1001
+	if _, ok := k2.get(0, 1); !ok {
+		t.Fatal("step 1 lost")
+	}
+	if _, ok := k2.get(0, 1001); !ok {
+		t.Fatal("step 1001 lost")
+	}
+	if int(k2.slots) < 1001 {
+		t.Errorf("slots = %d, want >= span 1001", k2.slots)
+	}
+}
+
+// A pending waiter anchor must hide the value from get/has, survive del, and
+// hand its chain head back to put exactly once.
+func TestDenseWaiterAnchor(t *testing.T) {
+	k := singleColKnow()
+	s := k.waiterSlot(0, 5)
+	s.waitHead = 42 // chain a fake pool node, as addWaiter does
+	if _, ok := k.get(0, 5); ok {
+		t.Fatal("pending slot readable as value")
+	}
+	if k.has(0, 5) {
+		t.Fatal("pending slot reported known")
+	}
+	k.del(0, 5) // engine never retires a pending slot; must be a no-op
+	if k.size() != 1 {
+		t.Fatalf("del removed a pending anchor: size %d", k.size())
+	}
+	if head := k.put(0, 5, 77); head != 42 {
+		t.Fatalf("put returned chain %d, want 42", head)
+	}
+	if v, ok := k.get(0, 5); !ok || v != 77 {
+		t.Fatal("value missing after resolving waiters")
+	}
+	if head := k.put(0, 5, 77); head != -1 {
+		t.Fatalf("second put returned chain %d, want -1", head)
+	}
+}
+
+// FuzzDenseKnowledge drives random (col, step) operation sequences against
+// the dense store and the u64map oracle and asserts identical observable
+// results. The universe is fixed and small so rings collide and grow; steps
+// span enough range to force multi-doubling growth and wraparound.
+func FuzzDenseKnowledge(f *testing.F) {
+	f.Add([]byte{0, 0, 1, 0, 2, 0, 1, 0, 1, 0, 1, 0})
+	f.Add([]byte{1, 1, 200, 0, 1, 1, 8, 0, 0, 1, 200, 0, 2, 1, 200, 0})
+	f.Add([]byte{3, 2, 5, 0, 1, 2, 5, 0, 0, 2, 5, 0, 3, 3, 9, 1, 2, 3, 9, 1})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		universe := []int32{2, 5, 7, 9, 100}
+		k := newDenseKnow(universe)
+		oracle := newU64map()        // known values, keyed kkey(col, step)
+		pending := map[uint64]bool{} // waiter anchors the oracle can't hold
+		for len(data) >= 4 {
+			op, ci := data[0]&3, int32(data[1])%int32(len(universe))
+			step := 1 + int32(data[2]) | int32(data[3]&0x0f)<<8
+			data = data[4:]
+			col := universe[ci]
+			key := kkey(col, step)
+			switch op {
+			case 0: // get
+				v, ok := k.get(ci, step)
+				ov, ook := oracle.get(key)
+				if ok != ook || (ok && v != ov) {
+					t.Fatalf("get(%d,%d) = %d,%v; oracle %d,%v", col, step, v, ok, ov, ook)
+				}
+			case 1: // put
+				val := uint64(step)*1000 + uint64(col)
+				head := k.put(ci, step, val)
+				if pending[key] {
+					if head < 0 {
+						t.Fatalf("put(%d,%d) dropped a pending waiter chain", col, step)
+					}
+					delete(pending, key)
+				} else if head != -1 {
+					t.Fatalf("put(%d,%d) invented waiter chain %d", col, step, head)
+				}
+				oracle.put(key, val)
+			case 2: // del (engine only retires known values)
+				k.del(ci, step)
+				if !pending[key] {
+					oracle.del(key)
+				}
+			default: // wait: engine only waits when the value is unknown
+				if k.has(ci, step) {
+					continue
+				}
+				s := k.waiterSlot(ci, step)
+				if s.step != step {
+					t.Fatalf("waiterSlot(%d,%d) claimed step %d", col, step, s.step)
+				}
+				s.waitHead = 7 // chain a fake pool node, as addWaiter does
+				pending[key] = true
+			}
+			if k.size() != oracle.size()+len(pending) {
+				t.Fatalf("live %d != oracle %d + pending %d",
+					k.size(), oracle.size(), len(pending))
+			}
+		}
+		// Final sweep: every key the oracle holds must be readable densely.
+		for ci, col := range universe {
+			for step := int32(1); step <= 1+255+0x0f<<8; step++ {
+				ov, ook := oracle.get(kkey(col, step))
+				v, ok := k.get(int32(ci), step)
+				if ok != ook || (ok && v != ov) {
+					t.Fatalf("sweep (%d,%d): dense %d,%v oracle %d,%v", col, step, v, ok, ov, ook)
+				}
+			}
+		}
+	})
+}

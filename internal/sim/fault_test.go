@@ -93,8 +93,8 @@ func TestDuplicateDeliveryDetected(t *testing.T) {
 	}
 	r := rt.routes[0]
 	pos := int(r.dests[0])
-	c.deliverValue(pos, 0, r.col, 1, 42)
-	c.deliverValue(pos, 0, r.col, 1, 42)
+	c.deliverValue(pos, 0, r.col, r.destDense[0], 1, 42)
+	c.deliverValue(pos, 0, r.col, r.destDense[0], 1, 42)
 	if c.duplicates != 1 {
 		t.Fatalf("duplicates %d", c.duplicates)
 	}

@@ -23,6 +23,11 @@ type route struct {
 	dir    int8 // +1 rightward, -1 leftward
 	sender int32
 	dests  []int32 // positions in travel order
+	// destDense[j] is col's index in dests[j]'s dense knowledge store
+	// (dense.go), resolved once at build time so deliveries never look a
+	// column up. Every destination holds a guest neighbor of col, so col is
+	// always in its universe.
+	destDense []int32
 }
 
 type routeTable struct {
@@ -161,8 +166,34 @@ func buildRoutes(g guest.Graph, a *assign.Assignment, avoid []int) *routeTable {
 			rt.bySender[k.sender][idx] = append(rt.bySender[k.sender][idx], id)
 		}
 	}
+	rt.resolveDestDense(g, a)
 	rt.countCrossings(a.HostN)
 	return rt
+}
+
+// resolveDestDense precomputes, for every route destination, the column's
+// index in that position's dense knowledge store. The universe computation
+// here must match newChunk's (both call colUniverse over the same owned
+// lists), which keeps the route table valid for any chunking of the line.
+func (rt *routeTable) resolveDestDense(g guest.Graph, a *assign.Assignment) {
+	universes := make([][]int32, a.HostN)
+	uniFor := func(pos int32) []int32 {
+		if universes[pos] == nil {
+			universes[pos] = colUniverse(g.Neighbors, a.Owned[pos])
+		}
+		return universes[pos]
+	}
+	for i := range rt.routes {
+		r := &rt.routes[i]
+		r.destDense = make([]int32, len(r.dests))
+		for j, d := range r.dests {
+			dense := denseIndex(uniFor(d), r.col)
+			if dense < 0 {
+				panic(fmt.Sprintf("sim: route %d delivers col %d to pos %d, which holds no neighbor of it", i, r.col, d))
+			}
+			r.destDense[j] = dense
+		}
+	}
 }
 
 // countCrossings fills crossR/crossL via difference arrays: a rightward

@@ -15,10 +15,11 @@ import (
 //     increment or compare on state the hot path already touches.
 //
 //   - Periodic flush. Every 64 simulated steps (and once at collect) a chunk
-//     pushes the accumulated deltas into its telemetry shard, samples peaks
-//     that need scanning (ready heaps, injection queues), and probes one
-//     knowledge table round-robin. With telemetry disabled the per-step cost
-//     is a single nil check.
+//     pushes the accumulated deltas into its telemetry shard and samples
+//     peaks: ready heaps and injection queues by scanning, the dense
+//     knowledge stores by reading the O(1) occupancy counters they maintain
+//     inline (dense.go). With telemetry disabled the per-step cost is a
+//     single nil check.
 //
 //   - Event-grained writes. Rare-but-interesting events (boundary flushes,
 //     worker parks, watchdog ticks) write straight to the shard at the point
@@ -40,7 +41,7 @@ type engineMetrics struct {
 	deliveries        telemetry.CounterID // values delivered to a knowledge table
 	waiterPoolHits    telemetry.CounterID // waiter nodes recycled from the freelist
 	waiterPoolGrows   telemetry.CounterID // waiter nodes that grew the pool
-	mapProbeSamples   telemetry.CounterID // knowledge-table probe scans taken
+	knowRingGrows     telemetry.CounterID // dense knowledge rings that outgrew their window
 	boundaryFlushes   telemetry.CounterID // coalesced boundary batches shipped
 	boundaryMsgs      telemetry.CounterID // messages carried by those batches
 	ringFullStalls    telemetry.CounterID // producer retries against a full SPSC ring
@@ -53,8 +54,9 @@ type engineMetrics struct {
 	calOverflowPeak   telemetry.GaugeID // peak overflow-heap size
 	readyHeapPeak     telemetry.GaugeID // deepest per-proc ready heap sampled
 	txQueuePeak       telemetry.GaugeID // deepest link injection queue
-	mapLoadPctPeak    telemetry.GaugeID // peak knowledge-table load factor (percent)
-	mapProbeLenMax    telemetry.GaugeID // longest knowledge-table probe chain sampled
+	knowLivePeak      telemetry.GaugeID // peak live knowledge slots on any workstation
+	knowSlotsPeak     telemetry.GaugeID // peak allocated knowledge ring slots on any workstation
+	knowRetireLagPeak telemetry.GaugeID // peak unretired steps behind a column's frontier
 	ringOccupancyPeak telemetry.GaugeID // peak SPSC boundary-ring occupancy (batches)
 	pubclockLagMax    telemetry.GaugeID // max (local clock - neighbor's published clock)
 
@@ -76,7 +78,7 @@ func registerEngineMetrics(reg *telemetry.Registry) *engineMetrics {
 		deliveries:        reg.Counter("deliveries"),
 		waiterPoolHits:    reg.Counter("waiter_pool_hits"),
 		waiterPoolGrows:   reg.Counter("waiter_pool_grows"),
-		mapProbeSamples:   reg.Counter("u64map_probe_samples"),
+		knowRingGrows:     reg.Counter("know_ring_grows"),
 		boundaryFlushes:   reg.Counter("boundary_flushes"),
 		boundaryMsgs:      reg.Counter("boundary_msgs"),
 		ringFullStalls:    reg.Counter("ring_full_stalls"),
@@ -88,8 +90,9 @@ func registerEngineMetrics(reg *telemetry.Registry) *engineMetrics {
 		calOverflowPeak:   reg.Gauge("cal_overflow_peak"),
 		readyHeapPeak:     reg.Gauge("ready_heap_peak"),
 		txQueuePeak:       reg.Gauge("tx_queue_peak"),
-		mapLoadPctPeak:    reg.Gauge("u64map_load_pct_peak"),
-		mapProbeLenMax:    reg.Gauge("u64map_probe_len_max"),
+		knowLivePeak:      reg.Gauge("know_live_peak"),
+		knowSlotsPeak:     reg.Gauge("know_slots_peak"),
+		knowRetireLagPeak: reg.Gauge("know_retire_lag_peak"),
 		ringOccupancyPeak: reg.Gauge("ring_occupancy_peak"),
 		pubclockLagMax:    reg.Gauge("pubclock_lag_max"),
 
@@ -116,8 +119,8 @@ func (c *chunk) initTelemetry() {
 
 // flushTelemetry pushes the chunk's plain accumulators into its shard:
 // counter deltas since the last flush, peaks that need a scan (ready heaps,
-// injection queues), and one knowledge table's probe statistics, round-robin
-// so the per-flush cost stays O(procs + one table).
+// injection queues), and the dense knowledge stores' inline occupancy
+// counters, so the per-flush cost stays O(procs).
 func (c *chunk) flushTelemetry() {
 	if c.tel == nil {
 		return
@@ -136,6 +139,7 @@ func (c *chunk) flushTelemetry() {
 	flush(c.met.deliveries, c.delivered, &c.telDeliv)
 
 	var hits, grows, readyPeak int64
+	var knowGrows, livePeak, slotsPeak, lagPeak int64
 	for i := range c.procs {
 		p := &c.procs[i]
 		hits += p.waitHits
@@ -143,22 +147,28 @@ func (c *chunk) flushTelemetry() {
 		if n := int64(len(p.ready)); n > readyPeak {
 			readyPeak = n
 		}
+		// Dense-store occupancy gauges are O(1) per proc: the store
+		// maintains them inline, unlike the old rotating u64map probe scan.
+		knowGrows += p.know.grows
+		if v := int64(p.know.livePeak); v > livePeak {
+			livePeak = v
+		}
+		if v := int64(p.know.slots); v > slotsPeak {
+			slotsPeak = v
+		}
+		if v := int64(p.know.retireLag); v > lagPeak {
+			lagPeak = v
+		}
 	}
 	flush(c.met.waiterPoolHits, hits, &c.telWaitHits)
 	flush(c.met.waiterPoolGrows, grows, &c.telWaitGrows)
+	flush(c.met.knowRingGrows, knowGrows, &c.telKnowGrows)
 
 	c.tel.SetMax(c.met.calRingDepthPeak, int64(c.cal.depthPeak))
 	c.tel.SetMax(c.met.calOverflowPeak, int64(c.cal.overflowPeak))
 	c.tel.SetMax(c.met.readyHeapPeak, readyPeak)
 	c.tel.SetMax(c.met.txQueuePeak, int64(c.peakQueue()))
-
-	if len(c.procs) > 0 {
-		p := &c.procs[c.telScan%len(c.procs)]
-		c.telScan++
-		if load, probe := p.known.probeStats(); probe > 0 {
-			c.tel.Inc(c.met.mapProbeSamples)
-			c.tel.SetMax(c.met.mapLoadPctPeak, load)
-			c.tel.SetMax(c.met.mapProbeLenMax, probe)
-		}
-	}
+	c.tel.SetMax(c.met.knowLivePeak, livePeak)
+	c.tel.SetMax(c.met.knowSlotsPeak, slotsPeak)
+	c.tel.SetMax(c.met.knowRetireLagPeak, lagPeak)
 }

@@ -59,12 +59,13 @@ func TestTelemetrySequentialAgreesWithResult(t *testing.T) {
 	if snap.Counter("waiter_pool_hits")+snap.Counter("waiter_pool_grows") <= 0 {
 		t.Error("waiter pool not tracked")
 	}
-	if snap.Counter("u64map_probe_samples") <= 0 {
-		t.Error("no knowledge-table probe samples taken")
+	if snap.Gauge("know_live_peak") <= 0 || snap.Gauge("know_slots_peak") <= 0 {
+		t.Errorf("dense knowledge gauges empty: live=%d slots=%d",
+			snap.Gauge("know_live_peak"), snap.Gauge("know_slots_peak"))
 	}
-	if snap.Gauge("u64map_load_pct_peak") <= 0 || snap.Gauge("u64map_probe_len_max") <= 0 {
-		t.Errorf("u64map gauges empty: load=%d probe=%d",
-			snap.Gauge("u64map_load_pct_peak"), snap.Gauge("u64map_probe_len_max"))
+	// Retirement always trails the frontier by at least one step on a line.
+	if snap.Gauge("know_retire_lag_peak") < 1 {
+		t.Errorf("know_retire_lag_peak = %d, want >= 1", snap.Gauge("know_retire_lag_peak"))
 	}
 	h, ok := snap.Hists["cal_due_per_step"]
 	if !ok || h.Count <= 0 {
@@ -128,24 +129,5 @@ func TestTelemetryParallelBoundaryMetrics(t *testing.T) {
 	if res2.HostSteps != res.HostSteps || res2.PebblesComputed != res.PebblesComputed ||
 		res2.MessageHops != res.MessageHops {
 		t.Errorf("telemetry perturbed the run: %+v vs %+v", res, res2)
-	}
-}
-
-func TestU64mapProbeStats(t *testing.T) {
-	m := newU64map()
-	if load, probe := m.probeStats(); load != 0 || probe != 0 {
-		t.Fatalf("empty map stats = %d,%d", load, probe)
-	}
-	for i := uint64(1); i <= 40; i++ {
-		m.put(i, i*i)
-	}
-	load, probe := m.probeStats()
-	// 40 entries in a >=128-slot table after 50%-load growth: load is in
-	// (0, 50] percent and every present key has probe length >= 1.
-	if load <= 0 || load > 50 {
-		t.Errorf("load = %d%%, want in (0,50]", load)
-	}
-	if probe < 1 {
-		t.Errorf("probe = %d, want >= 1", probe)
 	}
 }

@@ -1,13 +1,14 @@
 package sim
 
 // u64map is a purpose-built open-addressing hash map from uint64 keys to
-// uint64 values, used for the per-workstation knowledge tables. Profiling
-// shows the engine spends most of its time in map operations on these
-// tables (3 reads + 1 insert + up to 3 deletes per pebble), and the access
-// pattern — small, churning, uniformly distributed keys — suits linear
-// probing with backward-shift deletion far better than the general runtime
-// map. Key 0 is reserved as the empty sentinel; knowledge keys are
-// kkey(col, step) with step >= 1, so 0 never occurs.
+// uint64 values. It was the per-workstation knowledge table until the dense
+// generation-indexed store (dense.go) replaced it on the hot path; it
+// survives purely as the differential test oracle — FuzzDenseKnowledge
+// drives random (col, step) operation sequences against both stores and
+// asserts identical results, which only works because this map makes no
+// assumptions about key structure that the dense store could share. Key 0
+// is reserved as the empty sentinel; knowledge keys are kkey(col, step)
+// with step >= 1, so 0 never occurs.
 type u64map struct {
 	keys []uint64
 	vals []uint64
@@ -147,20 +148,3 @@ func (m *u64map) rehash(capacity int) {
 
 // size reports the number of live entries.
 func (m *u64map) size() int { return m.n }
-
-// probeStats scans the table and reports its load factor (percent of slots
-// occupied) and the longest probe chain (slots examined to reach the most
-// displaced entry; 0 when empty). O(capacity) — callers sample it, they do
-// not run it per operation.
-func (m *u64map) probeStats() (loadPct, maxProbe int64) {
-	for i, k := range m.keys {
-		if k == 0 {
-			continue
-		}
-		home := u64hash(k) & m.mask
-		if d := int64((uint64(i)-home)&m.mask) + 1; d > maxProbe {
-			maxProbe = d
-		}
-	}
-	return int64(m.n) * 100 / int64(len(m.keys)), maxProbe
-}
