@@ -2,12 +2,12 @@
 
 GO ?= go
 BENCH_BASELINE ?= BENCH_1.json
-BENCH_PATTERN  ?= Engine|Telemetry
+BENCH_PATTERN  ?= Engine|Telemetry|FaultQuery
 BENCH_TIME     ?= 3x
 
 COVER_MIN ?= 80
 
-.PHONY: all build test race bench bench-baseline bench-diff bench-telemetry-gate bench-parallel-gate bench-all ci check-binaries cover verify experiments examples clean
+.PHONY: all build test race bench bench-baseline bench-diff bench-telemetry-gate bench-parallel-gate bench-fault-gate bench-all ci check-binaries cover verify chaos experiments examples clean
 
 all: build test
 
@@ -55,6 +55,11 @@ cover:
 verify:
 	$(GO) run -race ./cmd/latencysim verify -seed 1 -n 200
 
+# Adversarial-regime soak: every scenario carries a spike/drift/churn plan
+# and every other one runs the adaptive controller (see DESIGN.md §10).
+chaos:
+	$(GO) run -race ./cmd/latencysim verify -chaos -seed 1 -n 200
+
 race:
 	$(GO) test -race ./internal/sim ./internal/overlap ./internal/mesharray
 
@@ -89,6 +94,20 @@ bench-telemetry-gate:
 # because parallel benchmarks sit outside the default sequential-only gate).
 bench-parallel-gate:
 	$(GO) run ./cmd/benchcmp -diff-latest . -threshold 0.02 -only EngineParallel4 -gate-all
+
+# Deterministic 2% faults-disabled gate, mirroring bench-telemetry-gate:
+# the engine with Config.Faults nil must pay nothing for the regime
+# machinery (one pointer check per run, no per-injection queries). The gate
+# arms itself: until a committed baseline records FaultQueryOff it reports
+# and passes (diffing records that predate the benchmark would always be
+# vacuous); once one does, absence or regression fails the build.
+bench-fault-gate:
+	@latest=$$(ls BENCH_*.json | sort -t_ -k2 -n | tail -1); \
+	if grep -q FaultQueryOff "$$latest"; then \
+		$(GO) run ./cmd/benchcmp -diff-latest . -threshold 0.02 -only FaultQueryOff -gate-all; \
+	else \
+		echo "bench-fault-gate: $$latest predates BenchmarkFaultQueryOff; gate arms with the next bench-baseline"; \
+	fi
 
 # The full benchmark suite (every experiment bench), no comparison.
 bench-all:

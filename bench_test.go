@@ -10,6 +10,7 @@ import (
 	"testing"
 
 	"latencyhide"
+	"latencyhide/internal/adapt"
 	"latencyhide/internal/assign"
 	"latencyhide/internal/baseline"
 	"latencyhide/internal/dataflow"
@@ -403,6 +404,53 @@ func BenchmarkTelemetryEnabled(b *testing.B) {
 	b.ReportMetric(float64(pebbles), "pebbles/op")
 }
 
+// BenchmarkFaultQueryOff guards the zero-cost-when-disabled contract of
+// the fault layer: Config.Faults nil (the default) must leave no regime
+// query on the hot path — the engine checks one pointer per run, not per
+// injection. CI gates this at 2% PR-over-PR via benchcmp -diff-latest
+// (make bench-fault-gate), mirroring the telemetry-disabled gate.
+func BenchmarkFaultQueryOff(b *testing.B) {
+	benchEngine(b, 0)
+}
+
+// BenchmarkFaultQueryOn pays for a live plan carrying every regime kind at
+// once (jitter, outage, Pareto spikes, a moving drift stripe and link
+// churn), so every injection consults ExtraDelay and LinkDown across the
+// full interval-scan path. Compare against BenchmarkFaultQueryOff to price
+// the adversary.
+func BenchmarkFaultQueryOn(b *testing.B) {
+	delays := nowLine(1024, 3)
+	t := tree.Build(delays, 4)
+	a, err := assign.TwoLevel(t, 2, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := sim.Config{
+		Delays: delays,
+		Guest:  guest.Spec{Graph: guest.NewLinearArray(a.Columns), Steps: 64, Seed: 7},
+		Assign: a,
+		Faults: &fault.Plan{
+			Seed:    5,
+			Jitters: []fault.Jitter{{Link: -1, Prob: 0.1, Amp: 2}},
+			Outages: []fault.Outage{{Link: -1, Window: 16, Frac: 0.02}},
+			Spikes:  []fault.Spike{{Link: -1, Prob: 0.05, Alpha: 1.5, Cap: 8}},
+			Drifts:  []fault.Drift{{Link: -1, Window: 16, Frac: 0.2, Period: 64, Stride: 1}},
+			Churns:  []fault.Churn{{Link: 0, Up: 48, Down: 2}},
+		},
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var pebbles int64
+	for i := 0; i < b.N; i++ {
+		res, err := sim.Run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		pebbles = res.PebblesComputed
+	}
+	b.ReportMetric(float64(pebbles), "pebbles/op")
+}
+
 // BenchmarkRecorderOverhead guards the zero-cost-when-disabled contract of
 // the observability hooks: "off" (Config.Recorder nil, the default) must
 // track the pre-instrumentation engine cost, while "on" pays for event
@@ -538,6 +586,43 @@ func BenchmarkE13Resilience(b *testing.B) {
 				slow = r.Slowdown
 			}
 			b.ReportMetric(slow, "slowdown")
+		})
+	}
+}
+
+// BenchmarkE18Adaptive — the E18 core measurement: adaptive c=2 under each
+// adversarial regime (spike / drift / churn), controller live.
+func BenchmarkE18Adaptive(b *testing.B) {
+	delays := delaysOf(network.Line(16, network.UniformDelay{Lo: 1, Hi: 8}, 13))
+	a, err := assign.ReplicatedBlocks(16, 32, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pol := &adapt.Policy{Epoch: 16, Threshold: 0.25, MaxExtra: 1, Budget: 8, RequireFault: true}
+	for _, tc := range []struct {
+		name string
+		plan *fault.Plan
+	}{
+		{"spike", &fault.Plan{Seed: 7, Spikes: []fault.Spike{{Link: -1, Prob: 0.5, Alpha: 0.8, Cap: 32}}}},
+		{"drift", &fault.Plan{Seed: 7, Drifts: []fault.Drift{{Link: -1, Window: 8, Frac: 0.9, Period: 2, Stride: 1}}}},
+		{"churn", &fault.Plan{Seed: 7, Churns: []fault.Churn{{Link: -1, Up: 6, Down: 6}}}},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			var acts float64
+			for i := 0; i < b.N; i++ {
+				r, err := sim.Run(sim.Config{
+					Delays: delays,
+					Guest:  guest.Spec{Graph: guest.NewLinearArray(32), Steps: 24, Seed: 13},
+					Assign: a,
+					Faults: tc.plan,
+					Adapt:  pol,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				acts = float64(r.AdaptActivations)
+			}
+			b.ReportMetric(acts, "activations")
 		})
 	}
 }

@@ -28,6 +28,7 @@ import (
 	"sync"
 	"time"
 
+	"latencyhide/internal/adapt"
 	"latencyhide/internal/embedding"
 	"latencyhide/internal/expt"
 	"latencyhide/internal/fault"
@@ -98,7 +99,7 @@ commands:
   plan    analyse a host and recommend OVERLAP parameters
   lower   certify the Theorem 9 / Theorem 10 lower bounds on H1 / H2
   verify  soak randomized scenarios through the invariant oracle and metamorphic relations
-  exp     regenerate the paper experiments (E1..E17)
+  exp     regenerate the paper experiments (E1..E18)
   manifest  inspect or validate a run manifest written with -manifest-out
 
 run, sweep, exp and verify accept -manifest-out <file.json> (machine-readable
@@ -231,28 +232,42 @@ func cmdTopo(args []string) error {
 
 // validateRunFlags rejects flag combinations that would otherwise surface as
 // confusing mid-run failures: negative worker counts, output paths in
-// directories that do not exist, and malformed fault specs. It returns the
-// parsed fault plan (nil when faultsSpec is empty).
-func validateRunFlags(workers int, outPath, faultsSpec string) (*fault.Plan, error) {
+// directories that do not exist, malformed fault or adapt specs, and an
+// adaptive policy that can never fire (mode=fault gates activation on
+// injected-fault forensics, so it needs a fault plan to read). It returns
+// the parsed fault plan and adapt policy (nil when the specs are empty).
+func validateRunFlags(workers int, outPath, faultsSpec, adaptSpec string) (*fault.Plan, *adapt.Policy, error) {
 	if workers < 0 {
-		return nil, fmt.Errorf("-workers must be >= 0, got %d", workers)
+		return nil, nil, fmt.Errorf("-workers must be >= 0, got %d", workers)
 	}
 	if outPath != "" {
 		dir := filepath.Dir(outPath)
 		if fi, err := os.Stat(dir); err != nil {
-			return nil, fmt.Errorf("output directory %q does not exist", dir)
+			return nil, nil, fmt.Errorf("output directory %q does not exist", dir)
 		} else if !fi.IsDir() {
-			return nil, fmt.Errorf("output path parent %q is not a directory", dir)
+			return nil, nil, fmt.Errorf("output path parent %q is not a directory", dir)
 		}
 	}
-	if faultsSpec == "" {
-		return nil, nil
+	var plan *fault.Plan
+	if faultsSpec != "" {
+		var err error
+		plan, err = fault.Parse(faultsSpec)
+		if err != nil {
+			return nil, nil, fmt.Errorf("-faults: %v", err)
+		}
 	}
-	plan, err := fault.Parse(faultsSpec)
-	if err != nil {
-		return nil, fmt.Errorf("-faults: %v", err)
+	var pol *adapt.Policy
+	if adaptSpec != "" {
+		var err error
+		pol, err = adapt.Parse(adaptSpec)
+		if err != nil {
+			return nil, nil, fmt.Errorf("-adapt: %v", err)
+		}
+		if pol.RequireFault && !plan.Enabled() {
+			return nil, nil, fmt.Errorf("-adapt: mode=fault requires a -faults plan to correlate stalls against (use mode=any for fault-free adaptation)")
+		}
 	}
-	return plan, nil
+	return plan, pol, nil
 }
 
 func parseVariant(s string) (overlap.Variant, error) {
@@ -282,10 +297,11 @@ func cmdRun(args []string) error {
 	traceOut := fs.String("trace-out", "", "write a Chrome trace-event JSON of the run to this file")
 	profile := fs.String("profile", "", "write a CPU pprof profile of the run to this file")
 	faults := fs.String("faults", "", "deterministic fault plan, e.g. '7:outage=0.1x8;crash=3@40' (see DESIGN.md)")
+	adaptSpec := fs.String("adapt", "", "adaptive replication policy, e.g. 'epoch=64,thresh=0.35,extra=1,budget=16,mode=fault' (see DESIGN.md)")
 	manifestOut, liveFlag := manifestFlags(fs)
 	fs.Parse(args)
 
-	plan, err := validateRunFlags(*workers, *traceOut, *faults)
+	plan, pol, err := validateRunFlags(*workers, *traceOut, *faults, *adaptSpec)
 	if err != nil {
 		return err
 	}
@@ -316,7 +332,7 @@ func cmdRun(args []string) error {
 	opts := overlap.Options{
 		Variant: v, Steps: *steps, Beta: *beta, Seed: *seed,
 		Bandwidth: *bw, Workers: *workers, Check: *check, Faults: plan,
-		Telemetry: mr.registry(),
+		Adapt: pol, Telemetry: mr.registry(),
 	}
 	if *trace {
 		// Collect the timeline during the one and only run; printTrace
@@ -359,6 +375,9 @@ func cmdRun(args []string) error {
 		out.Variant, out.GuestCols, out.Load, out.MaxCopies, out.Redundancy)
 	if plan != nil {
 		fmt.Printf("faults: %s\n", plan)
+	}
+	if pol != nil {
+		fmt.Printf("adapt: %s activations=%d\n", pol, out.Sim.AdaptActivations)
 	}
 	fmt.Printf("run: guest_steps=%d host_steps=%d slowdown=%.2f (bound ~ %.0f)\n",
 		out.Sim.GuestSteps, out.Sim.HostSteps, out.Sim.Slowdown, out.PredictedSlowdown)
@@ -486,9 +505,10 @@ func cmdTrace(args []string) error {
 	heatmap := fs.Bool("heatmap", false, "print the per-workstation compute heatmap")
 	links := fs.Int("links", 8, "how many busiest directed links to print")
 	faults := fs.String("faults", "", "deterministic fault plan, e.g. '7:outage=0.1x8;crash=3@40' (see DESIGN.md)")
+	adaptSpec := fs.String("adapt", "", "adaptive replication policy, e.g. 'epoch=64,thresh=0.35,mode=fault' (see DESIGN.md)")
 	fs.Parse(args)
 
-	plan, err := validateRunFlags(*workers, *out, *faults)
+	plan, pol, err := validateRunFlags(*workers, *out, *faults, *adaptSpec)
 	if err != nil {
 		return err
 	}
@@ -504,6 +524,7 @@ func cmdTrace(args []string) error {
 	o, err := overlap.Simulate(g, overlap.Options{
 		Variant: v, Steps: *steps, Beta: *beta, Seed: *seed,
 		Bandwidth: *bw, Workers: *workers, Recorder: rec, Faults: plan,
+		Adapt: pol,
 	})
 	if err != nil {
 		return err
@@ -590,9 +611,15 @@ func cmdSweep(args []string) error {
 	from := fs.Int("from", 128, "smallest n")
 	to := fs.Int("to", 1024, "largest n")
 	csv := fs.Bool("csv", false, "emit CSV instead of an aligned table")
+	faults := fs.String("faults", "", "deterministic fault plan applied at every sweep point (see DESIGN.md)")
+	adaptSpec := fs.String("adapt", "", "adaptive replication policy applied at every sweep point (see DESIGN.md)")
 	manifestOut, liveFlag := manifestFlags(fs)
 	fs.Parse(args)
 
+	plan, pol, err := validateRunFlags(0, "", *faults, *adaptSpec)
+	if err != nil {
+		return err
+	}
 	v, err := parseVariant(*variant)
 	if err != nil {
 		return err
@@ -625,7 +652,8 @@ func cmdSweep(args []string) error {
 		}
 		pointStart := time.Now()
 		out, err := overlap.Simulate(g, overlap.Options{
-			Variant: v, Steps: *steps, Seed: 7, Telemetry: mr.registry(),
+			Variant: v, Steps: *steps, Seed: 7, Faults: plan, Adapt: pol,
+			Telemetry: mr.registry(),
 		})
 		if err != nil {
 			return err

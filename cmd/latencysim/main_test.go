@@ -258,23 +258,31 @@ func TestValidateRunFlags(t *testing.T) {
 		workers int
 		out     string
 		faults  string
+		adapt   string
 		wantErr string // substring; empty = must succeed
 	}{
-		{"defaults", 0, "", "", ""},
-		{"workers ok", 4, "", "", ""},
-		{"negative workers", -1, "", "", "-workers"},
-		{"out in existing dir", 0, filepath.Join(dir, "t.json"), "", ""},
-		{"out in missing dir", 0, filepath.Join(dir, "nope", "t.json"), "", "does not exist"},
-		{"out under a file", 0, filepath.Join(file, "t.json"), "", "not a directory"},
-		{"good faults", 0, "", "7:outage=0.1x8;crash=3@40", ""},
-		{"all fault kinds", 0, "", "1:jitter=4@0.5;outage=0.2x6#2;slow=0.3x8/0#1;crash=0@9", ""},
-		{"faults missing seed", 0, "", "outage=0.1x8", "-faults"},
-		{"faults bad kind", 0, "", "7:meteor=1", "-faults"},
-		{"faults bad fraction", 0, "", "7:outage=1.5x8", "-faults"},
-		{"faults garbage", 0, "", "::::", "-faults"},
+		{"defaults", 0, "", "", "", ""},
+		{"workers ok", 4, "", "", "", ""},
+		{"negative workers", -1, "", "", "", "-workers"},
+		{"out in existing dir", 0, filepath.Join(dir, "t.json"), "", "", ""},
+		{"out in missing dir", 0, filepath.Join(dir, "nope", "t.json"), "", "", "does not exist"},
+		{"out under a file", 0, filepath.Join(file, "t.json"), "", "", "not a directory"},
+		{"good faults", 0, "", "7:outage=0.1x8;crash=3@40", "", ""},
+		{"all fault kinds", 0, "", "1:jitter=4@0.5;spike=32@0.01~1.5;outage=0.2x6#2;drift=0.2x8/4;churn=12x4#1;slow=0.3x8/0#1;crash=0@9", "", ""},
+		{"faults missing seed", 0, "", "outage=0.1x8", "", "-faults"},
+		{"faults bad kind", 0, "", "7:meteor=1", "", "-faults"},
+		{"faults bad fraction", 0, "", "7:outage=1.5x8", "", "-faults"},
+		{"faults garbage", 0, "", "::::", "", "-faults"},
+		{"good adapt", 0, "", "", "epoch=64,thresh=0.35,extra=2,budget=8", ""},
+		{"adapt mode any without faults", 0, "", "", "epoch=64,mode=any", ""},
+		{"adapt mode fault with faults", 0, "", "7:churn=12x4", "epoch=64,mode=fault", ""},
+		{"adapt mode fault without faults", 0, "", "", "epoch=64,mode=fault", "mode=fault requires a -faults plan"},
+		{"adapt missing epoch", 0, "", "", "thresh=0.5", "-adapt"},
+		{"adapt bad key", 0, "", "", "epoch=64,zeal=9", "-adapt"},
+		{"adapt bad epoch", 0, "", "", "epoch=0", "-adapt"},
 	}
 	for _, tc := range cases {
-		plan, err := validateRunFlags(tc.workers, tc.out, tc.faults)
+		plan, pol, err := validateRunFlags(tc.workers, tc.out, tc.faults, tc.adapt)
 		if tc.wantErr == "" {
 			if err != nil {
 				t.Errorf("%s: unexpected error %v", tc.name, err)
@@ -284,6 +292,12 @@ func TestValidateRunFlags(t *testing.T) {
 			}
 			if tc.faults == "" && plan != nil {
 				t.Errorf("%s: plan from empty spec", tc.name)
+			}
+			if tc.adapt != "" && pol == nil {
+				t.Errorf("%s: no policy parsed", tc.name)
+			}
+			if tc.adapt == "" && pol != nil {
+				t.Errorf("%s: policy from empty spec", tc.name)
 			}
 			continue
 		}
@@ -325,14 +339,18 @@ func TestFlagErrorsGolden(t *testing.T) {
 		}
 		fmt.Fprintf(&sb, "%s: %v\n", label, err)
 	}
-	_, err := validateRunFlags(-1, "", "")
+	_, _, err := validateRunFlags(-1, "", "", "")
 	collect("run/trace -workers", err)
-	_, err = validateRunFlags(0, filepath.Join("no", "such", "dir", "t.json"), "")
+	_, _, err = validateRunFlags(0, filepath.Join("no", "such", "dir", "t.json"), "", "")
 	collect("run/trace -trace-out", err)
-	_, err = validateRunFlags(0, "", "outage=0.1x8")
+	_, _, err = validateRunFlags(0, "", "outage=0.1x8", "")
 	collect("run/trace -faults no seed", err)
-	_, err = validateRunFlags(0, "", "7:meteor=1")
+	_, _, err = validateRunFlags(0, "", "7:meteor=1", "")
 	collect("run/trace -faults bad kind", err)
+	_, _, err = validateRunFlags(0, "", "", "epoch=0")
+	collect("run/sweep -adapt bad epoch", err)
+	_, _, err = validateRunFlags(0, "", "", "epoch=64,mode=fault")
+	collect("run/sweep -adapt fault mode without -faults", err)
 	collect("verify -n", runVerify([]string{"-n", "0"}, io.Discard))
 	checkGolden(t, "flag_errors", sb.String())
 }

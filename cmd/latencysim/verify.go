@@ -7,6 +7,7 @@ import (
 	"os"
 	"sync/atomic"
 
+	"latencyhide/internal/adapt"
 	"latencyhide/internal/telemetry"
 	"latencyhide/internal/verify"
 )
@@ -22,10 +23,28 @@ func runVerify(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("verify", flag.ExitOnError)
 	seed := fs.Uint64("seed", 1, "scenario stream seed")
 	n := fs.Int("n", 100, "number of generated scenarios to check")
+	chaos := fs.Bool("chaos", false, "restrict the stream to adversarial regimes (spike/drift/churn, half adaptive)")
+	adaptSpec := fs.String("adapt", "", "force this adaptive policy onto every scenario (epoch=E,thresh=F,extra=K,budget=B,mode=any|fault)")
 	manifestOut, liveFlag := manifestFlags(fs)
 	fs.Parse(args)
 	if *n < 1 {
 		return fmt.Errorf("-n must be >= 1, got %d", *n)
+	}
+	gen := verify.Generate
+	if *chaos {
+		gen = verify.GenerateChaos
+	}
+	if *adaptSpec != "" {
+		pol, err := adapt.Parse(*adaptSpec)
+		if err != nil {
+			return err
+		}
+		base := gen
+		gen = func(seed uint64, i int) *verify.Scenario {
+			sc := base(seed, i)
+			sc.Adapt = pol
+			return sc
+		}
 	}
 	mr := startMRun("verify", args, *manifestOut, *liveFlag)
 	var done atomic.Int64
@@ -33,7 +52,7 @@ func runVerify(args []string, w io.Writer) error {
 	mr.startLive(*liveFlag, func() string {
 		return fmt.Sprintf("verify: %d/%d scenarios", done.Load(), *n)
 	})
-	res, err := verify.SoakProgress(*seed, *n, func(d int) { done.Store(int64(d)) })
+	res, err := verify.SoakGen(*seed, *n, gen, func(d int) { done.Store(int64(d)) })
 	mr.stopLive()
 	if err != nil {
 		return err

@@ -168,10 +168,11 @@ func ExampleVerifySoak() {
 	}
 	res.Summary(os.Stdout)
 	// Output:
-	// verify: seed=1 scenarios=3 events=966
+	// verify: seed=1 scenarios=3 events=1233
+	//   adaptive-replication-bound 1 checked
 	//   engine-equivalence   3 checked
 	//   outage-monotone      1 checked
-	//   replication-bound    2 checked
+	//   replication-bound    1 checked
 	//   seed-invariance      3 checked
 	// verify: PASS (0 violations)
 }

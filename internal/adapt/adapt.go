@@ -1,0 +1,287 @@
+// Package adapt is the adaptive-redundancy layer: an epoch-based
+// replication controller that watches per-column stall forensics and
+// activates pre-provisioned standby replicas when a column's stall blame
+// crosses a threshold.
+//
+// The paper (OVERLAP, Theorem 2) fixes replication up front; this package
+// treats redundancy as a cost/benefit knob under observed conditions, after
+// "Low latency via redundancy" (arXiv:1306.3707). Everything here is a pure
+// function of static configuration and the deterministic forensics the
+// engine feeds it, so adaptive runs stay bit-identical across the
+// sequential and parallel engines:
+//
+//   - Placement picks, per column, up to MaxExtra standby hosts from the
+//     column's consumer set — a pure function of (assignment, delays,
+//     guest graph, crash set).
+//   - Decide turns one epoch's stall-blame candidates into activations,
+//     scanning in the engine's canonical (host, column) order under a
+//     global activation budget.
+//
+// A standby replica is dormant until activated: it is provisioned into the
+// routing fan-out at build time (so its host already receives the column's
+// dependency traffic), and activation at an epoch boundary simply starts
+// its local recomputation from guest step 1. Activated standbys never send
+// — they serve their own host's consumers, cutting the dependency latency
+// the forensics blamed.
+package adapt
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"latencyhide/internal/assign"
+)
+
+// Policy configures the replication controller. The zero value (and a nil
+// *Policy) disables adaptation.
+type Policy struct {
+	// Epoch is the controller period in host steps: forensics are harvested
+	// and decisions made at steps Epoch, 2*Epoch, ...; activations take
+	// effect the following step.
+	Epoch int
+	// Threshold is the stall fraction that triggers activation: a dormant
+	// standby of column c on host p activates when the steps p's columns
+	// spent blocked on c during the epoch reach Threshold*Epoch.
+	Threshold float64
+	// MaxExtra is the number of standby replicas placed per column, >= 1.
+	// Placement bounds activation, so no column ever gains more than
+	// MaxExtra replicas beyond its static assignment.
+	MaxExtra int
+	// Budget caps total activations across the whole run, >= 1.
+	Budget int
+	// RequireFault restricts activation to blame with injected-fault
+	// context (the blamed dependency's supply path overlapped an outage,
+	// slowdown or crash during the epoch). Without it, pure latency or
+	// bandwidth pressure can trigger activation too.
+	RequireFault bool
+}
+
+// Enabled reports whether the policy adapts at all.
+func (p *Policy) Enabled() bool { return p != nil && p.Epoch > 0 }
+
+// Validate checks the policy ranges.
+func (p *Policy) Validate() error {
+	if p == nil {
+		return nil
+	}
+	if p.Epoch < 1 {
+		return fmt.Errorf("adapt: epoch %d < 1", p.Epoch)
+	}
+	if p.Threshold <= 0 {
+		return fmt.Errorf("adapt: threshold %v <= 0", p.Threshold)
+	}
+	if p.MaxExtra < 1 {
+		return fmt.Errorf("adapt: extra %d < 1", p.MaxExtra)
+	}
+	if p.Budget < 1 {
+		return fmt.Errorf("adapt: budget %d < 1", p.Budget)
+	}
+	return nil
+}
+
+// Placement computes the standby placement: Placement(...)[c] lists, in
+// ascending host order, the up-to-MaxExtra hosts provisioned with a dormant
+// replica of column c. Candidates are the column's consumer hosts (holders
+// of a guest neighbor of c that do not hold c, minus the crash set in
+// avoid), ranked by delay distance to c's nearest surviving holder,
+// farthest first — the consumers most exposed to the column's supply
+// latency get the standby. Ties break toward the lower host, so the
+// placement is a deterministic pure function of its inputs; the verify
+// oracle recomputes it to check every activation.
+func (p *Policy) Placement(a *assign.Assignment, delays []int, neighbors func(int) []int, avoid []int) [][]int {
+	if !p.Enabled() {
+		return nil
+	}
+	dead := make(map[int]bool, len(avoid))
+	for _, h := range avoid {
+		dead[h] = true
+	}
+	// prefix[i] is the delay distance from host 0 to host i.
+	prefix := make([]int64, a.HostN)
+	for i, d := range delays {
+		prefix[i+1] = prefix[i] + int64(d)
+	}
+	dist := func(x, y int) int64 {
+		d := prefix[y] - prefix[x]
+		if d < 0 {
+			d = -d
+		}
+		return d
+	}
+	out := make([][]int, a.Columns)
+	for col := 0; col < a.Columns; col++ {
+		cand := map[int]bool{}
+		for _, nb := range neighbors(col) {
+			for _, h := range a.Holders[nb] {
+				if !dead[h] {
+					cand[h] = true
+				}
+			}
+		}
+		for _, h := range a.Holders[col] {
+			delete(cand, h)
+		}
+		if len(cand) == 0 {
+			continue
+		}
+		type scored struct {
+			host  int
+			score int64
+		}
+		hosts := make([]scored, 0, len(cand))
+		for h := range cand {
+			best := int64(-1)
+			for _, hold := range a.Holders[col] {
+				if dead[hold] {
+					continue
+				}
+				if d := dist(h, hold); best < 0 || d < best {
+					best = d
+				}
+			}
+			if best < 0 {
+				// Every holder crashed; distance is moot, keep the host.
+				best = 1 << 62
+			}
+			hosts = append(hosts, scored{host: h, score: best})
+		}
+		sort.Slice(hosts, func(i, j int) bool {
+			if hosts[i].score != hosts[j].score {
+				return hosts[i].score > hosts[j].score
+			}
+			return hosts[i].host < hosts[j].host
+		})
+		n := p.MaxExtra
+		if n > len(hosts) {
+			n = len(hosts)
+		}
+		picked := make([]int, n)
+		for i := 0; i < n; i++ {
+			picked[i] = hosts[i].host
+		}
+		sort.Ints(picked)
+		out[col] = picked
+	}
+	return out
+}
+
+// Candidate is one dormant standby pair with its epoch forensics: Host's
+// owned columns spent Blamed stalled steps this epoch blocked on values of
+// Col, and FaultContext says whether that blame overlaps an injected fault.
+type Candidate struct {
+	Host         int
+	Col          int
+	Blamed       int64
+	FaultContext bool
+}
+
+// Decision is one activation: the standby replica of Col on Host starts
+// computing at Step (the step after the epoch boundary that decided it).
+type Decision struct {
+	Step int64
+	Host int
+	Col  int
+}
+
+// Decide scans one epoch boundary's candidates in the order given (the
+// engine feeds canonical (host, column) order) and returns the activations
+// the policy makes, plus the remaining budget. Each candidate activates
+// when its blame reaches Threshold*Epoch, its fault context satisfies
+// RequireFault, and budget remains. step is the first step the activations
+// take effect (boundary + 1).
+func (p *Policy) Decide(step int64, cands []Candidate, budget int) ([]Decision, int) {
+	if !p.Enabled() || budget <= 0 {
+		return nil, budget
+	}
+	need := int64(p.Threshold * float64(p.Epoch))
+	if need < 1 {
+		need = 1
+	}
+	var out []Decision
+	for _, c := range cands {
+		if budget <= 0 {
+			break
+		}
+		if c.Blamed < need {
+			continue
+		}
+		if p.RequireFault && !c.FaultContext {
+			continue
+		}
+		out = append(out, Decision{Step: step, Host: c.Host, Col: c.Col})
+		budget--
+	}
+	return out, budget
+}
+
+// Parse builds a Policy from the CLI spec format
+//
+//	epoch=STEPS[,thresh=FRAC][,extra=N][,budget=N][,mode=any|fault]
+//
+// e.g. "epoch=256,thresh=0.35,extra=2,budget=32,mode=fault". Defaults:
+// thresh 0.5, extra 1, budget 16, mode any.
+func Parse(spec string) (*Policy, error) {
+	p := &Policy{Threshold: 0.5, MaxExtra: 1, Budget: 16}
+	seen := map[string]bool{}
+	for _, item := range strings.Split(spec, ",") {
+		item = strings.TrimSpace(item)
+		if item == "" {
+			continue
+		}
+		key, val, ok := strings.Cut(item, "=")
+		if !ok {
+			return nil, fmt.Errorf("adapt: item %q is not key=value", item)
+		}
+		if seen[key] {
+			return nil, fmt.Errorf("adapt: duplicate key %q", key)
+		}
+		seen[key] = true
+		var err error
+		switch key {
+		case "epoch":
+			p.Epoch, err = strconv.Atoi(val)
+		case "thresh":
+			p.Threshold, err = strconv.ParseFloat(val, 64)
+		case "extra":
+			p.MaxExtra, err = strconv.Atoi(val)
+		case "budget":
+			p.Budget, err = strconv.Atoi(val)
+		case "mode":
+			switch val {
+			case "any":
+				p.RequireFault = false
+			case "fault":
+				p.RequireFault = true
+			default:
+				return nil, fmt.Errorf("adapt: mode %q (want any or fault)", val)
+			}
+		default:
+			return nil, fmt.Errorf("adapt: unknown key %q (want epoch, thresh, extra, budget or mode)", key)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("adapt: item %q: %v", item, err)
+		}
+	}
+	if !seen["epoch"] {
+		return nil, fmt.Errorf("adapt: spec %q missing epoch=", spec)
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// String renders the policy back in Parse's spec format.
+func (p *Policy) String() string {
+	if p == nil {
+		return ""
+	}
+	mode := "any"
+	if p.RequireFault {
+		mode = "fault"
+	}
+	return fmt.Sprintf("epoch=%d,thresh=%g,extra=%d,budget=%d,mode=%s",
+		p.Epoch, p.Threshold, p.MaxExtra, p.Budget, mode)
+}

@@ -1,0 +1,214 @@
+package adapt
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"latencyhide/internal/assign"
+)
+
+func lineNeighbors(n int) func(int) []int {
+	return func(col int) []int {
+		var nb []int
+		if col > 0 {
+			nb = append(nb, col-1)
+		}
+		if col+1 < n {
+			nb = append(nb, col+1)
+		}
+		return nb
+	}
+}
+
+func TestParseStringRoundTrip(t *testing.T) {
+	specs := []string{
+		"epoch=64,thresh=0.5,extra=1,budget=16,mode=any",
+		"epoch=256,thresh=0.35,extra=2,budget=32,mode=fault",
+		"epoch=1,thresh=0.001,extra=7,budget=1,mode=any",
+	}
+	for _, spec := range specs {
+		p, err := Parse(spec)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", spec, err)
+		}
+		if got := p.String(); got != spec {
+			t.Errorf("Parse(%q).String() = %q", spec, got)
+		}
+		p2, err := Parse(p.String())
+		if err != nil {
+			t.Fatalf("reparse %q: %v", p.String(), err)
+		}
+		if *p2 != *p {
+			t.Errorf("round trip of %q changed the policy: %+v vs %+v", spec, p, p2)
+		}
+	}
+}
+
+func TestParseDefaults(t *testing.T) {
+	p, err := Parse("epoch=64")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Policy{Epoch: 64, Threshold: 0.5, MaxExtra: 1, Budget: 16}
+	if *p != want {
+		t.Errorf("defaults = %+v, want %+v", *p, want)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := map[string]string{
+		"":                       "missing epoch",
+		"thresh=0.5":             "missing epoch",
+		"epoch=0":                "epoch",
+		"epoch=64,thresh=0":      "threshold",
+		"epoch=64,extra=0":       "extra",
+		"epoch=64,budget=0":      "budget",
+		"epoch=64,mode=maybe":    "mode",
+		"epoch=64,zeal=9":        "unknown key",
+		"epoch=64,epoch=64":      "duplicate",
+		"epoch":                  "key=value",
+		"epoch=64,thresh=banana": "thresh",
+	}
+	for spec, want := range cases {
+		if _, err := Parse(spec); err == nil {
+			t.Errorf("Parse(%q) accepted", spec)
+		} else if !strings.Contains(err.Error(), want) {
+			t.Errorf("Parse(%q) error %q missing %q", spec, err, want)
+		}
+	}
+}
+
+func TestEnabled(t *testing.T) {
+	var nilPol *Policy
+	if nilPol.Enabled() {
+		t.Error("nil policy enabled")
+	}
+	if (&Policy{}).Enabled() {
+		t.Error("zero policy enabled")
+	}
+	if !(&Policy{Epoch: 1}).Enabled() {
+		t.Error("epoch=1 policy disabled")
+	}
+	if err := nilPol.Validate(); err != nil {
+		t.Errorf("nil policy invalid: %v", err)
+	}
+}
+
+// Placement on a replicated line assignment: the standby for each column
+// must be a consumer host that does not hold the column, bounded by
+// MaxExtra, deterministic, and farthest-first from the nearest holder.
+func TestPlacement(t *testing.T) {
+	// 8 hosts, 8 columns, rep 2: column c on hosts c and (c+1)%8 — except we
+	// use a simple blocked layout: host h owns columns {2h, 2h+1} over 16
+	// columns, so consumers are adjacent hosts.
+	const hostN, cols = 8, 16
+	owned := make([][]int, hostN)
+	for h := 0; h < hostN; h++ {
+		owned[h] = []int{2 * h, 2*h + 1}
+	}
+	a, err := assign.FromOwned(hostN, cols, owned)
+	if err != nil {
+		t.Fatal(err)
+	}
+	delays := []int{1, 1, 1, 9, 1, 1, 1} // host 3|4 boundary is far
+	p := &Policy{Epoch: 8, Threshold: 0.5, MaxExtra: 1, Budget: 4}
+	pl := p.Placement(a, delays, lineNeighbors(cols), nil)
+	if len(pl) != cols {
+		t.Fatalf("placement has %d columns, want %d", len(pl), cols)
+	}
+	for col, hosts := range pl {
+		if len(hosts) > p.MaxExtra {
+			t.Errorf("col %d has %d standbys > MaxExtra %d", col, len(hosts), p.MaxExtra)
+		}
+		for _, h := range hosts {
+			if a.Holds(h, col) {
+				t.Errorf("col %d standby host %d already holds it", col, h)
+			}
+			holdsNeighbor := false
+			for _, nb := range lineNeighbors(cols)(col) {
+				if a.Holds(h, nb) {
+					holdsNeighbor = true
+				}
+			}
+			if !holdsNeighbor {
+				t.Errorf("col %d standby host %d holds no neighbor (not a consumer)", col, h)
+			}
+		}
+	}
+	// Column 7 (host 3) has consumers host 4 (col 8 neighbors 7) across the
+	// delay-9 link and host 3 itself holds it; the exposed consumer is 4.
+	if got := pl[7]; !reflect.DeepEqual(got, []int{4}) {
+		t.Errorf("pl[7] = %v, want [4] (far consumer across the slow link)", got)
+	}
+	// Determinism: recomputing yields the identical placement.
+	pl2 := p.Placement(a, delays, lineNeighbors(cols), nil)
+	if !reflect.DeepEqual(pl, pl2) {
+		t.Error("placement not deterministic")
+	}
+}
+
+func TestPlacementAvoidsCrashed(t *testing.T) {
+	const hostN, cols = 6, 6
+	owned := make([][]int, hostN)
+	for h := 0; h < hostN; h++ {
+		owned[h] = []int{h}
+	}
+	a, err := assign.FromOwned(hostN, cols, owned)
+	if err != nil {
+		t.Fatal(err)
+	}
+	delays := []int{1, 1, 1, 1, 1}
+	p := &Policy{Epoch: 8, Threshold: 0.5, MaxExtra: 2, Budget: 4}
+	pl := p.Placement(a, delays, lineNeighbors(cols), []int{2})
+	for col, hosts := range pl {
+		for _, h := range hosts {
+			if h == 2 {
+				t.Errorf("col %d placed a standby on crashed host 2", col)
+			}
+		}
+	}
+}
+
+func TestDecide(t *testing.T) {
+	p := &Policy{Epoch: 10, Threshold: 0.5, MaxExtra: 1, Budget: 2}
+	cands := []Candidate{
+		{Host: 0, Col: 3, Blamed: 4},                      // below threshold (need 5)
+		{Host: 1, Col: 4, Blamed: 5},                      // fires
+		{Host: 2, Col: 5, Blamed: 9, FaultContext: true},  // fires
+		{Host: 3, Col: 6, Blamed: 10, FaultContext: true}, // budget exhausted
+	}
+	ds, budget := p.Decide(21, cands, p.Budget)
+	if budget != 0 {
+		t.Errorf("budget = %d, want 0", budget)
+	}
+	want := []Decision{{Step: 21, Host: 1, Col: 4}, {Step: 21, Host: 2, Col: 5}}
+	if !reflect.DeepEqual(ds, want) {
+		t.Errorf("decisions = %v, want %v", ds, want)
+	}
+
+	// mode=fault drops blame without fault context.
+	pf := &Policy{Epoch: 10, Threshold: 0.5, MaxExtra: 1, Budget: 2, RequireFault: true}
+	ds, budget = pf.Decide(21, cands, pf.Budget)
+	want = []Decision{{Step: 21, Host: 2, Col: 5}, {Step: 21, Host: 3, Col: 6}}
+	if !reflect.DeepEqual(ds, want) {
+		t.Errorf("mode=fault decisions = %v, want %v", ds, want)
+	}
+	if budget != 0 {
+		t.Errorf("mode=fault budget = %d, want 0", budget)
+	}
+
+	// Exhausted budget decides nothing.
+	if ds, budget := p.Decide(21, cands, 0); len(ds) != 0 || budget != 0 {
+		t.Errorf("zero budget decided %v (budget %d)", ds, budget)
+	}
+
+	// Tiny epochs clamp the threshold to at least one blamed step.
+	tiny := &Policy{Epoch: 1, Threshold: 0.1, MaxExtra: 1, Budget: 1}
+	if ds, _ := tiny.Decide(2, []Candidate{{Host: 0, Col: 0, Blamed: 0}}, 1); len(ds) != 0 {
+		t.Errorf("zero blame fired: %v", ds)
+	}
+	if ds, _ := tiny.Decide(2, []Candidate{{Host: 0, Col: 0, Blamed: 1}}, 1); len(ds) != 1 {
+		t.Errorf("one blamed step did not fire with clamped need: %v", ds)
+	}
+}

@@ -11,8 +11,8 @@ import (
 
 func TestRegistryComplete(t *testing.T) {
 	all := All()
-	if len(all) != 17 {
-		t.Fatalf("registry has %d experiments, want 17 (E1-E17)", len(all))
+	if len(all) != 18 {
+		t.Fatalf("registry has %d experiments, want 18 (E1-E18)", len(all))
 	}
 	for i, e := range all {
 		if e.ID == "" || e.Title == "" || e.Paper == "" || e.Run == nil {
@@ -20,7 +20,7 @@ func TestRegistryComplete(t *testing.T) {
 		}
 	}
 	// sorted numerically
-	if all[0].ID != "E1" || all[9].ID != "E10" || all[16].ID != "E17" {
+	if all[0].ID != "E1" || all[9].ID != "E10" || all[17].ID != "E18" {
 		ids := make([]string, len(all))
 		for i, e := range all {
 			ids[i] = e.ID
@@ -231,7 +231,7 @@ func TestE13ResilienceShape(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(tables) != 2 {
+	if len(tables) != 3 {
 		t.Fatalf("E13 produced %d tables", len(tables))
 	}
 	crash := tables[0].Rows
@@ -264,6 +264,73 @@ func TestE13ResilienceShape(t *testing.T) {
 	}
 	if lastSingle <= firstSingle {
 		t.Fatalf("E13b single-copy slowdown should grow with outages: %v -> %v", firstSingle, lastSingle)
+	}
+	// E13c (moving outage): same shape — single copy degrades monotonically
+	// with the drift fraction, the replicated run absorbs every fraction.
+	var prevC, firstC, lastC float64
+	for i, r := range tables[2].Rows {
+		var single float64
+		if _, err := sscan(r[2], &single); err != nil {
+			t.Fatal(err)
+		}
+		if single < prevC {
+			t.Fatalf("E13c single-copy slowdown not monotone in drift fraction: %v", tables[2].Rows)
+		}
+		prevC = single
+		if i == 0 {
+			firstC = single
+		}
+		lastC = single
+	}
+	if lastC <= firstC {
+		t.Fatalf("E13c single-copy slowdown should grow with the drift fraction: %v -> %v", firstC, lastC)
+	}
+}
+
+// E18's acceptance shape: the adaptive run must beat static c=4 on at least
+// one adversarial regime, the controller must never exceed its budget, and
+// with mode=fault the fault-free row must make zero activations.
+func TestE18AdaptiveBeatsStatic(t *testing.T) {
+	tables, err := Get("E18").Run(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := tables[0].Rows
+	if len(rows) != 4 {
+		t.Fatalf("E18 rows: %v", rows)
+	}
+	// columns: regime, slowdown c=4, slowdown c=2, slowdown adaptive,
+	// activations, redundancy c=4, redundancy adaptive
+	wins, activated := 0, 0
+	for i, r := range rows {
+		var s4, sa, acts float64
+		if _, err := sscan(r[1], &s4); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := sscan(r[3], &sa); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := sscan(r[4], &acts); err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			if acts != 0 {
+				t.Fatalf("E18 fault-free row activated %v standbys under mode=fault", acts)
+			}
+			continue
+		}
+		if sa < s4 {
+			wins++
+		}
+		if acts > 0 {
+			activated++
+		}
+	}
+	if wins == 0 {
+		t.Fatalf("adaptive never beat static c=4 on an adversarial regime: %v", rows)
+	}
+	if activated == 0 {
+		t.Fatalf("the controller never activated under any regime: %v", rows)
 	}
 }
 

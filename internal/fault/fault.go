@@ -1,9 +1,15 @@
 // Package fault is the deterministic fault-injection layer for the host
-// simulator. A Plan composes four fault kinds over the host line:
+// simulator. A Plan composes seven fault kinds over the host line:
 //
 //   - Jitter: per-injection extra link delay (a transient straggler link);
+//   - Spike: per-injection heavy-tailed extra delay — a truncated Pareto
+//     draw, so most injections pass clean and a few straggle badly;
 //   - Outage: transient link outages over step windows — queued messages
 //     wait, they are never dropped;
+//   - Drift: a moving outage — a stripe of down links that advances along
+//     the line as windows pass (time-varying regime);
+//   - Churn: a link that flaps up/down on a fixed duty cycle, with a seeded
+//     per-link phase so the line never flaps in lockstep;
 //   - Slowdown: a host computes fewer pebbles per step over step windows;
 //   - Crash: a permanent crash-stop host — it stops computing forever but
 //     keeps relaying traffic (the NIC outlives the CPU).
@@ -19,6 +25,7 @@ package fault
 
 import (
 	"fmt"
+	"math"
 	"strconv"
 	"strings"
 )
@@ -33,6 +40,18 @@ type Jitter struct {
 	Prob float64 // per-injection hit probability, in (0, 1]
 }
 
+// Spike adds heavy-tailed extra delay to individual link injections: a hit
+// adds a truncated Pareto draw min(Cap, floor(U^(-1/Alpha))) steps, so the
+// bulk of hits add a step or two and a rare few add close to Cap. Like
+// Jitter it is additive only, which keeps the parallel engine's lookahead
+// safe; smaller Alpha means a heavier tail.
+type Spike struct {
+	Link  int     // line link index, -1 = every link
+	Prob  float64 // per-injection hit probability, in (0, 1]
+	Alpha float64 // Pareto tail index, > 0
+	Cap   int     // maximum extra delay, >= 1
+}
+
 // Outage takes a link down (both directions) for whole step windows: window
 // w covers steps [w*Window+1, (w+1)*Window] and is down with probability
 // Frac, decided independently per (link, window). While down, the link
@@ -41,6 +60,31 @@ type Outage struct {
 	Link   int     // line link index, -1 = every link
 	Window int     // steps per window, >= 1
 	Frac   float64 // per-window outage probability, in (0, 1]
+}
+
+// Drift is a moving outage: in window w, the stripe covers exactly the
+// links l with (l - w*Stride) ≡ 0 (mod Period), and each covered link is
+// down for that window with probability Frac. The stripe advances Stride
+// links per window, so outages sweep along the line instead of pinning one
+// link — E13's static outages generalized to a time-varying regime. Link
+// restricts the drift to one link (it is then down only in the windows
+// whose stripe passes over it).
+type Drift struct {
+	Link   int     // line link index, -1 = every link
+	Window int     // steps per window, >= 1
+	Frac   float64 // per-(covered link, window) outage probability, in (0, 1]
+	Period int     // stripe spacing in links, >= 1
+	Stride int     // links the stripe advances per window, >= 0
+}
+
+// Churn flaps a link on a deterministic duty cycle: each cycle is Up steps
+// up followed by Down steps down, with a seeded per-link phase offset so
+// different links flap out of step. Unlike Outage there is no randomness
+// per window — the flapping itself is the adversary.
+type Churn struct {
+	Link int // line link index, -1 = every link
+	Up   int // up steps per cycle, >= 1
+	Down int // down steps per cycle, >= 1
 }
 
 // Slowdown caps a host's effective compute rate at Limit pebbles per step
@@ -66,7 +110,10 @@ type Crash struct {
 type Plan struct {
 	Seed      uint64
 	Jitters   []Jitter
+	Spikes    []Spike
 	Outages   []Outage
+	Drifts    []Drift
+	Churns    []Churn
 	Slowdowns []Slowdown
 	Crashes   []Crash
 }
@@ -74,7 +121,9 @@ type Plan struct {
 // Enabled reports whether the plan injects any fault at all.
 func (p *Plan) Enabled() bool {
 	return p != nil &&
-		(len(p.Jitters) > 0 || len(p.Outages) > 0 || len(p.Slowdowns) > 0 || len(p.Crashes) > 0)
+		(len(p.Jitters) > 0 || len(p.Spikes) > 0 || len(p.Outages) > 0 ||
+			len(p.Drifts) > 0 || len(p.Churns) > 0 ||
+			len(p.Slowdowns) > 0 || len(p.Crashes) > 0)
 }
 
 // Validate checks every spec against a host line of hostN workstations
@@ -95,6 +144,20 @@ func (p *Plan) Validate(hostN int) error {
 			return fmt.Errorf("fault: jitter %d: probability %v outside (0,1]", i, j.Prob)
 		}
 	}
+	for i, s := range p.Spikes {
+		if s.Link < -1 || s.Link >= links {
+			return fmt.Errorf("fault: spike %d: link %d out of range [0,%d)", i, s.Link, links)
+		}
+		if s.Prob <= 0 || s.Prob > 1 {
+			return fmt.Errorf("fault: spike %d: probability %v outside (0,1]", i, s.Prob)
+		}
+		if s.Alpha <= 0 {
+			return fmt.Errorf("fault: spike %d: alpha %v <= 0", i, s.Alpha)
+		}
+		if s.Cap < 1 {
+			return fmt.Errorf("fault: spike %d: cap %d < 1", i, s.Cap)
+		}
+	}
 	for i, o := range p.Outages {
 		if o.Link < -1 || o.Link >= links {
 			return fmt.Errorf("fault: outage %d: link %d out of range [0,%d)", i, o.Link, links)
@@ -104,6 +167,34 @@ func (p *Plan) Validate(hostN int) error {
 		}
 		if o.Frac <= 0 || o.Frac > 1 {
 			return fmt.Errorf("fault: outage %d: fraction %v outside (0,1]", i, o.Frac)
+		}
+	}
+	for i, d := range p.Drifts {
+		if d.Link < -1 || d.Link >= links {
+			return fmt.Errorf("fault: drift %d: link %d out of range [0,%d)", i, d.Link, links)
+		}
+		if d.Window < 1 {
+			return fmt.Errorf("fault: drift %d: window %d < 1", i, d.Window)
+		}
+		if d.Frac <= 0 || d.Frac > 1 {
+			return fmt.Errorf("fault: drift %d: fraction %v outside (0,1]", i, d.Frac)
+		}
+		if d.Period < 1 {
+			return fmt.Errorf("fault: drift %d: period %d < 1", i, d.Period)
+		}
+		if d.Stride < 0 {
+			return fmt.Errorf("fault: drift %d: stride %d < 0", i, d.Stride)
+		}
+	}
+	for i, ch := range p.Churns {
+		if ch.Link < -1 || ch.Link >= links {
+			return fmt.Errorf("fault: churn %d: link %d out of range [0,%d)", i, ch.Link, links)
+		}
+		if ch.Up < 1 {
+			return fmt.Errorf("fault: churn %d: up %d < 1", i, ch.Up)
+		}
+		if ch.Down < 1 {
+			return fmt.Errorf("fault: churn %d: down %d < 1", i, ch.Down)
 		}
 	}
 	for i, s := range p.Slowdowns {
@@ -141,12 +232,15 @@ func mix(x uint64) uint64 {
 	return x
 }
 
-// Salt constants keep the four fault kinds statistically independent even
-// when their specs share sites and windows.
+// Salt constants keep the fault kinds statistically independent even when
+// their specs share sites and windows.
 const (
 	saltJitter uint64 = 0x6a69747465720000 // "jitter"
 	saltOutage uint64 = 0x6f75746167650000 // "outage"
 	saltSlow   uint64 = 0x736c6f7764000000 // "slowd"
+	saltSpike  uint64 = 0x7370696b65000000 // "spike"
+	saltDrift  uint64 = 0x6472696674000000 // "drift"
+	saltChurn  uint64 = 0x636875726e000000 // "churn"
 )
 
 // h hashes (seed, salt+spec, site, step) into 64 uniform bits.
@@ -184,6 +278,24 @@ func (p *Plan) ExtraDelay(link int, leftward bool, step int64, slot int) int {
 		}
 		extra += 1 + int(mix(hv)%uint64(j.Amp))
 	}
+	for i := range p.Spikes {
+		s := &p.Spikes[i]
+		if s.Link != -1 && s.Link != link {
+			continue
+		}
+		hv := mix(p.h(saltSpike, i, site, step) + uint64(slot)*0x9e3779b97f4a7c15)
+		if s.Prob < 1 && u01(hv) >= s.Prob {
+			continue
+		}
+		// Truncated Pareto: X = U^(-1/alpha) >= 1, clipped to Cap before the
+		// float-to-int conversion (U can be 0, making X infinite).
+		x := math.Pow(1-u01(mix(hv)), -1/s.Alpha)
+		if !(x < float64(s.Cap)) {
+			extra += s.Cap
+		} else {
+			extra += int(x)
+		}
+	}
 	return extra
 }
 
@@ -198,7 +310,43 @@ func (p *Plan) LinkDown(link int, step int64) bool {
 			return true
 		}
 	}
+	for i := range p.Drifts {
+		d := &p.Drifts[i]
+		if d.Link != -1 && d.Link != link {
+			continue
+		}
+		w := window(step, d.Window)
+		off := (int64(link) - w*int64(d.Stride)) % int64(d.Period)
+		if off < 0 {
+			off += int64(d.Period)
+		}
+		if off != 0 {
+			continue
+		}
+		if d.Frac >= 1 || u01(p.h(saltDrift, i, link, w)) < d.Frac {
+			return true
+		}
+	}
+	for i := range p.Churns {
+		ch := &p.Churns[i]
+		if ch.Link != -1 && ch.Link != link {
+			continue
+		}
+		cycle := int64(ch.Up + ch.Down)
+		pos := (step - 1 + p.churnPhase(i, link)) % cycle
+		if pos >= int64(ch.Up) {
+			return true
+		}
+	}
 	return false
+}
+
+// churnPhase is churn spec i's seeded phase offset on the link, in
+// [0, Up+Down). Hashing the link (not the spec's selector) gives every link
+// its own phase even under a Link == -1 spec.
+func (p *Plan) churnPhase(i, link int) int64 {
+	ch := &p.Churns[i]
+	return int64(p.h(saltChurn, i, link, 0) % uint64(ch.Up+ch.Down))
 }
 
 // ComputeLimit returns how many pebbles the host may compute at the step,
@@ -260,12 +408,14 @@ func (p *Plan) CrashedHosts() []int {
 type Interval struct{ Lo, Hi int64 }
 
 // OutageIntervals enumerates the merged down intervals of a link over steps
-// [1, maxStep], for telemetry. The engine never calls this on its hot path.
+// [1, maxStep] — static outages, drift stripes and churn duty cycles all
+// flow through LinkDown, so the intervals cover their union. The engine
+// never calls this on its hot path.
 func (p *Plan) OutageIntervals(link int, maxStep int64) []Interval {
-	if len(p.Outages) == 0 {
+	if len(p.Outages) == 0 && len(p.Drifts) == 0 && len(p.Churns) == 0 {
 		return nil
 	}
-	return p.scanIntervals(maxStep, func(step int64) bool { return p.LinkDown(link, step) })
+	return p.scanIntervals(link, maxStep, func(step int64) bool { return p.LinkDown(link, step) })
 }
 
 // SlowIntervals enumerates the merged slowed intervals of a host (any
@@ -274,20 +424,20 @@ func (p *Plan) SlowIntervals(host int, maxStep int64) []Interval {
 	if len(p.Slowdowns) == 0 {
 		return nil
 	}
-	return p.scanIntervals(maxStep, func(step int64) bool {
+	return p.scanIntervals(host, maxStep, func(step int64) bool {
 		return p.ComputeLimit(host, step, 1<<30) < 1<<30
 	})
 }
 
 // scanIntervals walks window-aligned steps and merges consecutive hits. All
-// windowed faults are constant within a window, so stepping by the gcd of
-// the windows (1 is always safe; we step per step only across window edges)
-// is unnecessary complexity: we probe each step's window boundary instead.
-func (p *Plan) scanIntervals(maxStep int64, down func(step int64) bool) []Interval {
+// windowed faults are constant between the site's window edges, so we probe
+// once per edge-to-edge segment instead of per step. site is the link (or
+// host) being scanned: churn edges are per-link because of the seeded phase.
+func (p *Plan) scanIntervals(site int, maxStep int64, down func(step int64) bool) []Interval {
 	var out []Interval
 	step := int64(1)
 	for step <= maxStep {
-		next := p.nextWindowEdge(step)
+		next := p.nextWindowEdge(site, step)
 		if next > maxStep+1 {
 			next = maxStep + 1
 		}
@@ -304,14 +454,38 @@ func (p *Plan) scanIntervals(maxStep int64, down func(step int64) bool) []Interv
 }
 
 // nextWindowEdge returns the smallest step > step at which any windowed
-// fault can change state.
-func (p *Plan) nextWindowEdge(step int64) int64 {
+// fault can change state at the site. Outage/drift/slowdown edges are the
+// shared window boundaries; churn edges depend on the site's phase, which
+// is why the scan is per site.
+func (p *Plan) nextWindowEdge(site int, step int64) int64 {
 	next := step + 1
 	first := true
 	for _, o := range p.Outages {
 		e := (window(step, o.Window) + 1) * int64(o.Window)
 		if first || e < next {
 			next, first = e+1, false
+		}
+	}
+	for _, d := range p.Drifts {
+		e := (window(step, d.Window) + 1) * int64(d.Window)
+		if first || e < next {
+			next, first = e+1, false
+		}
+	}
+	for i := range p.Churns {
+		ch := &p.Churns[i]
+		cycle := int64(ch.Up + ch.Down)
+		pos := (step - 1 + p.churnPhase(i, site)) % cycle
+		// Next transition: up->down when pos reaches Up, down->up when it
+		// wraps to 0. Both deltas are >= 1, so e > step always.
+		var e int64
+		if pos < int64(ch.Up) {
+			e = step + (int64(ch.Up) - pos)
+		} else {
+			e = step + (cycle - pos)
+		}
+		if first || e < next {
+			next, first = e, false
 		}
 	}
 	for _, s := range p.Slowdowns {
@@ -332,16 +506,39 @@ func (p *Plan) JitterLinks(links int) []int {
 	if len(p.Jitters) == 0 {
 		return nil
 	}
+	sel := make([]int, len(p.Jitters))
+	for i, j := range p.Jitters {
+		sel[i] = j.Link
+	}
+	return markLinks(sel, links)
+}
+
+// SpikeLinks returns the sorted links affected by any spike spec, given the
+// number of line links.
+func (p *Plan) SpikeLinks(links int) []int {
+	if len(p.Spikes) == 0 {
+		return nil
+	}
+	sel := make([]int, len(p.Spikes))
+	for i, s := range p.Spikes {
+		sel[i] = s.Link
+	}
+	return markLinks(sel, links)
+}
+
+// markLinks expands a list of link selectors (-1 = all) into the sorted
+// affected links.
+func markLinks(sel []int, links int) []int {
 	mark := make([]bool, links)
-	for _, j := range p.Jitters {
-		if j.Link == -1 {
-			for l := range mark {
-				mark[l] = true
+	for _, l := range sel {
+		if l == -1 {
+			for i := range mark {
+				mark[i] = true
 			}
 			break
 		}
-		if j.Link >= 0 && j.Link < links {
-			mark[j.Link] = true
+		if l >= 0 && l < links {
+			mark[l] = true
 		}
 	}
 	var out []int
@@ -359,12 +556,16 @@ func (p *Plan) JitterLinks(links int) []int {
 //
 // with items
 //
-//	jitter=AMP[@PROB][#LINK]      e.g. jitter=4@0.5#7  (AMP max extra steps)
-//	outage=FRACxWIN[#LINK]        e.g. outage=0.1x32   (FRAC of WIN-step windows down)
-//	slow=FRACxWIN/LIMIT[#HOST]    e.g. slow=0.2x16/0#3 (compute capped at LIMIT)
-//	crash=HOST@STEP               e.g. crash=12@200
+//	jitter=AMP[@PROB][#LINK]           e.g. jitter=4@0.5#7   (AMP max extra steps)
+//	spike=CAP[@PROB][~ALPHA][#LINK]    e.g. spike=32@0.1~1.2 (Pareto tail, CAP truncation)
+//	outage=FRACxWIN[#LINK]             e.g. outage=0.1x32    (FRAC of WIN-step windows down)
+//	drift=FRACxWIN/PERIOD[~STRIDE][#LINK]  e.g. drift=0.8x16/4~1 (moving outage stripe)
+//	churn=UPxDOWN[#LINK]               e.g. churn=24x8       (duty-cycle link flapping)
+//	slow=FRACxWIN/LIMIT[#HOST]         e.g. slow=0.2x16/0#3  (compute capped at LIMIT)
+//	crash=HOST@STEP                    e.g. crash=12@200
 //
-// Omitted #LINK/#HOST selectors mean every link/host.
+// Omitted #LINK/#HOST selectors mean every link/host; spike's ALPHA
+// defaults to 1.5 and drift's STRIDE to 1.
 func Parse(spec string) (*Plan, error) {
 	seedStr, rest, ok := strings.Cut(spec, ":")
 	if !ok {
@@ -408,12 +609,70 @@ func Parse(spec string) (*Plan, error) {
 				return nil, fmt.Errorf("fault: item %q: bad amplitude %q", item, amp)
 			}
 			p.Jitters = append(p.Jitters, Jitter{Link: site, Amp: a, Prob: prob})
+		case "spike":
+			body, alpha := val, 1.5
+			if b, as, has := strings.Cut(val, "~"); has {
+				body = b
+				alpha, err = strconv.ParseFloat(as, 64)
+				if err != nil {
+					return nil, fmt.Errorf("fault: item %q: bad alpha %q", item, as)
+				}
+			}
+			capStr, prob := body, 1.0
+			if b, pr, has := strings.Cut(body, "@"); has {
+				capStr = b
+				prob, err = strconv.ParseFloat(pr, 64)
+				if err != nil {
+					return nil, fmt.Errorf("fault: item %q: bad probability %q", item, pr)
+				}
+			}
+			cp, err := strconv.Atoi(capStr)
+			if err != nil {
+				return nil, fmt.Errorf("fault: item %q: bad cap %q", item, capStr)
+			}
+			p.Spikes = append(p.Spikes, Spike{Link: site, Cap: cp, Prob: prob, Alpha: alpha})
 		case "outage":
 			frac, win, err := parseFracWindow(val)
 			if err != nil {
 				return nil, fmt.Errorf("fault: item %q: %v", item, err)
 			}
 			p.Outages = append(p.Outages, Outage{Link: site, Window: win, Frac: frac})
+		case "drift":
+			body, tail, has := strings.Cut(val, "/")
+			if !has {
+				return nil, fmt.Errorf("fault: item %q missing /PERIOD", item)
+			}
+			frac, win, err := parseFracWindow(body)
+			if err != nil {
+				return nil, fmt.Errorf("fault: item %q: %v", item, err)
+			}
+			perStr, stride := tail, 1
+			if ps, ss, has := strings.Cut(tail, "~"); has {
+				perStr = ps
+				stride, err = strconv.Atoi(ss)
+				if err != nil {
+					return nil, fmt.Errorf("fault: item %q: bad stride %q", item, ss)
+				}
+			}
+			per, err := strconv.Atoi(perStr)
+			if err != nil {
+				return nil, fmt.Errorf("fault: item %q: bad period %q", item, perStr)
+			}
+			p.Drifts = append(p.Drifts, Drift{Link: site, Window: win, Frac: frac, Period: per, Stride: stride})
+		case "churn":
+			upStr, downStr, has := strings.Cut(val, "x")
+			if !has {
+				return nil, fmt.Errorf("fault: item %q is not churn=UPxDOWN", item)
+			}
+			up, err := strconv.Atoi(upStr)
+			if err != nil {
+				return nil, fmt.Errorf("fault: item %q: bad up %q", item, upStr)
+			}
+			down, err := strconv.Atoi(downStr)
+			if err != nil {
+				return nil, fmt.Errorf("fault: item %q: bad down %q", item, downStr)
+			}
+			p.Churns = append(p.Churns, Churn{Link: site, Up: up, Down: down})
 		case "slow":
 			body, limStr, has := strings.Cut(val, "/")
 			if !has {
@@ -446,7 +705,7 @@ func Parse(spec string) (*Plan, error) {
 			}
 			p.Crashes = append(p.Crashes, Crash{Host: host, Step: step})
 		default:
-			return nil, fmt.Errorf("fault: unknown fault kind %q (want jitter, outage, slow or crash)", kind)
+			return nil, fmt.Errorf("fault: unknown fault kind %q (want jitter, spike, outage, drift, churn, slow or crash)", kind)
 		}
 	}
 	if !p.Enabled() {
@@ -497,8 +756,22 @@ func (p *Plan) String() string {
 		}
 		items = append(items, it+site(j.Link))
 	}
+	for _, s := range p.Spikes {
+		it := fmt.Sprintf("spike=%d", s.Cap)
+		if s.Prob < 1 {
+			it += fmt.Sprintf("@%g", s.Prob)
+		}
+		it += fmt.Sprintf("~%g", s.Alpha)
+		items = append(items, it+site(s.Link))
+	}
 	for _, o := range p.Outages {
 		items = append(items, fmt.Sprintf("outage=%gx%d%s", o.Frac, o.Window, site(o.Link)))
+	}
+	for _, d := range p.Drifts {
+		items = append(items, fmt.Sprintf("drift=%gx%d/%d~%d%s", d.Frac, d.Window, d.Period, d.Stride, site(d.Link)))
+	}
+	for _, ch := range p.Churns {
+		items = append(items, fmt.Sprintf("churn=%dx%d%s", ch.Up, ch.Down, site(ch.Link)))
 	}
 	for _, s := range p.Slowdowns {
 		items = append(items, fmt.Sprintf("slow=%gx%d/%d%s", s.Frac, s.Window, s.Limit, site(s.Host)))

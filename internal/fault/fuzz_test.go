@@ -1,0 +1,73 @@
+package fault
+
+import (
+	"testing"
+)
+
+// FuzzFaultSpec checks that the spec grammar is a fixed point under one
+// Parse→String normalization: any string Parse accepts must String back to a
+// spec that reparses to the identical normal form, and the parsed plan must
+// either validate cleanly on a reference line or fail validation the same
+// way after the round trip. Parse must never panic on arbitrary input.
+func FuzzFaultSpec(f *testing.F) {
+	seeds := []string{
+		"7:jitter=4",
+		"7:jitter=4@0.5#3",
+		"0:outage=0.1x32",
+		"1:slow=0.2x16/0#5",
+		"2:crash=12@200",
+		"7:spike=32@0.01~1.5#2",
+		"7:spike=1",
+		"9:drift=0.2x8/4",
+		"9:drift=1x1/1~0#0",
+		"5:churn=12x4",
+		"5:churn=1x1#3",
+		"3:jitter=2@0.5;spike=32@0.01~1.5;outage=0.05x8#1;drift=0.2x8/4;churn=12x4#1;slow=0.5x4/1#2;crash=0@9",
+		"18446744073709551615:churn=1x1",
+		"7:",
+		"x:jitter=4",
+		"7:spike=8~",
+		"7:drift=0.2x8/",
+		"7:churn=12x",
+		"7:jitter=4##1",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, spec string) {
+		p, err := Parse(spec)
+		if err != nil {
+			return // rejected input: only requirement is no panic
+		}
+		norm := p.String()
+		p2, err := Parse(norm)
+		if err != nil {
+			t.Fatalf("Parse(%q) ok but String %q does not reparse: %v", spec, norm, err)
+		}
+		if got := p2.String(); got != norm {
+			t.Fatalf("String not a fixed point: %q -> %q -> %q", spec, norm, got)
+		}
+		// The plans must agree as fault generators, not just as strings: probe
+		// a few (site, step) queries across both.
+		for _, site := range []int{0, 1, 5} {
+			for _, step := range []int64{1, 7, 64, 1000} {
+				if p.ExtraDelay(site, false, step, 0) != p2.ExtraDelay(site, false, step, 0) {
+					t.Fatalf("ExtraDelay diverges after round trip of %q at (%d,%d)", spec, site, step)
+				}
+				if p.LinkDown(site, step) != p2.LinkDown(site, step) {
+					t.Fatalf("LinkDown diverges after round trip of %q at (%d,%d)", spec, site, step)
+				}
+				if p.ComputeLimit(site, step, 3) != p2.ComputeLimit(site, step, 3) {
+					t.Fatalf("ComputeLimit diverges after round trip of %q at (%d,%d)", spec, site, step)
+				}
+			}
+		}
+		// Validation must agree too (on a line big enough for fuzzer-found
+		// small sites, and on one that is too small).
+		for _, hostN := range []int{2, 64} {
+			if (p.Validate(hostN) == nil) != (p2.Validate(hostN) == nil) {
+				t.Fatalf("Validate(%d) diverges after round trip of %q", hostN, spec)
+			}
+		}
+	})
+}

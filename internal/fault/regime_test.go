@@ -1,0 +1,257 @@
+package fault
+
+import (
+	"testing"
+)
+
+// Spike draws are pure, additive, and truncated: every hit adds between 1
+// and Cap steps, and the tail actually reaches past what a uniform jitter of
+// the same mean would.
+func TestSpikeBoundsAndTail(t *testing.T) {
+	p := &Plan{Seed: 13, Spikes: []Spike{{Link: -1, Prob: 1, Alpha: 1.5, Cap: 64}}}
+	seen := map[int]int{}
+	for s := int64(1); s <= 5000; s++ {
+		x := p.ExtraDelay(0, false, s, 0)
+		if x < 1 || x > 64 {
+			t.Fatalf("prob=1 spike gave extra %d outside [1,64]", x)
+		}
+		seen[x]++
+		if p.ExtraDelay(0, false, s, 0) != x {
+			t.Fatalf("spike draw not pure at step %d", s)
+		}
+	}
+	// Pareto(alpha=1.5): most mass at 1, but a heavy tail. We expect the
+	// bulk at 1-2 and at least one draw at or beyond half the cap.
+	if seen[1] < 2500 {
+		t.Fatalf("spike bulk too thin: %d draws of 1 in 5000", seen[1])
+	}
+	tail := 0
+	for v, n := range seen {
+		if v >= 32 {
+			tail += n
+		}
+	}
+	if tail == 0 {
+		t.Fatal("no spike draw reached half the cap in 5000 steps (tail too light)")
+	}
+	if seen[64] == 0 {
+		t.Log("note: no draw hit the cap exactly; truncation untested at this seed")
+	}
+}
+
+// A spike with a tiny alpha concentrates at the cap: U^(-1/alpha) explodes,
+// and the U=0 draw must clip to Cap instead of overflowing the float→int
+// conversion.
+func TestSpikeCapClip(t *testing.T) {
+	p := &Plan{Seed: 1, Spikes: []Spike{{Link: -1, Prob: 1, Alpha: 0.01, Cap: 7}}}
+	for s := int64(1); s <= 2000; s++ {
+		if x := p.ExtraDelay(0, true, s, 0); x < 1 || x > 7 {
+			t.Fatalf("alpha=0.01 spike gave %d outside [1,7]", x)
+		}
+	}
+}
+
+// Drift stripe semantics: in window w, exactly the links ≡ w·Stride
+// (mod Period) are down (Frac=1), and the stripe advances with the window.
+func TestDriftStripe(t *testing.T) {
+	p := &Plan{Seed: 2, Drifts: []Drift{{Link: -1, Window: 4, Frac: 1, Period: 3, Stride: 1}}}
+	for w := int64(0); w < 12; w++ {
+		step := w*4 + 1 // first step of window w
+		for link := 0; link < 9; link++ {
+			want := int64(link)%3 == w%3 // (link - w*1) mod 3 == 0
+			if got := p.LinkDown(link, step); got != want {
+				t.Fatalf("window %d link %d: down=%v, want %v", w, link, got, want)
+			}
+			// Constant across the window.
+			if p.LinkDown(link, step+3) != want {
+				t.Fatalf("window %d link %d: state changes inside window", w, link)
+			}
+		}
+	}
+	// Stride 0 pins the stripe: link 0 down in every window, link 1 never.
+	pinned := &Plan{Seed: 2, Drifts: []Drift{{Link: -1, Window: 4, Frac: 1, Period: 3, Stride: 0}}}
+	for w := int64(0); w < 8; w++ {
+		if !pinned.LinkDown(0, w*4+1) || pinned.LinkDown(1, w*4+1) {
+			t.Fatalf("stride=0 stripe moved at window %d", w)
+		}
+	}
+}
+
+// Churn duty cycle: every link is down exactly Down steps per Up+Down cycle,
+// and distinct links have distinct phases (the line never flaps in lockstep).
+func TestChurnDutyCycle(t *testing.T) {
+	p := &Plan{Seed: 77, Churns: []Churn{{Link: -1, Up: 12, Down: 4}}}
+	const cycles = 10
+	phases := map[int64]bool{}
+	for link := 0; link < 8; link++ {
+		down := 0
+		for s := int64(1); s <= 16*cycles; s++ {
+			if p.LinkDown(link, s) {
+				down++
+			}
+		}
+		if down != 4*cycles {
+			t.Fatalf("link %d down %d steps in %d cycles, want %d", link, down, cycles, 4*cycles)
+		}
+		phases[p.churnPhase(0, link)] = true
+	}
+	if len(phases) < 3 {
+		t.Fatalf("churn phases barely vary across links: %d distinct in 8", len(phases))
+	}
+	// Down runs are contiguous and exactly Down long (modulo the truncated
+	// first/last run).
+	ivs := p.OutageIntervals(3, 16*cycles)
+	for i, iv := range ivs {
+		n := iv.Hi - iv.Lo + 1
+		if n > 4 {
+			t.Fatalf("churn down-run %d is %d steps, cap is 4: %+v", i, n, iv)
+		}
+		if n < 4 && i > 0 && i < len(ivs)-1 {
+			t.Fatalf("interior churn down-run %d is short: %+v", i, iv)
+		}
+	}
+}
+
+// nextWindowEdge must return the exact first step at which any windowed
+// fault can change state — an off-by-one in either direction makes the
+// interval scan disagree with the per-step queries. Churn edges are the
+// tricky case: they depend on a per-link seeded phase, and the edge step is
+// already the first step of the new state (no +1, unlike window edges).
+func TestWindowEdgeScanMatchesQueries(t *testing.T) {
+	plans := []*Plan{
+		{Seed: 5, Churns: []Churn{{Link: -1, Up: 7, Down: 3}}},
+		{Seed: 5, Churns: []Churn{{Link: -1, Up: 1, Down: 1}}}, // every step is an edge
+		{Seed: 9, Drifts: []Drift{{Link: -1, Window: 5, Frac: 0.7, Period: 2, Stride: 1}}},
+		{Seed: 9, Outages: []Outage{{Link: -1, Window: 8, Frac: 0.4}},
+			Churns: []Churn{{Link: -1, Up: 6, Down: 2}}}, // misaligned edge sources
+		{Seed: 3, Drifts: []Drift{{Link: 2, Window: 3, Frac: 1, Period: 4, Stride: 3}},
+			Churns: []Churn{{Link: 2, Up: 5, Down: 5}}},
+	}
+	const max = 400
+	for pi, p := range plans {
+		for link := 0; link < 4; link++ {
+			// Every edge the scan visits must be a real potential transition
+			// point, and no transition may happen strictly between edges.
+			step := int64(1)
+			for step <= max {
+				next := p.nextWindowEdge(link, step)
+				if next <= step {
+					t.Fatalf("plan %d link %d: edge %d does not advance past %d", pi, link, next, step)
+				}
+				state := p.LinkDown(link, step)
+				for s := step + 1; s < next && s <= max; s++ {
+					if p.LinkDown(link, s) != state {
+						t.Fatalf("plan %d link %d: state flipped at %d inside segment [%d,%d)",
+							pi, link, s, step, next)
+					}
+				}
+				step = next
+			}
+			// And the interval enumeration built on that scan matches the
+			// per-step query exactly, including at segment boundaries.
+			ivs := p.OutageIntervals(link, max)
+			at := func(s int64) bool {
+				for _, iv := range ivs {
+					if s >= iv.Lo && s <= iv.Hi {
+						return true
+					}
+				}
+				return false
+			}
+			for s := int64(1); s <= max; s++ {
+				if at(s) != p.LinkDown(link, s) {
+					t.Fatalf("plan %d link %d: interval/query mismatch at step %d", pi, link, s)
+				}
+			}
+		}
+	}
+}
+
+// SpikeLinks mirrors JitterLinks for the spike regime.
+func TestSpikeLinks(t *testing.T) {
+	p := &Plan{Spikes: []Spike{{Link: 4, Prob: 1, Alpha: 1.5, Cap: 8}, {Link: 0, Prob: 1, Alpha: 1.5, Cap: 8}}}
+	got := p.SpikeLinks(6)
+	if len(got) != 2 || got[0] != 0 || got[1] != 4 {
+		t.Fatalf("SpikeLinks = %v", got)
+	}
+	all := &Plan{Spikes: []Spike{{Link: -1, Prob: 1, Alpha: 1.5, Cap: 8}}}
+	if g := all.SpikeLinks(3); len(g) != 3 {
+		t.Fatalf("SpikeLinks(-1) = %v", g)
+	}
+}
+
+// Validation catches each malformed new-regime spec.
+func TestValidateNewRegimes(t *testing.T) {
+	bad := []*Plan{
+		{Spikes: []Spike{{Link: 9, Prob: 1, Alpha: 1.5, Cap: 8}}},
+		{Spikes: []Spike{{Link: 0, Prob: 0, Alpha: 1.5, Cap: 8}}},
+		{Spikes: []Spike{{Link: 0, Prob: 1, Alpha: 0, Cap: 8}}},
+		{Spikes: []Spike{{Link: 0, Prob: 1, Alpha: 1.5, Cap: 0}}},
+		{Drifts: []Drift{{Link: 9, Window: 4, Frac: 1, Period: 2, Stride: 1}}},
+		{Drifts: []Drift{{Link: 0, Window: 0, Frac: 1, Period: 2, Stride: 1}}},
+		{Drifts: []Drift{{Link: 0, Window: 4, Frac: 2, Period: 2, Stride: 1}}},
+		{Drifts: []Drift{{Link: 0, Window: 4, Frac: 1, Period: 0, Stride: 1}}},
+		{Drifts: []Drift{{Link: 0, Window: 4, Frac: 1, Period: 2, Stride: -1}}},
+		{Churns: []Churn{{Link: 9, Up: 4, Down: 4}}},
+		{Churns: []Churn{{Link: 0, Up: 0, Down: 4}}},
+		{Churns: []Churn{{Link: 0, Up: 4, Down: 0}}},
+	}
+	for i, p := range bad {
+		if p.Validate(8) == nil {
+			t.Fatalf("bad plan %d validated: %+v", i, p)
+		}
+	}
+	good := &Plan{
+		Spikes: []Spike{{Link: -1, Prob: 0.01, Alpha: 1.5, Cap: 32}},
+		Drifts: []Drift{{Link: -1, Window: 8, Frac: 0.5, Period: 4, Stride: 1}},
+		Churns: []Churn{{Link: 3, Up: 12, Down: 4}},
+	}
+	if err := good.Validate(8); err != nil {
+		t.Fatal(err)
+	}
+	if !good.Enabled() {
+		t.Fatal("plan with only new regimes reports disabled")
+	}
+}
+
+// Parse accepts the new grammar and round-trips it through String.
+func TestParseNewRegimes(t *testing.T) {
+	cases := []struct {
+		spec string
+		ok   bool
+	}{
+		{"7:spike=32", true},
+		{"7:spike=32@0.01~1.5#2", true},
+		{"7:drift=0.2x8/4", true},
+		{"7:drift=0.2x8/4~2#1", true},
+		{"7:churn=12x4", true},
+		{"7:churn=12x4#3", true},
+		{"7:spike=0", false},       // cap < 1
+		{"7:spike=8~0", false},     // alpha <= 0
+		{"7:spike=8@1.5", false},   // prob > 1
+		{"7:drift=0.2x8", false},   // missing period
+		{"7:drift=0.2x8/0", false}, // period < 1
+		{"7:drift=0.2x8/4~x", false},
+		{"7:churn=12", false},   // missing down
+		{"7:churn=0x4", false},  // up < 1
+		{"7:churn=12x0", false}, // down < 1
+	}
+	for _, c := range cases {
+		p, err := Parse(c.spec)
+		if c.ok && err != nil {
+			t.Fatalf("Parse(%q): %v", c.spec, err)
+		}
+		if !c.ok && err == nil {
+			t.Fatalf("Parse(%q) accepted: %+v", c.spec, p)
+		}
+		if c.ok {
+			rt, err := Parse(p.String())
+			if err != nil {
+				t.Fatalf("round trip %q: %v", p.String(), err)
+			}
+			if rt.String() != p.String() {
+				t.Fatalf("round trip %q != %q", rt.String(), p.String())
+			}
+		}
+	}
+}

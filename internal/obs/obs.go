@@ -43,6 +43,12 @@ const (
 	// stalled for Dur consecutive steps starting at Step, attributed to
 	// Cause. Produced by Analysis.StallSpans.
 	KindStall
+	// KindAdapt: the adaptive-replication controller activated the standby
+	// replica of column Col on Proc, effective at Step (the step after the
+	// epoch boundary that decided it). Appended after the run like
+	// KindFault, identically by both engines, so the verify oracle can
+	// check every activation against the deterministic placement.
+	KindAdapt
 )
 
 func (k Kind) String() string {
@@ -57,6 +63,8 @@ func (k Kind) String() string {
 		return "fault"
 	case KindStall:
 		return "stall"
+	case KindAdapt:
+		return "adapt"
 	default:
 		return "unknown"
 	}
@@ -127,6 +135,9 @@ const (
 	FaultSlow
 	// FaultCrash: the host crash-stopped at Step; the span runs to the end.
 	FaultCrash
+	// FaultSpike: the link's injections get heavy-tailed extra delay
+	// throughout the run (like jitter, the span covers the whole run).
+	FaultSpike
 )
 
 func (f FaultKind) String() string {
@@ -139,6 +150,8 @@ func (f FaultKind) String() string {
 		return "slow"
 	case FaultCrash:
 		return "crash"
+	case FaultSpike:
+		return "spike"
 	default:
 		return "none"
 	}
@@ -158,6 +171,13 @@ type Recorder interface {
 // for plain Recorders, so existing implementations keep working unchanged.
 type FaultRecorder interface {
 	RecordFault(step int64, fault FaultKind, proc, link int32, dur int64)
+}
+
+// AdaptRecorder is optionally implemented by Recorders that want the
+// adaptive-replication controller's activation decisions (KindAdapt);
+// Replay skips them for plain Recorders.
+type AdaptRecorder interface {
+	RecordAdapt(step int64, proc, col int32)
 }
 
 // Buffer is the standard Recorder: it appends events to memory for later
@@ -194,6 +214,12 @@ func (b *Buffer) RecordFault(step int64, fault FaultKind, proc, link int32, dur 
 	b.events = append(b.events, Event{
 		Step: step, Kind: KindFault, Fault: fault, Proc: proc, Link: link,
 		Dur: dur, Route: -1,
+	})
+}
+
+func (b *Buffer) RecordAdapt(step int64, proc, col int32) {
+	b.events = append(b.events, Event{
+		Step: step, Kind: KindAdapt, Proc: proc, Col: col, Link: -1, Route: -1,
 	})
 }
 
@@ -254,6 +280,10 @@ func Replay(events []Event, r Recorder) {
 		case KindFault:
 			if fr, ok := r.(FaultRecorder); ok {
 				fr.RecordFault(e.Step, e.Fault, e.Proc, e.Link, e.Dur)
+			}
+		case KindAdapt:
+			if ar, ok := r.(AdaptRecorder); ok {
+				ar.RecordAdapt(e.Step, e.Proc, e.Col)
 			}
 		}
 	}

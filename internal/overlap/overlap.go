@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"math"
 
+	"latencyhide/internal/adapt"
 	"latencyhide/internal/assign"
 	"latencyhide/internal/embedding"
 	"latencyhide/internal/fault"
@@ -85,6 +86,9 @@ type Options struct {
 	// Faults passes a deterministic fault plan through to the engine
 	// (internal/fault); nil is a true no-op.
 	Faults *fault.Plan
+	// Adapt passes an adaptive-replication policy through to the engine
+	// (internal/adapt); nil disables adaptation.
+	Adapt *adapt.Policy
 	// Telemetry passes a metrics registry through to the engine
 	// (internal/telemetry); nil disables instrumentation.
 	Telemetry *telemetry.Registry
@@ -281,6 +285,7 @@ func SimulateLine(delays []int, opt Options) (*Outcome, error) {
 		TraceWindow:    opt.TraceWindow,
 		Recorder:       opt.Recorder,
 		Faults:         opt.Faults,
+		Adapt:          opt.Adapt,
 		Telemetry:      opt.Telemetry,
 	}
 	res, err := sim.Run(cfg)

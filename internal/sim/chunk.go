@@ -117,6 +117,24 @@ type ownedCol struct {
 	// neighbor's values.
 	consSelf []int32
 	consNb   [][]int32
+
+	// Adaptive replication (Config.Adapt; see adapt.go). standby marks a
+	// provisioned extra replica, appended after the base columns; dormant
+	// standbys never compute and hold no pebbles in the remaining counters
+	// until the controller activates them. The column's stall forensics live
+	// in the proc's side array (proc.blame, parallel to cols) so this hot
+	// struct stays compact on fault-free runs.
+	standby bool
+	dormant bool
+}
+
+// colBlame is one column's stall forensics (adaptive runs only, harvested
+// by the controller at epoch boundaries): when the column blocks on missing
+// dependencies, start remembers the step, and on unblock the span is
+// charged to the last-arriving dependency's slot in dep.
+type colBlame struct {
+	start int64
+	dep   []int64 // parallel to the column's neighbors
 }
 
 // waitNode is one entry in a proc's pooled waiter lists: owned index `idx`
@@ -143,6 +161,14 @@ type proc struct {
 	crashed   bool // crash-stopped: never computes again
 	computed  int64
 	remaining int64 // pebbles this workstation still has to compute
+	// dupDense (adaptive runs only) flags the dense indexes of the proc's
+	// standby columns: a standby host both computes its standby column and
+	// still receives it via the pre-provisioned route, so a second sighting
+	// of those values is benign rather than a conservation violation.
+	dupDense []bool
+	// blame (adaptive runs only) is the per-column stall forensics, parallel
+	// to cols; nil on fault-free runs.
+	blame []colBlame
 
 	// waiter-pool accounting (always-on plain increments; flushed into the
 	// telemetry shard periodically when a registry is attached)
@@ -203,6 +229,11 @@ type chunk struct {
 	remaining       int64
 	lastComputeStep int64
 
+	// adaptive replication: blame tracking armed (Config.Adapt enabled) and
+	// the last processed epoch boundary, which clips open blocked spans.
+	adaptOn    bool
+	epochStart int64
+
 	// fault injection (nil plan = no overhead beyond a nil check)
 	faults *fault.Plan
 	crashQ []crashEvent // pending crash-stops, (step, pos)-sorted
@@ -248,15 +279,27 @@ func newChunk(cfg *Config, rt *routeTable, lo, hi int) *chunk {
 	}
 	c.procs = make([]proc, hi-lo)
 	factory := cfg.Guest.Factory()
+	c.adaptOn = cfg.ast != nil
 	for pos := lo; pos < hi; pos++ {
 		p := &c.procs[pos-lo]
 		p.pos = int32(pos)
 		owned := cfg.Assign.Owned[pos]
-		p.cols = make([]ownedCol, len(owned))
-		universe := colUniverse(cfg.Guest.Graph.Neighbors, owned)
+		var extra []int
+		if c.adaptOn {
+			extra = cfg.ast.extraCols[pos]
+		}
+		p.cols = make([]ownedCol, len(owned)+len(extra))
+		universe := colUniverse(cfg.Guest.Graph.Neighbors, unionCols(owned, extra))
 		p.know = newDenseKnow(universe)
 		p.waitFree = -1
-		for i, col := range owned {
+		allCols := owned
+		if len(extra) > 0 {
+			allCols = append(append(make([]int, 0, len(owned)+len(extra)), owned...), extra...)
+		}
+		if c.adaptOn {
+			p.blame = make([]colBlame, len(p.cols))
+		}
+		for i, col := range allCols {
 			oc := &p.cols[i]
 			oc.col = int32(col)
 			oc.selfDense = denseIndex(universe, oc.col)
@@ -271,8 +314,21 @@ func newChunk(cfg *Config, rt *routeTable, lo, hi int) *chunk {
 			for j, nb := range oc.neighbors {
 				oc.depVals[j] = cfg.Guest.InitialValue(int(nb))
 			}
-			oc.routes = rt.bySender[pos][i]
-			p.remaining += int64(c.T)
+			if c.adaptOn {
+				p.blame[i].dep = make([]int64, len(oc.neighbors))
+			}
+			if i < len(owned) {
+				oc.routes = rt.bySender[pos][i]
+				p.remaining += int64(c.T)
+			} else {
+				// Standby replica: dormant, no routes (standbys never send),
+				// no pebbles until activated.
+				oc.standby, oc.dormant = true, true
+				if p.dupDense == nil {
+					p.dupDense = make([]bool, len(universe))
+				}
+				p.dupDense[oc.selfDense] = true
+			}
 		}
 		// consumers: owned column c' consumes its own values and its
 		// guest neighbors' values. Resolve the lookup once into the
@@ -294,13 +350,14 @@ func newChunk(cfg *Config, rt *routeTable, lo, hi int) *chunk {
 			}
 		}
 		// All step-0 values are initial state, known everywhere, so every
-		// column starts ready (when T >= 1).
+		// base column starts ready (when T >= 1). Standby columns wait for
+		// activation.
 		if c.T >= 1 {
 			p.ready = make(readyQueue, 0, len(p.cols))
-			for i := range p.cols {
+			for i := 0; i < len(owned); i++ {
 				p.ready.push(readyKey(1, int32(i)))
 			}
-			if len(p.cols) > 0 {
+			if len(owned) > 0 {
 				p.active = true
 				c.activeList = append(c.activeList, int32(pos))
 			}
@@ -430,7 +487,18 @@ func (c *chunk) handleArrival(pos int, m msg) {
 func (c *chunk) deliverValue(pos int, route int32, col, dense, step int32, value uint64) {
 	p := c.proc(pos)
 	if p.know.has(dense, step) {
-		c.duplicates++
+		// A standby host computes its standby column locally and still
+		// receives it via the provisioned route; that collision is benign
+		// (the values are identical). Count the delivery, keep the stored
+		// value. Anything else is a conservation violation.
+		if p.dupDense == nil || !p.dupDense[dense] {
+			c.duplicates++
+			return
+		}
+		c.delivered++
+		if c.buf != nil {
+			c.buf.RecordDeliver(c.now, int32(pos), route, col, step)
+		}
 		return
 	}
 	c.delivered++
@@ -453,6 +521,17 @@ func (c *chunk) recordValue(p *proc, dense, step int32, value uint64) {
 		oc.depVals[n.slot] = value
 		oc.missing--
 		if oc.missing == 0 {
+			if c.adaptOn {
+				// Forensics: charge the blocked span (clipped to the current
+				// epoch) to the last-arriving dependency's slot.
+				from := p.blame[n.idx].start
+				if from < c.epochStart {
+					from = c.epochStart
+				}
+				if dur := c.now - from; dur > 0 {
+					p.blame[n.idx].dep[n.slot] += dur
+				}
+			}
 			p.ready.push(readyKey(oc.next, n.idx))
 			if !p.active {
 				p.active = true
@@ -505,7 +584,12 @@ func (c *chunk) computeOne(p *proc) bool {
 	// Values at the final step have no consumers anywhere (they would
 	// only feed step T+1), so skip both retention and transmission.
 	if t < c.T {
-		c.recordValue(p, oc.selfDense, t, v)
+		// An activated standby may find the value already delivered by the
+		// provisioned route; the delivery stored it (same value) and drained
+		// any waiters, so a second record would double-unblock.
+		if !oc.standby || !p.know.has(oc.selfDense, t) {
+			c.recordValue(p, oc.selfDense, t, v)
+		}
 		for _, rid := range oc.routes {
 			r := &c.rt.routes[rid]
 			c.enqueueFrom(int(p.pos), r.dir, msg{route: rid, di: 0, step: t, value: v})
@@ -539,6 +623,8 @@ func (c *chunk) computeOne(p *proc) bool {
 	oc.missing = missing
 	if missing == 0 {
 		p.ready.push(readyKey(oc.next, idx))
+	} else if c.adaptOn {
+		p.blame[idx].start = c.now
 	}
 	return true
 }
@@ -743,6 +829,23 @@ func (c *chunk) step() bool {
 	return d1 || d2 || d3
 }
 
+// quiescent reports that the chunk can never produce another event on its
+// own: no ready work, no queued, in-flight or outboxed messages, nothing on
+// the calendar. Pending crash-stops are ignored — with no work left they
+// change nothing. Adaptive runs use this as the termination test: dormant
+// standbys are route destinations that consume nothing, so standby-bound
+// traffic can still be in flight after the last pebble computes, and both
+// engines must drain it to the same (empty) state to stay bit-identical.
+func (c *chunk) quiescent() bool {
+	if len(c.activeList) > 0 || len(c.txActive) > 0 {
+		return false
+	}
+	if len(c.outLeft) > 0 || len(c.outRight) > 0 {
+		return false
+	}
+	return c.cal.empty()
+}
+
 // nextEvent returns the earliest step at which something can happen after
 // `now`, or 0,false if the chunk is locally quiescent.
 func (c *chunk) nextEvent() (int64, bool) {
@@ -789,7 +892,8 @@ func (c *chunk) finalDigests() []replicaDigest {
 		for j := range p.cols {
 			oc := &p.cols[j]
 			out = append(out, replicaDigest{
-				pos: int(p.pos), col: int(oc.col), digest: oc.db.Digest(), version: oc.db.Version(),
+				pos: int(p.pos), col: int(oc.col), digest: oc.db.Digest(),
+				version: oc.db.Version(), dormant: oc.dormant,
 			})
 		}
 	}
@@ -813,4 +917,5 @@ func (c *chunk) peakQueue() int {
 type replicaDigest struct {
 	pos, col, version int
 	digest            uint64
+	dormant           bool // never-activated standby: no work to verify
 }

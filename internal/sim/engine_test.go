@@ -309,7 +309,7 @@ func TestRouteTableProperties(t *testing.T) {
 			t.Fatal(err)
 		}
 		g := guest.NewLinearArray(m)
-		rt := buildRoutes(g, a, nil)
+		rt := buildRoutes(g, a, nil, nil)
 		if err := rt.validate(hostN); err != nil {
 			t.Fatalf("trial %d: %v", trial, err)
 		}

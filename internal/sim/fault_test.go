@@ -27,7 +27,7 @@ func faultConfig(t *testing.T) (*Config, *routeTable) {
 	if err := cfg.Validate(); err != nil {
 		t.Fatal(err)
 	}
-	return cfg, buildRoutes(cfg.Guest.Graph, cfg.Assign, nil)
+	return cfg, buildRoutes(cfg.Guest.Graph, cfg.Assign, nil, nil)
 }
 
 func runChunkToCompletion(t *testing.T, cfg *Config, rt *routeTable) *chunk {

@@ -127,7 +127,13 @@ func faultEvents(cfg *Config, hostSteps int64) []obs.Event {
 			Proc: -1, Link: int32(l), Route: -1, Dur: hostSteps,
 		})
 	}
-	if len(p.Outages) > 0 {
+	for _, l := range p.SpikeLinks(links) {
+		events = append(events, obs.Event{
+			Step: 1, Kind: obs.KindFault, Fault: obs.FaultSpike,
+			Proc: -1, Link: int32(l), Route: -1, Dur: hostSteps,
+		})
+	}
+	if len(p.Outages) > 0 || len(p.Drifts) > 0 || len(p.Churns) > 0 {
 		for l := 0; l < links; l++ {
 			for _, iv := range p.OutageIntervals(l, hostSteps) {
 				events = append(events, obs.Event{

@@ -101,6 +101,13 @@ type worker struct {
 	errMu    *sync.Mutex
 	err      *error
 
+	// Adaptive replication (nil ast disables): workers cap their horizons
+	// at nextB+1 and synchronise at gate so the controller sees every chunk
+	// at exactly the epoch boundary. See adapt.go.
+	ast   *adaptState
+	gate  *epochGate
+	nextB int64
+
 	blockedAtHorizon int64
 	blockedFor       time.Duration
 }
@@ -155,16 +162,20 @@ func (w *worker) horizon() int64 {
 }
 
 // drainSide consumes every pending inbound batch without blocking and
-// returns the emptied slices to the neighbor's free ring for reuse.
-func (w *worker) drainSide(s *side) {
+// returns the emptied slices to the neighbor's free ring for reuse. Reports
+// whether anything was received (the epoch gate's quiescence votes are
+// invalidated by post-vote arrivals).
+func (w *worker) drainSide(s *side) bool {
 	if s == nil {
-		return
+		return false
 	}
+	got := false
 	for {
 		batch, ok := s.in.pop()
 		if !ok {
-			return
+			return got
 		}
+		got = true
 		w.c.receiveBoundary(s.fromLeft, batch)
 		if cap(batch) > 0 {
 			s.retire.push(batch[:0]) // best-effort; dropped when full
@@ -172,9 +183,10 @@ func (w *worker) drainSide(s *side) {
 	}
 }
 
-func (w *worker) drainAll() {
-	w.drainSide(w.left)
-	w.drainSide(w.right)
+func (w *worker) drainAll() bool {
+	l := w.drainSide(w.left)
+	r := w.drainSide(w.right)
+	return l || r
 }
 
 func (w *worker) pendingInput() bool {
@@ -281,7 +293,9 @@ func (w *worker) runUntil(h, maxSteps int64) bool {
 		before := c.remaining
 		did := c.step()
 		if delta := before - c.remaining; delta > 0 {
-			if atomic.AddInt64(w.global, -delta) == 0 {
+			// Adaptive runs keep going past the last pebble to drain
+			// standby-bound traffic; termination is the epoch gate's call.
+			if atomic.AddInt64(w.global, -delta) == 0 && w.ast == nil {
 				w.doneOnce.Do(func() { close(w.done) })
 			}
 		}
@@ -303,16 +317,23 @@ func (w *worker) runUntil(h, maxSteps int64) bool {
 
 func (w *worker) loop(maxSteps int64) {
 	for {
-		if atomic.LoadInt64(w.global) == 0 {
+		if w.ast == nil && atomic.LoadInt64(w.global) == 0 {
 			return
 		}
 		if w.isDone() {
-			return // an error or the watchdog fired elsewhere
+			return // quiescent termination, an error, or the watchdog fired
 		}
 		// Sample clocks before draining: any batch covering a clock we
 		// read was pushed before that clock was published, so the drain
 		// below observes it and nothing within the horizon is missed.
 		h := w.horizon()
+		if w.ast != nil && h > w.nextB+1 {
+			// Never simulate past an epoch boundary before the controller
+			// has run there: the adaptive horizon cap is what makes the
+			// parallel engine's activation points identical to the
+			// sequential engine's.
+			h = w.nextB + 1
+		}
 		w.drainAll()
 		w.recordClockLag()
 		if w.c.now < h {
@@ -324,6 +345,21 @@ func (w *worker) loop(maxSteps int64) {
 			}
 			w.publish(w.left)
 			w.publish(w.right)
+			continue
+		}
+		if w.ast != nil && w.c.now == w.nextB+1 {
+			// At the epoch boundary with steps <= nextB fully simulated.
+			// Ship and promise everything first so neighbors still running
+			// toward the boundary can reach it, then synchronise.
+			if !w.flushSide(w.left, true) || !w.flushSide(w.right, true) {
+				return
+			}
+			w.publish(w.left)
+			w.publish(w.right)
+			if !w.epochBarrier() {
+				return
+			}
+			w.nextB += int64(w.ast.policy.Epoch)
 			continue
 		}
 		// Blocked at the horizon: everything we hold is due — ship it,
@@ -359,6 +395,48 @@ func (w *worker) loop(maxSteps int64) {
 		w.blockedFor += time.Since(start)
 		if w.isDone() {
 			return // global hit zero, an error surfaced, or the watchdog fired
+		}
+	}
+}
+
+// epochBarrier synchronises every worker at epoch boundary w.nextB. Each
+// worker votes on its chunk's quiescence as it arrives; the last arriver
+// first checks for global quiescence (all votes quiet, no pebbles left, no
+// batch in any boundary ring, no post-vote arrival) and terminates the run
+// if so — the adaptive analogue of the sequential engine breaking out before
+// the boundary branch. Otherwise it runs the replication controller over all
+// chunks (mirroring any added pebbles into the global counter) and releases
+// the rest. Waiters raise their idle flag and keep draining their boundary
+// rings — under the gate mutex, so a post-vote arrival is never missed by
+// the quiescence check — so a neighbor still running toward the barrier can
+// never wedge on a full ring. Returns false when the run ended (quiescent
+// termination, error or watchdog).
+func (w *worker) epochBarrier() bool {
+	last, rel := w.gate.arrive()
+	if last {
+		if w.gate.terminal(w.global) {
+			w.doneOnce.Do(func() { close(w.done) })
+			close(rel)
+			return false
+		}
+		if added := w.ast.atBoundary(w.nextB, w.gate.chunks); added > 0 {
+			atomic.AddInt64(w.global, added)
+		}
+		close(rel)
+		return true
+	}
+	w.idle.Store(true)
+	w.gate.drainBarrier(w)
+	for {
+		select {
+		case <-rel:
+			w.idle.Store(false)
+			return !w.isDone()
+		case <-w.done:
+			w.idle.Store(false)
+			return false
+		case <-w.notify:
+			w.gate.drainBarrier(w)
 		}
 	}
 }
@@ -489,6 +567,10 @@ func runParallelWithCuts(cfg *Config, rt *routeTable, cuts []int) (*Result, erro
 	var errMu sync.Mutex
 	var firstErr error
 
+	var gate *epochGate
+	if cfg.ast != nil {
+		gate = newEpochGate(w, chunks)
+	}
 	workers := make([]*worker, w)
 	for i := 0; i < w; i++ {
 		workers[i] = &worker{
@@ -496,6 +578,14 @@ func runParallelWithCuts(cfg *Config, rt *routeTable, cuts []int) (*Result, erro
 			errMu: &errMu, err: &firstErr,
 			notify: make(chan struct{}, 1),
 		}
+		if cfg.ast != nil {
+			workers[i].ast = cfg.ast
+			workers[i].gate = gate
+			workers[i].nextB = int64(cfg.ast.policy.Epoch)
+		}
+	}
+	if gate != nil {
+		gate.workers = workers // terminal() scans every boundary ring
 	}
 	for i := 0; i < w-1; i++ {
 		d := int64(cfg.Delays[cuts[i+1]-1])

@@ -262,7 +262,7 @@ func FuzzParallelCuts(f *testing.F) {
 		if err := cfg.Validate(); err != nil {
 			t.Skip()
 		}
-		rt := buildRoutes(cfg.Guest.Graph, cfg.Assign, nil)
+		rt := buildRoutes(cfg.Guest.Graph, cfg.Assign, nil, nil)
 		seq, err := runSequential(&cfg, rt)
 		if err != nil {
 			t.Fatalf("seq: %v", err)

@@ -52,8 +52,25 @@ type routeTable struct {
 // engines' message counts diverge). Their positions still relay through
 // traffic: the NIC outlives the CPU. An empty avoid list reproduces the
 // fault-free table exactly.
-func buildRoutes(g guest.Graph, a *assign.Assignment, avoid []int) *routeTable {
+//
+// extra, when non-nil (adaptive replication), lists per host the standby
+// columns provisioned there. Standby hosts join the destination fan-out of
+// every column their standby columns depend on — from step 1, dormant or
+// not — so an activation needs no route rebuild: the host has been
+// receiving the dependency stream all along. Standby replicas are never
+// senders (activated standbys serve only their own host).
+func buildRoutes(g guest.Graph, a *assign.Assignment, avoid []int, extra [][]int) *routeTable {
 	rt := &routeTable{bySender: make([][][]int32, a.HostN)}
+	// extraHolders[c] lists the hosts with a standby replica of column c.
+	var extraHolders [][]int
+	if extra != nil {
+		extraHolders = make([][]int, a.Columns)
+		for p, cols := range extra {
+			for _, col := range cols {
+				extraHolders[col] = append(extraHolders[col], p)
+			}
+		}
+	}
 	for p := range rt.bySender {
 		rt.bySender[p] = make([][]int32, len(a.Owned[p]))
 	}
@@ -109,13 +126,20 @@ func buildRoutes(g guest.Graph, a *assign.Assignment, avoid []int) *routeTable {
 		dir    int8
 	}
 	for col := 0; col < a.Columns; col++ {
-		// Destination set: holders of neighbor columns minus holders of
-		// col.
+		// Destination set: holders (base or standby) of neighbor columns
+		// minus base holders of col.
 		destSet := make(map[int]bool)
 		for _, nb := range g.Neighbors(col) {
 			for _, p := range a.Holders[nb] {
 				if !dead[p] {
 					destSet[p] = true
+				}
+			}
+			if extraHolders != nil {
+				for _, p := range extraHolders[nb] {
+					if !dead[p] {
+						destSet[p] = true
+					}
 				}
 			}
 		}
@@ -166,7 +190,7 @@ func buildRoutes(g guest.Graph, a *assign.Assignment, avoid []int) *routeTable {
 			rt.bySender[k.sender][idx] = append(rt.bySender[k.sender][idx], id)
 		}
 	}
-	rt.resolveDestDense(g, a)
+	rt.resolveDestDense(g, a, extra)
 	rt.countCrossings(a.HostN)
 	return rt
 }
@@ -174,12 +198,17 @@ func buildRoutes(g guest.Graph, a *assign.Assignment, avoid []int) *routeTable {
 // resolveDestDense precomputes, for every route destination, the column's
 // index in that position's dense knowledge store. The universe computation
 // here must match newChunk's (both call colUniverse over the same owned
-// lists), which keeps the route table valid for any chunking of the line.
-func (rt *routeTable) resolveDestDense(g guest.Graph, a *assign.Assignment) {
+// lists, base plus standby), which keeps the route table valid for any
+// chunking of the line.
+func (rt *routeTable) resolveDestDense(g guest.Graph, a *assign.Assignment, extra [][]int) {
 	universes := make([][]int32, a.HostN)
 	uniFor := func(pos int32) []int32 {
 		if universes[pos] == nil {
-			universes[pos] = colUniverse(g.Neighbors, a.Owned[pos])
+			owned := a.Owned[pos]
+			if extra != nil && len(extra[pos]) > 0 {
+				owned = unionCols(owned, extra[pos])
+			}
+			universes[pos] = colUniverse(g.Neighbors, owned)
 		}
 		return universes[pos]
 	}

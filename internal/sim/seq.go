@@ -9,15 +9,41 @@ import (
 
 // runSequential executes the whole line as a single chunk, fast-forwarding
 // over quiet periods (steps where nothing computes, arrives or transmits).
+//
+// Adaptive runs insert the replication controller at every epoch boundary
+// E: the moment the clock first passes E — after step E is fully simulated,
+// before step E+1 begins — atBoundary harvests the epoch's stall forensics
+// and activates standbys. Fast-forwards are clamped to the next boundary so
+// no quiet jump skips one; the parallel engine caps its workers' horizons
+// at the same points, which is what keeps adaptive runs bit-identical.
 func runSequential(cfg *Config, rt *routeTable) (*Result, error) {
 	c := newChunk(cfg, rt, 0, cfg.hostN())
 	maxSteps := cfg.maxSteps()
-	for c.remaining > 0 {
+	ast := cfg.ast
+	var nextB int64
+	if ast != nil {
+		nextB = int64(ast.policy.Epoch)
+	}
+	for {
+		// Adaptive runs terminate at full quiescence, not at the last pebble:
+		// standby-bound traffic still in flight must drain so both engines
+		// count the same complete event set (see chunk.quiescent). The check
+		// precedes the boundary branch — a run that drains dry before the
+		// next boundary never runs the controller there, exactly like the
+		// parallel engine's terminal barrier.
+		if c.remaining == 0 && (ast == nil || c.quiescent()) {
+			break
+		}
+		if ast != nil && c.now > nextB {
+			ast.atBoundary(nextB, []*chunk{c})
+			nextB += int64(ast.policy.Epoch)
+			continue
+		}
 		if c.now > maxSteps {
 			return nil, fmt.Errorf("sim: exceeded step cap %d: %s", maxSteps, frontier(c))
 		}
 		did := c.step()
-		if c.remaining == 0 {
+		if c.remaining == 0 && ast == nil {
 			break
 		}
 		if did {
@@ -26,10 +52,19 @@ func runSequential(cfg *Config, rt *routeTable) (*Result, error) {
 		}
 		next, ok := c.nextEvent()
 		if !ok {
-			return nil, stallError(c)
+			if ast == nil {
+				return nil, stallError(c)
+			}
+			// A quiescent chunk is not necessarily stuck under adaptation: a
+			// boundary activation may revive the dataflow. The step cap still
+			// bounds genuinely dead runs.
+			next = nextB + 1
 		}
 		if next <= c.now {
 			next = c.now + 1
+		}
+		if ast != nil && next > nextB+1 {
+			next = nextB + 1
 		}
 		c.now = next
 	}
@@ -53,6 +88,9 @@ func frontier(c *chunk) string {
 		}
 		for j := range p.cols {
 			oc := &p.cols[j]
+			if oc.dormant {
+				continue
+			}
 			if oc.next <= c.T {
 				return fmt.Sprintf("pos %d col %d stuck at guest step %d (missing %d deps); %d pebbles remaining",
 					p.pos, oc.col, oc.next, oc.missing, c.remaining)
@@ -122,6 +160,9 @@ func collect(cfg *Config, chunks []*chunk) (*Result, error) {
 			}
 		}
 	}
+	if cfg.ast != nil {
+		res.AdaptActivations = len(cfg.ast.decisions)
+	}
 	if cfg.Check {
 		if err := verify(cfg, chunks); err != nil {
 			return nil, err
@@ -141,6 +182,9 @@ func collect(cfg *Config, chunks []*chunk) (*Result, error) {
 		}
 		if cfg.Faults != nil {
 			events = append(events, faultEvents(cfg, res.HostSteps)...)
+		}
+		if cfg.ast != nil {
+			events = append(events, cfg.ast.adaptEvents()...)
 		}
 		obs.Canonicalize(events)
 		obs.Replay(events, cfg.Recorder)
@@ -169,7 +213,7 @@ func verify(cfg *Config, chunks []*chunk) error {
 	}
 	for _, c := range chunks {
 		for _, rd := range c.finalDigests() {
-			if dead[rd.pos] {
+			if dead[rd.pos] || rd.dormant {
 				continue
 			}
 			if rd.version != cfg.Guest.Steps {

@@ -29,6 +29,7 @@ import (
 	"fmt"
 	"time"
 
+	"latencyhide/internal/adapt"
 	"latencyhide/internal/assign"
 	"latencyhide/internal/fault"
 	"latencyhide/internal/guest"
@@ -83,6 +84,12 @@ type Config struct {
 	// Run fails fast with *UncomputableError. Nil or empty plans are a true
 	// no-op.
 	Faults *fault.Plan
+	// Adapt, when enabled, runs the adaptive replication controller
+	// (internal/adapt): dormant standby replicas are provisioned at build
+	// time and activated at epoch boundaries when the stall forensics blame
+	// a column past the policy threshold. Fully deterministic: adaptive runs
+	// stay bit-identical across engines and worker counts (see adapt.go).
+	Adapt *adapt.Policy
 	// WatchdogIdle is how long the parallel engine tolerates zero global
 	// progress before declaring the dataflow deadlocked. Zero keeps the
 	// historical default (6s); negative disables the watchdog entirely
@@ -99,6 +106,9 @@ type Config struct {
 
 	// em caches the resolved metric IDs for this run; set by Run.
 	em *engineMetrics
+	// ast is the resolved adaptive-replication state; set by Run when Adapt
+	// is enabled.
+	ast *adaptState
 }
 
 func (c *Config) hostN() int { return len(c.Delays) + 1 }
@@ -183,6 +193,9 @@ func (c *Config) Validate() error {
 	if err := c.Faults.Validate(c.hostN()); err != nil {
 		return err
 	}
+	if err := c.Adapt.Validate(); err != nil {
+		return err
+	}
 	return nil
 }
 
@@ -203,6 +216,10 @@ type Result struct {
 
 	Bandwidth int
 	Checked   bool // final database digests verified against the reference
+
+	// AdaptActivations is how many standby replicas the adaptive controller
+	// activated (0 unless Config.Adapt is enabled).
+	AdaptActivations int
 
 	PerProcComputed []int64 // only when CollectPerProc
 
@@ -279,7 +296,14 @@ func Run(cfg Config) (*Result, error) {
 			}
 		}
 	}
-	routes := buildRoutes(cfg.Guest.Graph, cfg.Assign, crashed)
+	if cfg.Adapt.Enabled() {
+		cfg.ast = newAdaptState(&cfg, crashed)
+	}
+	var extra [][]int
+	if cfg.ast != nil {
+		extra = cfg.ast.extraCols
+	}
+	routes := buildRoutes(cfg.Guest.Graph, cfg.Assign, crashed, extra)
 	if cfg.Telemetry != nil {
 		cfg.em = registerEngineMetrics(cfg.Telemetry)
 	}

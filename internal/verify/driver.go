@@ -78,6 +78,11 @@ func CheckScenario(sc *Scenario) (*Report, error) {
 	}
 	rep.Events = len(seqEvents)
 	rep.Violations = append(rep.Violations, CheckRun(cfg, seqRes, seqEvents)...)
+	if sc.Adapt != nil {
+		// CheckRun held the activation stream to the replication bound
+		// (placement membership, per-column extra, budget, epoch alignment).
+		rep.Relations = append(rep.Relations, "adaptive-replication-bound")
+	}
 
 	// Engine equivalence: the parallel engine must produce a bit-identical
 	// stream and the same aggregates.
@@ -124,8 +129,9 @@ func CheckScenario(sc *Scenario) (*Report, error) {
 	// load by Rep, so host steps stay within the work-scaled bound of the
 	// single-copy run. Fault-free only: a crashed Rep=1 run is uncomputable,
 	// and probabilistic slowdowns/jitter compound over the longer replicated
-	// run, voiding the work-scaling argument.
-	if sc.Rep > 1 && sc.Faults == nil {
+	// run, voiding the work-scaling argument. Adaptive runs are out too:
+	// activations add work the rep=1 baseline never pays.
+	if sc.Rep > 1 && sc.Faults == nil && sc.Adapt == nil {
 		rep.Relations = append(rep.Relations, "replication-bound")
 		one := *sc
 		one.Rep = 1
@@ -164,7 +170,11 @@ func CheckScenario(sc *Scenario) (*Report, error) {
 	// exactly over the run's whole span. End to end, greedy scheduling
 	// admits Graham-style anomalies (delaying one message can reorder
 	// computes and finish a hair earlier), so the schedule check allows one
-	// guest round of slack.
+	// guest round of slack — and only runs without heavy-tailed spikes
+	// (shifted injection steps redraw per-step spike delays whose caps
+	// dwarf the slack) and without adaptation (worse faults mean more
+	// blame, more activations, and legitimately faster finishes). The
+	// subset check is sim-free and runs for every outage plan.
 	if sc.Faults != nil && len(sc.Faults.Outages) > 0 {
 		rep.Relations = append(rep.Relations, "outage-monotone")
 		worse := *sc
@@ -186,25 +196,28 @@ func CheckScenario(sc *Scenario) (*Report, error) {
 				}
 			}
 		}
-		wcfg, err := worse.Build()
-		if err != nil {
-			return nil, err
-		}
-		worseRes, _, err := run(wcfg, 0, false)
-		if err != nil {
-			return nil, fmt.Errorf("verify: scenario %q outage variant: %w", sc, err)
-		}
-		if worseRes.HostSteps+int64(sc.Steps) < seqRes.HostSteps {
-			fail("outage-monotone", "doubling outage fractions sped the run up: %d -> %d host steps",
-				seqRes.HostSteps, worseRes.HostSteps)
+		if len(sc.Faults.Spikes) == 0 && sc.Adapt == nil {
+			wcfg, err := worse.Build()
+			if err != nil {
+				return nil, err
+			}
+			worseRes, _, err := run(wcfg, 0, false)
+			if err != nil {
+				return nil, fmt.Errorf("verify: scenario %q outage variant: %w", sc, err)
+			}
+			if worseRes.HostSteps+int64(sc.Steps) < seqRes.HostSteps {
+				fail("outage-monotone", "doubling outage fractions sped the run up: %d -> %d host steps",
+					seqRes.HostSteps, worseRes.HostSteps)
+			}
 		}
 	}
 
 	// Mirror invariance: reversing the host line (delays and assignment)
 	// relabels every position without changing the schedule's aggregates.
 	// Restricted to Rep == 1 (multi-holder sender election breaks ties
-	// leftward) and fault-free runs (fault hashes are keyed by site id).
-	if sc.Rep == 1 && sc.Faults == nil {
+	// leftward), fault-free runs (fault hashes are keyed by site id) and
+	// non-adaptive runs (placement ties break toward the lower host).
+	if sc.Rep == 1 && sc.Faults == nil && sc.Adapt == nil {
 		rep.Relations = append(rep.Relations, "mirror-invariance")
 		mcfg, err := sc.buildMirror()
 		if err != nil {
@@ -297,9 +310,16 @@ func Soak(seed uint64, n int) (*SoakResult, error) {
 // with the number checked so far (nil disables it); the CLI's -live status
 // line hangs off it.
 func SoakProgress(seed uint64, n int, progress func(done int)) (*SoakResult, error) {
+	return SoakGen(seed, n, Generate, progress)
+}
+
+// SoakGen is SoakProgress over an arbitrary scenario generator (Generate
+// for the standard stream, GenerateChaos for the regime-restricted CI
+// soak).
+func SoakGen(seed uint64, n int, gen func(seed uint64, i int) *Scenario, progress func(done int)) (*SoakResult, error) {
 	out := &SoakResult{Seed: seed, Scenarios: n, Relations: map[string]int{}}
 	for i := 0; i < n; i++ {
-		rep, err := CheckScenario(Generate(seed, i))
+		rep, err := CheckScenario(gen(seed, i))
 		if err != nil {
 			return nil, fmt.Errorf("scenario %d: %w", i, err)
 		}

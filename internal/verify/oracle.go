@@ -68,12 +68,70 @@ func CheckRun(cfg *sim.Config, res *sim.Result, events []obs.Event) []Violation 
 	if perStep < 1 {
 		perStep = 1
 	}
+	var crashed []int
 	crashAt := make(map[int32]int64) // crashed host -> first non-computing step
 	if plan != nil {
-		for _, h := range plan.CrashedHosts() {
+		crashed = plan.CrashedHosts()
+		for _, h := range crashed {
 			if s, ok := plan.CrashStep(h); ok {
 				crashAt[int32(h)] = s
 			}
+		}
+	}
+
+	// Adaptive replication: re-derive the deterministic standby placement
+	// and collect the controller's activation decisions (KindAdapt events)
+	// up front, then hold the stream to the replication bound — every
+	// activation lands on a placed standby, at most MaxExtra per column,
+	// at most Budget in total, each effective at the step right after an
+	// epoch boundary. Dormant-or-active standbys are route destinations
+	// from step 1, and an activated standby computes its column like a
+	// holder; the compute and conservation checks below consult these maps.
+	adaptive := cfg.Adapt.Enabled()
+	standbyAt := make(map[[2]int32]bool) // (proc, col) has a provisioned standby
+	activatedAt := make(map[[2]int32]int64)
+	var placement [][]int
+	if adaptive {
+		placement = cfg.Adapt.Placement(cfg.Assign, cfg.Delays, info.Neighbors, crashed)
+		for col, hosts := range placement {
+			for _, p := range hosts {
+				standbyAt[[2]int32{int32(p), int32(col)}] = true
+			}
+		}
+		perCol := make(map[int32]int)
+		total := 0
+		for i := range events {
+			e := &events[i]
+			if e.Kind != obs.KindAdapt {
+				continue
+			}
+			total++
+			perCol[e.Col]++
+			if (e.Step-1)%int64(cfg.Adapt.Epoch) != 0 || e.Step < 2 {
+				c.addf("adaptive-replication-bound",
+					"activation of (%d on proc %d) at step %d is not an epoch boundary (epoch %d)",
+					e.Col, e.Proc, e.Step, cfg.Adapt.Epoch)
+			}
+			if !standbyAt[[2]int32{e.Proc, e.Col}] {
+				c.addf("adaptive-replication-bound",
+					"activation of column %d on proc %d outside the deterministic placement", e.Col, e.Proc)
+				continue
+			}
+			if _, dup := activatedAt[[2]int32{e.Proc, e.Col}]; dup {
+				c.addf("adaptive-replication-bound",
+					"column %d activated twice on proc %d", e.Col, e.Proc)
+			}
+			activatedAt[[2]int32{e.Proc, e.Col}] = e.Step
+		}
+		for col, n := range perCol {
+			if n > cfg.Adapt.MaxExtra {
+				c.addf("adaptive-replication-bound",
+					"column %d got %d extra replicas > extra=%d", col, n, cfg.Adapt.MaxExtra)
+			}
+		}
+		if total > cfg.Adapt.Budget {
+			c.addf("adaptive-replication-bound",
+				"%d activations exceed budget=%d", total, cfg.Adapt.Budget)
 		}
 	}
 
@@ -111,7 +169,13 @@ func CheckRun(cfg *sim.Config, res *sim.Result, events []obs.Event) []Violation 
 				continue
 			}
 			if !cfg.Assign.Holds(int(e.Proc), int(e.Col)) {
-				c.addf("holder-only", "proc %d computed column %d it does not hold", e.Proc, e.Col)
+				at, active := activatedAt[[2]int32{e.Proc, e.Col}]
+				if !active {
+					c.addf("holder-only", "proc %d computed column %d it does not hold", e.Proc, e.Col)
+				} else if e.Step < at {
+					c.addf("holder-only", "proc %d computed standby column %d at step %d before activation at %d",
+						e.Proc, e.Col, e.Step, at)
+				}
 			}
 			if cs, ok := crashAt[e.Proc]; ok && e.Step >= cs {
 				c.addf("crash-stop", "crashed proc %d computed (%d,%d) at step %d >= crash step %d",
@@ -125,7 +189,10 @@ func CheckRun(cfg *sim.Config, res *sim.Result, events []obs.Event) []Violation 
 			perProcStep[procStep{e.Proc, e.Step}]++
 		case obs.KindInject:
 			injects++
-			if e.Step < 1 || (res.HostSteps > 0 && e.Step > res.HostSteps) {
+			// Adaptive runs drain standby-bound tail traffic past the last
+			// compute step, so only non-adaptive runs bound the stream by
+			// HostSteps.
+			if e.Step < 1 || (!adaptive && res.HostSteps > 0 && e.Step > res.HostSteps) {
 				c.addf("event-bounds", "inject on link %d at step %d outside [1,%d]", e.Link, e.Step, res.HostSteps)
 			}
 			if e.Link < 0 || int(e.Link) >= len(info.Delays) {
@@ -141,7 +208,7 @@ func CheckRun(cfg *sim.Config, res *sim.Result, events []obs.Event) []Violation 
 			pathCol[rk] = e.Col
 		case obs.KindDeliver:
 			delivers++
-			if e.Step < 1 || (res.HostSteps > 0 && e.Step > res.HostSteps) {
+			if e.Step < 1 || (!adaptive && res.HostSteps > 0 && e.Step > res.HostSteps) {
 				c.addf("event-bounds", "deliver (%d,%d) to proc %d at step %d outside [1,%d]",
 					e.Col, e.GStep, e.Proc, e.Step, res.HostSteps)
 			}
@@ -179,9 +246,19 @@ func CheckRun(cfg *sim.Config, res *sim.Result, events []obs.Event) []Violation 
 	// Per-column compute completeness: each live holder computes gsteps
 	// 1..T exactly, in nondecreasing step order; a crashed holder computes a
 	// contiguous prefix. (A holder never receives its own column, so every
-	// local row must be locally computed.)
+	// local row must be locally computed.) An activated standby replays the
+	// whole column — activation adds all T pebbles and the run waits for the
+	// catch-up — so it owes the same complete contiguous history.
 	for col := 0; col < cfg.Assign.Columns; col++ {
-		for _, p := range cfg.Assign.Holders[col] {
+		holders := cfg.Assign.Holders[col]
+		if adaptive {
+			for _, p := range placement[col] {
+				if _, ok := activatedAt[[2]int32{int32(p), int32(col)}]; ok {
+					holders = append(append([]int(nil), holders...), p)
+				}
+			}
+		}
+		for _, p := range holders {
 			pk := pebbleKey{proc: int32(p), col: int32(col)}
 			_, isCrashed := crashAt[int32(p)]
 			prev := int64(0)
@@ -223,13 +300,23 @@ func CheckRun(cfg *sim.Config, res *sim.Result, events []obs.Event) []Violation 
 		deps := append([]int{int(k.col)}, info.Neighbors(int(k.col))...)
 		for _, dep := range deps {
 			dk := pebbleKey{k.proc, int32(dep), k.gstep - 1}
-			if cfg.Assign.Holds(int(k.proc), dep) {
-				if at, ok := computeAt[dk]; !ok || at > step {
-					c.addf("dependency-order", "proc %d computed (%d,%d) at step %d without local dep (%d,%d)",
-						k.proc, k.col, k.gstep, step, dep, k.gstep-1)
+			// An activated standby computes its own column's history locally,
+			// exactly like a base holder — and a standby host that base-holds
+			// a consumer of its standby column also keeps receiving it over
+			// the unchanged routes, so either source makes the value known.
+			_, selfReplay := activatedAt[[2]int32{k.proc, int32(dep)}]
+			known := false
+			if cfg.Assign.Holds(int(k.proc), dep) || selfReplay {
+				at, ok := computeAt[dk]
+				known = ok && at <= step
+			}
+			if !known {
+				if at, ok := deliverAt[dk]; ok && at <= step {
+					known = true
 				}
-			} else if at, ok := deliverAt[dk]; !ok || at > step {
-				c.addf("dependency-order", "proc %d computed (%d,%d) at step %d without delivered dep (%d,%d)",
+			}
+			if !known {
+				c.addf("dependency-order", "proc %d computed (%d,%d) at step %d without known dep (%d,%d)",
 					k.proc, k.col, k.gstep, step, dep, k.gstep-1)
 			}
 		}
@@ -238,13 +325,16 @@ func CheckRun(cfg *sim.Config, res *sim.Result, events []obs.Event) []Violation 
 	// Conservation: for every column value with a consumer ahead (t < T),
 	// exactly the live processors that hold a neighbor column but not the
 	// column itself receive it — each exactly once (duplicates were caught
-	// above), nobody else, and nothing of gstep T or beyond travels.
+	// above), nobody else, and nothing of gstep T or beyond travels. A
+	// provisioned standby counts as a holder of its standby column for the
+	// destination fan-out (dormant or active: the routes feed it from step
+	// 1 so an activation needs no route rebuild).
 	needer := func(p, col int) bool {
 		if _, dead := crashAt[int32(p)]; dead || cfg.Assign.Holds(p, col) {
 			return false
 		}
 		for _, nb := range info.Neighbors(col) {
-			if cfg.Assign.Holds(p, nb) {
+			if cfg.Assign.Holds(p, nb) || standbyAt[[2]int32{int32(p), int32(nb)}] {
 				return true
 			}
 		}
@@ -300,7 +390,9 @@ func CheckRun(cfg *sim.Config, res *sim.Result, events []obs.Event) []Violation 
 	// relay injects no earlier than the previous hop's arrival), and every
 	// delivery happens at the hop arrival — exactly inject+delay when no
 	// jitter is configured, never earlier otherwise.
-	jittery := plan != nil && len(plan.Jitters) > 0
+	// Heavy-tailed spikes stretch flight times just like jitter does, so
+	// exact-arrival checking is off under either.
+	jittery := plan != nil && (len(plan.Jitters) > 0 || len(plan.Spikes) > 0)
 	for rk, hops := range paths {
 		// Injection steps are unique per message (one value crosses one link
 		// once), so step order is travel order.
@@ -359,10 +451,15 @@ func CheckRun(cfg *sim.Config, res *sim.Result, events []obs.Event) []Violation 
 	}
 
 	// Stall tiling: the attribution must cover procs x steps exactly.
-	sb := obs.Analyze(events, info).Stalls()
-	if sum := sb.Busy + sb.Idle + sb.Dependency + sb.Bandwidth + sb.Fault; sum != sb.ProcSteps {
-		c.addf("stall-tiling", "busy %d + idle %d + dep %d + bw %d + fault %d = %d != procs x steps %d",
-			sb.Busy, sb.Idle, sb.Dependency, sb.Bandwidth, sb.Fault, sum, sb.ProcSteps)
+	// Adaptive runs are exempt: activations add pebbles mid-run and the
+	// drain tail delivers past the last compute step, both of which the
+	// static per-proc pebble accounting underneath the tiling cannot see.
+	if !adaptive {
+		sb := obs.Analyze(events, info).Stalls()
+		if sum := sb.Busy + sb.Idle + sb.Dependency + sb.Bandwidth + sb.Fault; sum != sb.ProcSteps {
+			c.addf("stall-tiling", "busy %d + idle %d + dep %d + bw %d + fault %d = %d != procs x steps %d",
+				sb.Busy, sb.Idle, sb.Dependency, sb.Bandwidth, sb.Fault, sum, sb.ProcSteps)
+		}
 	}
 
 	return c.result()

@@ -8,11 +8,13 @@ import (
 	"latencyhide/internal/sim"
 )
 
-// Two fixed scenarios the mutation tests run against: a fault-free busy one
-// and one with an outage plus a crash-stop host.
+// Three fixed scenarios the mutation tests run against: a fault-free busy
+// one, one with an outage plus a crash-stop host, and an adaptive one
+// whose churn regime deterministically exhausts the controller's budget.
 const (
-	cleanSpec  = "g=ring:16;n=6;d=const:2;bw=2;rep=2;steps=8;w=3;seed=5"
-	faultySpec = "g=ring:12;n=4;d=const:2;bw=2;rep=2;steps=6;w=2;seed=3;f=9:outage=0.2x4;crash=1@5"
+	cleanSpec    = "g=ring:16;n=6;d=const:2;bw=2;rep=2;steps=8;w=3;seed=5"
+	faultySpec   = "g=ring:12;n=4;d=const:2;bw=2;rep=2;steps=6;w=2;seed=3;f=9:outage=0.2x4;crash=1@5"
+	adaptiveSpec = "g=line:16;n=8;d=const:4;bw=2;rep=2;steps=24;w=2;seed=17;a=epoch=16,thresh=0.25,extra=1,budget=8,mode=any;f=7:churn=12x4"
 )
 
 // mustRun executes the spec's sequential engine run with a recorder and
@@ -218,6 +220,71 @@ func TestOracleCatchesForeignCompute(t *testing.T) {
 	})
 	if vs := CheckRun(cfg, res, mut); !hasInvariant(vs, "holder-only") {
 		t.Fatalf("foreign compute not caught: %v", vs)
+	}
+}
+
+// The adaptive fixture runs clean and actually exercises the controller —
+// a run with zero activations would leave the replication-bound checks
+// vacuous.
+func TestOracleAdaptiveCleanRun(t *testing.T) {
+	_, res, events := mustRun(t, adaptiveSpec)
+	if res.AdaptActivations == 0 {
+		t.Fatal("adaptive fixture never activated a standby")
+	}
+	adapts := 0
+	for _, e := range events {
+		if e.Kind == obs.KindAdapt {
+			adapts++
+		}
+	}
+	if adapts != res.AdaptActivations {
+		t.Fatalf("%d KindAdapt events, result says %d", adapts, res.AdaptActivations)
+	}
+}
+
+// An activation on a host outside the deterministic placement breaks the
+// replication bound.
+func TestOracleCatchesRogueActivation(t *testing.T) {
+	cfg, res, events := mustRun(t, adaptiveSpec)
+	// A base holder of column 0 is never a legal standby for it.
+	holder := int32(cfg.Assign.Holders[0][0])
+	mut := append(clone(events), obs.Event{
+		Step: int64(cfg.Adapt.Epoch) + 1, Kind: obs.KindAdapt,
+		Proc: holder, Col: 0, Link: -1, Route: -1,
+	})
+	if vs := CheckRun(cfg, res, mut); !hasInvariant(vs, "adaptive-replication-bound") {
+		t.Fatalf("rogue activation not caught: %v", vs)
+	}
+}
+
+// An activation off the epoch grid breaks the boundary alignment the
+// parallel engine's determinism rests on.
+func TestOracleCatchesOffBoundaryActivation(t *testing.T) {
+	cfg, res, events := mustRun(t, adaptiveSpec)
+	mut := clone(events)
+	for i := range mut {
+		if mut[i].Kind == obs.KindAdapt {
+			mut[i].Step += 3
+			break
+		}
+	}
+	if vs := CheckRun(cfg, res, mut); !hasInvariant(vs, "adaptive-replication-bound") {
+		t.Fatalf("off-boundary activation not caught: %v", vs)
+	}
+}
+
+// More activations than the policy's budget must be flagged.
+func TestOracleCatchesBudgetOverrun(t *testing.T) {
+	cfg, res, events := mustRun(t, adaptiveSpec)
+	if res.AdaptActivations < 2 {
+		t.Fatalf("fixture made only %d activations", res.AdaptActivations)
+	}
+	lied := *cfg
+	pol := *cfg.Adapt
+	pol.Budget = res.AdaptActivations - 1
+	lied.Adapt = &pol
+	if vs := CheckRun(&lied, res, events); !hasInvariant(vs, "adaptive-replication-bound") {
+		t.Fatalf("budget overrun not caught: %v", vs)
 	}
 }
 

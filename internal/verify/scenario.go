@@ -5,6 +5,7 @@ import (
 	"strconv"
 	"strings"
 
+	"latencyhide/internal/adapt"
 	"latencyhide/internal/assign"
 	"latencyhide/internal/fault"
 	"latencyhide/internal/guest"
@@ -13,14 +14,17 @@ import (
 
 // Scenario is a compact, fully deterministic description of one randomized
 // verification run: a guest shape, a host line, a delay profile, bandwidth,
-// a replication factor and an optional fault plan. Build materialises it
-// into a sim.Config; String/Parse round-trip the spec format
+// a replication factor, an optional adaptive-replication policy and an
+// optional fault plan. Build materialises it into a sim.Config;
+// String/Parse round-trip the spec format
 //
-//	g=SHAPE:DIMS;n=HOSTN;d=KIND:LO[:HI];bw=B;rep=R;steps=T;w=W;seed=S[;f=FAULTSPEC]
+//	g=SHAPE:DIMS;n=HOSTN;d=KIND:LO[:HI];bw=B;rep=R;steps=T;w=W;seed=S[;a=ADAPTSPEC][;f=FAULTSPEC]
 //
 // e.g. g=ring:24;n=8;d=uniform:1:9;bw=2;rep=2;steps=12;w=3;seed=7;f=7:outage=0.1x8.
-// The f= item, when present, is last and holds a fault plan in
-// fault.Parse's format (its ';' separators belong to the plan).
+// The a= item holds an adaptive policy in adapt.Parse's format (its ','
+// separators are safe inside the ';' split). The f= item, when present, is
+// last and holds a fault plan in fault.Parse's format (its ';' separators
+// belong to the plan).
 type Scenario struct {
 	// Shape is the guest topology: "line", "ring", "mesh" or "tree".
 	Shape string
@@ -44,6 +48,8 @@ type Scenario struct {
 	Workers int
 	// Seed seeds the guest values and the delay materialisation.
 	Seed int64
+	// Adapt optionally runs the epoch-based replication controller.
+	Adapt *adapt.Policy
 	// Faults optionally injects a deterministic fault plan.
 	Faults *fault.Plan
 }
@@ -73,8 +79,13 @@ func (r *rng) rangeInt(lo, hi int) int { return lo + r.intn(hi-lo+1) }
 // Generate derives the i-th scenario of a seed's stream. The sampled space
 // keeps every run small (a soak iteration is milliseconds) while covering
 // all four guest shapes, replication 1..3, fractional/total outages,
-// jitter, slowdowns and crash-stop hosts (only ever fewer crashes than
-// replicas, so no generated plan orphans a column).
+// jitter, slowdowns, crash-stop hosts (only ever fewer crashes than
+// replicas, so no generated plan orphans a column), the adversarial
+// regimes (heavy-tail spikes, moving outages, link churn) and the adaptive
+// replication controller. The stream's residue classes pin coverage
+// floors: i%4==1 always carries at least one adversarial regime, i%4==2
+// always runs the controller — so each family is at least 1-in-4 of any
+// contiguous soak regardless of how the percentage draws land.
 func Generate(seed uint64, i int) *Scenario {
 	r := &rng{s: mix64(seed^0x5eed5eed5eed5eed) + uint64(i)*0xa0761d6478bd642f}
 	sc := &Scenario{
@@ -114,14 +125,85 @@ func Generate(seed uint64, i int) *Scenario {
 	default:
 		sc.DelayKind, sc.DelayLo, sc.DelayHi = "bimodal", r.rangeInt(1, 2), r.rangeInt(8, 19)
 	}
-	if r.pct(50) {
-		sc.Faults = r.plan(sc)
+	if r.pct(50) || i%4 == 1 {
+		sc.Faults = r.plan(sc, i%4 == 1)
+	}
+	if i%4 == 2 || r.pct(15) {
+		sc.Adapt = r.policy()
 	}
 	return sc
 }
 
+// GenerateChaos derives the i-th scenario of a seed's chaos stream: the
+// same sampled space as Generate, but every scenario carries at least one
+// adversarial regime (spike, drift or churn) and every other one runs the
+// adaptive controller. The CI chaos-soak job uses this mode to concentrate
+// its race-detector budget on the newest code paths.
+func GenerateChaos(seed uint64, i int) *Scenario {
+	sc := Generate(seed, i)
+	r := &rng{s: mix64(seed^0xc4a05c4a05c4a05) + uint64(i)*0x8bb84b93962eacc9}
+	if !sc.newRegime() {
+		if sc.Faults == nil {
+			sc.Faults = &fault.Plan{Seed: uint64(r.rangeInt(1, 1<<16))}
+		}
+		r.regime(sc.Faults, sc.HostN-1)
+	}
+	if i%2 == 0 && sc.Adapt == nil {
+		sc.Adapt = r.policy()
+	}
+	return sc
+}
+
+// newRegime reports whether the scenario injects any of the adversarial
+// regime kinds this PR added.
+func (s *Scenario) newRegime() bool {
+	return s.Faults != nil &&
+		len(s.Faults.Spikes)+len(s.Faults.Drifts)+len(s.Faults.Churns) > 0
+}
+
+// policy samples an adaptive replication policy.
+func (r *rng) policy() *adapt.Policy {
+	return &adapt.Policy{
+		Epoch:        r.rangeInt(4, 20),
+		Threshold:    float64(r.rangeInt(1, 3)) / 4,
+		MaxExtra:     r.rangeInt(1, 2),
+		Budget:       r.rangeInt(2, 8),
+		RequireFault: r.pct(30),
+	}
+}
+
+// regime appends one adversarial regime (spike, drift or churn) to the
+// plan.
+func (r *rng) regime(p *fault.Plan, links int) {
+	site := func() int {
+		if r.pct(50) {
+			return -1
+		}
+		return r.intn(links)
+	}
+	switch r.intn(3) {
+	case 0:
+		p.Spikes = append(p.Spikes, fault.Spike{
+			Link: site(), Prob: float64(r.rangeInt(1, 10)) / 20,
+			Alpha: []float64{0.8, 1.2, 1.5, 2}[r.intn(4)], Cap: r.rangeInt(4, 32),
+		})
+	case 1:
+		// Frac stays below 1: a pinned stripe (stride ≡ 0 mod period) with
+		// Frac=1 would hold a link down for the whole run and wedge it.
+		p.Drifts = append(p.Drifts, fault.Drift{
+			Link: site(), Window: r.rangeInt(3, 10), Frac: float64(r.rangeInt(2, 9)) / 10,
+			Period: r.rangeInt(2, 6), Stride: r.intn(3),
+		})
+	default:
+		p.Churns = append(p.Churns, fault.Churn{
+			Link: site(), Up: r.rangeInt(4, 16), Down: r.rangeInt(1, 4),
+		})
+	}
+}
+
 // plan samples a fault plan for the scenario; nil when nothing fires.
-func (r *rng) plan(sc *Scenario) *fault.Plan {
+// forceRegime guarantees at least one adversarial regime in the result.
+func (r *rng) plan(sc *Scenario, forceRegime bool) *fault.Plan {
 	p := &fault.Plan{Seed: uint64(r.rangeInt(1, 1<<16))}
 	links := sc.HostN - 1
 	site := func(n int) int { // -1 = everywhere, else a specific site
@@ -144,6 +226,16 @@ func (r *rng) plan(sc *Scenario) *fault.Plan {
 		p.Slowdowns = append(p.Slowdowns, fault.Slowdown{
 			Host: site(sc.HostN), Window: r.rangeInt(4, 15), Frac: float64(r.rangeInt(1, 6)) / 20, Limit: 0,
 		})
+	}
+	for _, pctHit := range []int{30, 25, 25} {
+		// Three independent chances at an adversarial regime (spike, drift,
+		// churn each drawn uniformly by regime), so combined plans appear.
+		if links > 0 && r.pct(pctHit) {
+			r.regime(p, links)
+		}
+	}
+	if forceRegime && links > 0 && len(p.Spikes)+len(p.Drifts)+len(p.Churns) == 0 {
+		r.regime(p, links)
 	}
 	if sc.Rep >= 2 && r.pct(40) {
 		// At most Rep-1 distinct crashed hosts: every column keeps a live
@@ -258,6 +350,7 @@ func (s *Scenario) Build() (*sim.Config, error) {
 		Guest:     guest.Spec{Graph: g, Steps: s.Steps, Seed: s.Seed},
 		Assign:    a,
 		Bandwidth: s.BW,
+		Adapt:     s.Adapt,
 		Faults:    s.Faults,
 	}
 	if err := cfg.Validate(); err != nil {
@@ -278,6 +371,9 @@ func (s *Scenario) String() string {
 		fmt.Fprintf(&b, ":%d", s.DelayHi)
 	}
 	fmt.Fprintf(&b, ";bw=%d;rep=%d;steps=%d;w=%d;seed=%d", s.BW, s.Rep, s.Steps, s.Workers, s.Seed)
+	if s.Adapt != nil {
+		fmt.Fprintf(&b, ";a=%s", s.Adapt)
+	}
 	if s.Faults != nil {
 		fmt.Fprintf(&b, ";f=%s", s.Faults)
 	}
@@ -394,6 +490,12 @@ func Parse(spec string) (*Scenario, error) {
 				return nil, fmt.Errorf("verify: seed=%q is not an integer", val)
 			}
 			s.Seed = v
+		case "a":
+			pol, err := adapt.Parse(val)
+			if err != nil {
+				return nil, fmt.Errorf("verify: %v", err)
+			}
+			s.Adapt = pol
 		default:
 			return nil, fmt.Errorf("verify: unknown item %q", item)
 		}

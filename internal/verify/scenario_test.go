@@ -14,6 +14,8 @@ func TestScenarioRoundTrip(t *testing.T) {
 		"g=tree:2;n=4;d=const:1;bw=0;rep=2;steps=5;w=2;seed=9",
 		"g=ring:24;n=8;d=uniform:1:9;bw=2;rep=2;steps=12;w=3;seed=7;f=7:outage=0.1x8",
 		"g=line:9;n=3;d=const:2;bw=1;rep=2;steps=4;w=2;seed=3;f=1:jitter=4@0.5;outage=0.2x6#1;slow=0.3x8/0;crash=0@9",
+		"g=ring:16;n=6;d=const:2;bw=2;rep=2;steps=8;w=2;seed=5;a=epoch=8,thresh=0.5,extra=1,budget=4,mode=any",
+		"g=line:12;n=4;d=const:3;bw=1;rep=2;steps=6;w=2;seed=2;a=epoch=4,thresh=0.25,extra=2,budget=6,mode=fault;f=3:spike=16@0.2~1.2;drift=0.5x6/3~1;churn=9x3#1",
 	}
 	for _, spec := range specs {
 		sc, err := Parse(spec)
@@ -32,22 +34,25 @@ func TestScenarioRoundTrip(t *testing.T) {
 func TestScenarioParseErrors(t *testing.T) {
 	bad := []string{
 		"",
-		"g=ring:24",                                 // missing n, d
-		"n=4;d=const:1;rep=1;steps=3",               // missing g
-		"g=blob:9;n=4;d=const:1;rep=1;steps=3",      // unknown shape
-		"g=ring:x;n=4;d=const:1;rep=1;steps=3",      // bad dim
-		"g=mesh:3;n=4;d=const:1;rep=1;steps=3",      // mesh needs two dims
-		"g=ring:9;n=4;d=zipf:1:3;rep=1;steps=3",     // unknown delay kind
-		"g=ring:9;n=4;d=uniform:1;rep=1;steps=3",    // uniform needs hi
-		"g=ring:9;n=4;d=uniform:5:2;rep=1;steps=3",  // hi < lo
-		"g=ring:9;n=4;d=const:0;rep=1;steps=3",      // delay < 1
-		"g=ring:9;n=4;d=const:1;rep=0;steps=3",      // rep < 1
-		"g=ring:9;n=4;d=const:1;rep=9;steps=3",      // rep > hosts
-		"g=ring:9;n=0;d=const:1;rep=1;steps=3",      // no hosts
-		"g=ring:9;n=4;d=const:1;rep=1;steps=0",      // no steps
-		"g=ring:9;n=4;d=const:1;rep=1;steps=3;zz=1", // unknown key
-		"g=ring:9;n=4;d=const:1;rep=1;steps=3;f=no", // bad fault plan
-		"g=ring:9;n=4;d=const:1;rep=1;steps=3;bw=x", // non-numeric
+		"g=ring:24",                                          // missing n, d
+		"n=4;d=const:1;rep=1;steps=3",                        // missing g
+		"g=blob:9;n=4;d=const:1;rep=1;steps=3",               // unknown shape
+		"g=ring:x;n=4;d=const:1;rep=1;steps=3",               // bad dim
+		"g=mesh:3;n=4;d=const:1;rep=1;steps=3",               // mesh needs two dims
+		"g=ring:9;n=4;d=zipf:1:3;rep=1;steps=3",              // unknown delay kind
+		"g=ring:9;n=4;d=uniform:1;rep=1;steps=3",             // uniform needs hi
+		"g=ring:9;n=4;d=uniform:5:2;rep=1;steps=3",           // hi < lo
+		"g=ring:9;n=4;d=const:0;rep=1;steps=3",               // delay < 1
+		"g=ring:9;n=4;d=const:1;rep=0;steps=3",               // rep < 1
+		"g=ring:9;n=4;d=const:1;rep=9;steps=3",               // rep > hosts
+		"g=ring:9;n=0;d=const:1;rep=1;steps=3",               // no hosts
+		"g=ring:9;n=4;d=const:1;rep=1;steps=0",               // no steps
+		"g=ring:9;n=4;d=const:1;rep=1;steps=3;zz=1",          // unknown key
+		"g=ring:9;n=4;d=const:1;rep=1;steps=3;f=no",          // bad fault plan
+		"g=ring:9;n=4;d=const:1;rep=1;steps=3;bw=x",          // non-numeric
+		"g=ring:9;n=4;d=const:1;rep=1;steps=3;a=thresh=0.5",  // adapt spec missing epoch
+		"g=ring:9;n=4;d=const:1;rep=1;steps=3;a=epoch=0",     // adapt epoch < 1
+		"g=ring:9;n=4;d=const:1;rep=1;steps=3;a=epoch=8,z=1", // unknown adapt key
 	}
 	for _, spec := range bad {
 		if _, err := Parse(spec); err == nil {
@@ -119,6 +124,70 @@ func TestGenerateBoundsAndBuilds(t *testing.T) {
 	// the soak must run the parallel engine with >= 4 chunks.
 	if wide < 75 {
 		t.Errorf("only %d/300 scenarios run >= 4 chunks (want >= 75)", wide)
+	}
+}
+
+// The stream's residue classes pin the adversarial coverage floors: at
+// least a quarter of any soak carries a new-regime plan (spike, drift or
+// churn) and at least a quarter runs the adaptive controller, regardless
+// of how the percentage draws land.
+func TestGenerateAdversarialFloors(t *testing.T) {
+	const n = 400
+	regimes, adaptive := 0, 0
+	for i := 0; i < n; i++ {
+		sc := Generate(42, i)
+		if sc.newRegime() {
+			regimes++
+		}
+		if sc.Adapt != nil {
+			adaptive++
+			if err := sc.Adapt.Validate(); err != nil {
+				t.Fatalf("scenario %d: generated policy invalid: %v", i, err)
+			}
+		}
+		if i%4 == 1 && !sc.newRegime() {
+			t.Fatalf("scenario %d (i%%4==1) has no adversarial regime: %s", i, sc)
+		}
+		if i%4 == 2 && sc.Adapt == nil {
+			t.Fatalf("scenario %d (i%%4==2) has no adaptive policy: %s", i, sc)
+		}
+	}
+	if regimes < n/4 {
+		t.Errorf("only %d/%d scenarios carry a new regime (want >= %d)", regimes, n, n/4)
+	}
+	if adaptive < n/4 {
+		t.Errorf("only %d/%d scenarios run the controller (want >= %d)", adaptive, n, n/4)
+	}
+}
+
+// Chaos mode concentrates the stream: every scenario carries a new regime,
+// every other one runs the controller, and each still builds and
+// round-trips.
+func TestGenerateChaos(t *testing.T) {
+	adaptive := 0
+	for i := 0; i < 100; i++ {
+		sc := GenerateChaos(11, i)
+		if !sc.newRegime() {
+			t.Fatalf("chaos scenario %d has no adversarial regime: %s", i, sc)
+		}
+		if sc.Adapt != nil {
+			adaptive++
+		} else if i%2 == 0 {
+			t.Fatalf("chaos scenario %d (even) has no adaptive policy: %s", i, sc)
+		}
+		if _, err := sc.Build(); err != nil {
+			t.Fatalf("chaos scenario %d (%s): %v", i, sc, err)
+		}
+		back, err := Parse(sc.String())
+		if err != nil {
+			t.Fatalf("chaos scenario %d: reparse %q: %v", i, sc, err)
+		}
+		if back.String() != sc.String() {
+			t.Fatalf("chaos scenario %d: round trip %q -> %q", i, sc, back)
+		}
+	}
+	if adaptive < 50 {
+		t.Errorf("only %d/100 chaos scenarios run the controller", adaptive)
 	}
 }
 
