@@ -7,7 +7,7 @@ BENCH_TIME     ?= 3x
 
 COVER_MIN ?= 80
 
-.PHONY: all build test race bench bench-baseline bench-diff bench-telemetry-gate bench-parallel-gate bench-fault-gate bench-all ci check-binaries cover verify chaos experiments examples clean
+.PHONY: all build test race bench bench-baseline bench-diff bench-telemetry-gate bench-parallel-gate bench-fault-gate bench-all ci check-binaries cover verify chaos twin-gate fleet experiments examples clean
 
 all: build test
 
@@ -23,17 +23,21 @@ ci: check-binaries
 	fi
 	$(GO) test -race -shuffle=on ./...
 
-# Fail if any tracked file is a compiled binary (ELF or Mach-O magic): build
-# outputs belong in .gitignore, never in the repository.
+# Fail if any tracked file is a compiled binary (ELF or Mach-O magic) or a
+# test/benchmark artifact by name (bench.out, cover.out, *.test, fleet
+# stores): build outputs belong in .gitignore, never in the repository.
 check-binaries:
 	@bad=""; for f in $$(git ls-files); do \
 		[ -f "$$f" ] || continue; \
+		case "$$(basename "$$f")" in \
+			bench.out|cover.out|*.test|fleet-shard*.jsonl) bad="$$bad $$f"; continue;; \
+		esac; \
 		magic=$$(head -c 4 "$$f" | od -An -tx1 | tr -d ' \n'); \
 		case "$$magic" in \
 			7f454c46|feedface|feedfacf|cefaedfe|cffaedfe) bad="$$bad $$f";; \
 		esac; \
 	done; \
-	if [ -n "$$bad" ]; then echo "tracked binaries:$$bad"; exit 1; fi; \
+	if [ -n "$$bad" ]; then echo "tracked binaries or build artifacts:$$bad"; exit 1; fi; \
 	echo "check-binaries: no tracked binaries"
 
 build:
@@ -59,6 +63,23 @@ verify:
 # and every other one runs the adaptive controller (see DESIGN.md §10).
 chaos:
 	$(GO) run -race ./cmd/latencysim verify -chaos -seed 1 -n 200
+
+# Analytical-twin gate: measure a fresh scenario fleet and require every
+# theorem family's MAPE under its frozen ceiling with zero certified-floor
+# violations (see DESIGN.md §11). Nonzero exit on any breach.
+twin-gate:
+	$(GO) run ./cmd/latencysim twin -report -seed 1 -n 500
+
+# Sharded fleet sweep into resumable JSONL stores (kill and re-run freely;
+# finished scenarios are never recomputed). Join with:
+#   go run ./cmd/latencysim twin -report -store 'fleet-shard*.jsonl'
+FLEET_N      ?= 2000
+FLEET_SHARDS ?= 4
+fleet:
+	@for s in $$(seq 0 $$(( $(FLEET_SHARDS) - 1 ))); do \
+		$(GO) run ./cmd/latencysim sweep -fleet $(FLEET_N) -shards $(FLEET_SHARDS) -shard $$s & \
+	done; wait
+	$(GO) run ./cmd/latencysim twin -report -store 'fleet-shard*.jsonl'
 
 race:
 	$(GO) test -race ./internal/sim ./internal/overlap ./internal/mesharray
@@ -127,4 +148,4 @@ examples:
 	$(GO) run ./examples/sortarray
 
 clean:
-	rm -rf experiments-csv bench.out
+	rm -rf experiments-csv bench.out cover.out fleet-shard*.jsonl

@@ -32,6 +32,7 @@ import (
 	"latencyhide/internal/embedding"
 	"latencyhide/internal/expt"
 	"latencyhide/internal/fault"
+	"latencyhide/internal/fleet"
 	"latencyhide/internal/metrics"
 	"latencyhide/internal/network"
 	"latencyhide/internal/obs"
@@ -65,6 +66,8 @@ func main() {
 		err = cmdGuest(os.Args[2:])
 	case "verify":
 		err = cmdVerify(os.Args[2:])
+	case "twin":
+		err = cmdTwin(os.Args[2:])
 	case "manifest":
 		err = cmdManifest(os.Args[2:])
 	case "-h", "--help", "help":
@@ -99,8 +102,13 @@ commands:
   plan    analyse a host and recommend OVERLAP parameters
   lower   certify the Theorem 9 / Theorem 10 lower bounds on H1 / H2
   verify  soak randomized scenarios through the invariant oracle and metamorphic relations
-  exp     regenerate the paper experiments (E1..E18)
+  twin    score measured slowdowns against the analytical theorem predictors (-report | -fit)
+  exp     regenerate the paper experiments (E1..E19)
   manifest  inspect or validate a run manifest written with -manifest-out
+
+sweep also runs in fleet mode (-fleet N [-shards K -shard I] [-fleet-out s.jsonl]):
+thousands of generated scenarios sharded across worker processes into
+resumable JSONL stores that "twin -report -store" joins and scores.
 
 run, sweep, exp and verify accept -manifest-out <file.json> (machine-readable
 run record: config hash, engine metrics, memory series, bytes/pebble) and
@@ -613,8 +621,20 @@ func cmdSweep(args []string) error {
 	csv := fs.Bool("csv", false, "emit CSV instead of an aligned table")
 	faults := fs.String("faults", "", "deterministic fault plan applied at every sweep point (see DESIGN.md)")
 	adaptSpec := fs.String("adapt", "", "adaptive replication policy applied at every sweep point (see DESIGN.md)")
+	fleetN := fs.Int("fleet", 0, "fleet mode: measure this many generated scenarios (plus the clique-chain ladder) into a resumable store instead of a host-size sweep")
+	fleetSeed := fs.Uint64("fleet-seed", 1, "fleet scenario stream seed")
+	shards := fs.Int("shards", 1, "fleet mode: total shard count")
+	shard := fs.Int("shard", 0, "fleet mode: this worker's shard in [0,shards)")
+	fleetOut := fs.String("fleet-out", "", "fleet mode: result store path (JSONL, default fleet-shard<shard>.jsonl)")
+	fleetWorkers := fs.Int("workers", 4, "fleet mode: concurrent measurement workers")
 	manifestOut, liveFlag := manifestFlags(fs)
 	fs.Parse(args)
+
+	if *fleetN > 0 {
+		mr := startMRun("sweep", args, *manifestOut, *liveFlag)
+		p := fleet.Plan{Seed: *fleetSeed, N: *fleetN, Shards: *shards, Shard: *shard}
+		return runFleetSweep(os.Stdout, p, *fleetOut, *fleetWorkers, mr, *liveFlag)
+	}
 
 	plan, pol, err := validateRunFlags(0, "", *faults, *adaptSpec)
 	if err != nil {

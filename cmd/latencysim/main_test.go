@@ -10,6 +10,7 @@ import (
 	"strings"
 	"testing"
 
+	"latencyhide/internal/fleet"
 	"latencyhide/internal/telemetry"
 )
 
@@ -437,6 +438,116 @@ func TestVerifySweepManifests(t *testing.T) {
 	}
 	if sm.Sweep[0].Pebbles <= 0 || sm.Pebbles != sm.Sweep[0].Pebbles+sm.Sweep[1].Pebbles {
 		t.Fatalf("sweep pebble accounting wrong: total=%d points=%+v", sm.Pebbles, sm.Sweep)
+	}
+}
+
+// The twin report over a fixed inline corpus is fully deterministic (no
+// wall-clock in the table), so it is pinned as a golden file. This also
+// gates the frozen constants: if someone edits them, every family must
+// still clear its MAPE ceiling or runTwin errors here.
+func TestTwinReportGolden(t *testing.T) {
+	var sb strings.Builder
+	if err := runTwin([]string{"-report", "-seed", "1", "-n", "60"}, &sb); err != nil {
+		t.Fatalf("twin -report: %v", err)
+	}
+	checkGolden(t, "twin_report", sb.String())
+}
+
+func TestTwinFitGolden(t *testing.T) {
+	var sb strings.Builder
+	if err := runTwin([]string{"-fit", "-seed", "1", "-n", "60", "-csv"}, &sb); err != nil {
+		t.Fatalf("twin -fit: %v", err)
+	}
+	checkGolden(t, "twin_fit", sb.String())
+}
+
+func TestTwinFlagErrors(t *testing.T) {
+	for _, args := range [][]string{
+		{},                     // neither -report nor -fit
+		{"-report", "-fit"},    // both
+		{"-report", "-n", "0"}, // empty inline corpus
+		{"-report", "-store", filepath.Join(t.TempDir(), "*.jsonl")}, // glob matches nothing
+	} {
+		err := runTwin(args, io.Discard)
+		if err == nil {
+			t.Fatalf("twin %v accepted", args)
+		}
+		if strings.Count(err.Error(), "\n") != 0 {
+			t.Fatalf("twin %v: error is not one line: %q", args, err)
+		}
+	}
+}
+
+// Fleet mode end-to-end through the CLI layer: a sharded run writes a
+// resumable store, a re-run computes nothing new, and the console summary
+// is pinned (with the temp path normalized out).
+func TestFleetSweepGolden(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "shard0.jsonl")
+	plan := fleet.Plan{Seed: 4, N: 20, Shards: 2, Shard: 0}
+	var sb strings.Builder
+	if err := runFleetSweep(&sb, plan, out, 2, nil, false); err != nil {
+		t.Fatalf("fleet sweep: %v", err)
+	}
+	if err := runFleetSweep(&sb, plan, out, 2, nil, false); err != nil {
+		t.Fatalf("fleet resume: %v", err)
+	}
+	got := strings.ReplaceAll(sb.String(), out, "<store>")
+	checkGolden(t, "fleet_sweep", got)
+
+	// Shard parameter validation fails fast.
+	if err := runFleetSweep(io.Discard, fleet.Plan{N: 4, Shards: 0}, out, 1, nil, false); err == nil {
+		t.Fatal("shards=0 accepted")
+	}
+	if err := runFleetSweep(io.Discard, fleet.Plan{N: 4, Shards: 2, Shard: 2}, out, 1, nil, false); err == nil {
+		t.Fatal("shard out of range accepted")
+	}
+}
+
+// Sharded fleet stores feed twin -report through -store, and both commands
+// carry their manifest sections.
+func TestFleetTwinManifests(t *testing.T) {
+	dir := t.TempDir()
+	fPath := filepath.Join(dir, "fleet-manifest.json")
+	if err := cmdSweep([]string{"-fleet", "12", "-fleet-seed", "4", "-shards", "2", "-shard", "1",
+		"-fleet-out", filepath.Join(dir, "shard1.jsonl"), "-manifest-out", fPath}); err != nil {
+		t.Fatalf("sweep -fleet -manifest-out: %v", err)
+	}
+	fm, err := telemetry.LoadManifest(fPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fm.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if fm.Fleet == nil || fm.Fleet.Seed != 4 || fm.Fleet.Shards != 2 || fm.Fleet.Shard != 1 ||
+		fm.Fleet.Items <= 0 || fm.Fleet.Resumed != 0 {
+		t.Fatalf("fleet section wrong: %+v", fm.Fleet)
+	}
+	if len(fm.Sweep) != 0 {
+		t.Fatalf("fleet manifest has host-sweep points: %+v", fm.Sweep)
+	}
+
+	tPath := filepath.Join(dir, "twin-manifest.json")
+	var sb strings.Builder
+	if err := runTwin([]string{"-report", "-store", filepath.Join(dir, "*.jsonl"),
+		"-manifest-out", tPath}, &sb); err != nil {
+		t.Fatalf("twin -store: %v\n%s", err, sb.String())
+	}
+	tm, err := telemetry.LoadManifest(tPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tm.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(tm.Twin) == 0 {
+		t.Fatal("twin manifest has no family reports")
+	}
+	for _, f := range tm.Twin {
+		if f.N > 0 && !f.Pass {
+			t.Fatalf("family %s fails on its own fit corpus: %+v", f.Name, f)
+		}
 	}
 }
 

@@ -11,8 +11,8 @@ import (
 
 func TestRegistryComplete(t *testing.T) {
 	all := All()
-	if len(all) != 18 {
-		t.Fatalf("registry has %d experiments, want 18 (E1-E18)", len(all))
+	if len(all) != 19 {
+		t.Fatalf("registry has %d experiments, want 19 (E1-E19)", len(all))
 	}
 	for i, e := range all {
 		if e.ID == "" || e.Title == "" || e.Paper == "" || e.Run == nil {
@@ -20,7 +20,7 @@ func TestRegistryComplete(t *testing.T) {
 		}
 	}
 	// sorted numerically
-	if all[0].ID != "E1" || all[9].ID != "E10" || all[17].ID != "E18" {
+	if all[0].ID != "E1" || all[9].ID != "E10" || all[18].ID != "E19" {
 		ids := make([]string, len(all))
 		for i, e := range all {
 			ids[i] = e.ID
@@ -331,6 +331,36 @@ func TestE18AdaptiveBeatsStatic(t *testing.T) {
 	}
 	if activated == 0 {
 		t.Fatalf("the controller never activated under any regime: %v", rows)
+	}
+}
+
+// E19's acceptance shape: every theorem family with samples clears its MAPE
+// ceiling with zero certified-floor violations (Run errors otherwise), and
+// the quick corpus populates all four families.
+func TestE19TwinValidation(t *testing.T) {
+	tables, err := Get("E19").Run(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := tables[0].Rows
+	if len(rows) != 4 {
+		t.Fatalf("E19 rows: %v", rows)
+	}
+	// columns: family, n, mape, ceiling, in_band, cert_viol, status
+	for _, r := range rows {
+		var n float64
+		if _, err := sscan(r[1], &n); err != nil {
+			t.Fatal(err)
+		}
+		if n == 0 {
+			t.Fatalf("family %s has no samples in the quick corpus", r[0])
+		}
+		if r[5] != "0" {
+			t.Fatalf("family %s reports certified-floor violations: %v", r[0], r)
+		}
+		if r[6] != "PASS" {
+			t.Fatalf("family %s did not pass: %v", r[0], r)
+		}
 	}
 }
 

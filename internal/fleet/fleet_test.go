@@ -1,0 +1,310 @@
+package fleet
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"latencyhide/internal/twin"
+	"latencyhide/internal/verify"
+)
+
+func TestPlanItems(t *testing.T) {
+	p := Plan{Seed: 7, N: 10}
+	items := p.Items()
+	wantLadder := len(ccLadderK) * len(ccLadderSteps)
+	if len(items) != 10+wantLadder {
+		t.Fatalf("items = %d, want %d", len(items), 10+wantLadder)
+	}
+	for i, it := range items {
+		if it.Index != i {
+			t.Fatalf("item %d has index %d", i, it.Index)
+		}
+		if i < 10 {
+			if it.Kind != "verify" {
+				t.Fatalf("item %d kind %q", i, it.Kind)
+			}
+			// Specs reconstruct the generator's scenario, dynamics stripped.
+			sc, err := verify.Parse(it.Spec)
+			if err != nil {
+				t.Fatalf("item %d: %v", i, err)
+			}
+			if sc.Faults != nil || sc.Adapt != nil {
+				t.Fatalf("item %d kept dynamics: %s", i, it.Spec)
+			}
+		} else if it.Kind != "cc" {
+			t.Fatalf("item %d kind %q, want cc", i, it.Kind)
+		}
+	}
+	// Plans are pure: the same parameters derive the same items.
+	again := Plan{Seed: 7, N: 10}.Items()
+	for i := range items {
+		if items[i] != again[i] {
+			t.Fatalf("plan not deterministic at %d", i)
+		}
+	}
+}
+
+func TestShardItemsPartition(t *testing.T) {
+	p := Plan{Seed: 3, N: 21, Shards: 4}
+	seen := map[int]int{}
+	total := 0
+	for shard := 0; shard < 4; shard++ {
+		p.Shard = shard
+		for _, it := range p.ShardItems() {
+			if it.Index%4 != shard {
+				t.Fatalf("item %d landed in shard %d", it.Index, shard)
+			}
+			seen[it.Index]++
+			total++
+		}
+	}
+	full := p.Items()
+	if total != len(full) {
+		t.Fatalf("shards cover %d items, plan has %d", total, len(full))
+	}
+	for _, it := range full {
+		if seen[it.Index] != 1 {
+			t.Fatalf("item %d covered %d times", it.Index, seen[it.Index])
+		}
+	}
+}
+
+func TestParseCC(t *testing.T) {
+	k, steps, seed, err := parseCC("k=6;steps=16;seed=81")
+	if err != nil || k != 6 || steps != 16 || seed != 81 {
+		t.Fatalf("got k=%d steps=%d seed=%d err=%v", k, steps, seed, err)
+	}
+	for _, bad := range []string{"k=1;steps=8;seed=1", "k=4;steps=0;seed=1", "nope", "k=x;steps=8;seed=1", "k=4;zz=1"} {
+		if _, _, _, err := parseCC(bad); err == nil {
+			t.Fatalf("parseCC(%q) accepted", bad)
+		}
+	}
+}
+
+// Measure must agree with the uncached path: same stats as TwinStats,
+// slowdown respecting the certified floor, and the family classifier.
+func TestMeasureMatchesTwinStats(t *testing.T) {
+	m := NewMeasurer()
+	p := Plan{Seed: 5, N: 12}
+	for _, it := range p.Items() {
+		res, err := m.Measure(it)
+		if err != nil {
+			t.Fatalf("item %d: %v", it.Index, err)
+		}
+		if res.Key != it.Key() || res.Index != it.Index || res.Spec != it.Spec {
+			t.Fatalf("item %d: identity fields wrong: %+v", it.Index, res)
+		}
+		if res.Slowdown < res.Stats.CertFloor-1e-9 {
+			t.Fatalf("item %d: slowdown %.4f beats certified floor %.4f", it.Index, res.Slowdown, res.Stats.CertFloor)
+		}
+		if it.Kind == "verify" {
+			sc, _ := verify.Parse(it.Spec)
+			want, err := sc.TwinStats()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Stats != want {
+				t.Fatalf("item %d: cached stats %+v != TwinStats %+v", it.Index, res.Stats, want)
+			}
+			if got := twin.Classify(want).Name; res.Family != got {
+				t.Fatalf("item %d: family %q != classifier %q", it.Index, res.Family, got)
+			}
+		} else if res.Family != "cliquechain" {
+			t.Fatalf("cc item %d classified %q", it.Index, res.Family)
+		}
+	}
+	if _, err := m.Measure(Item{Kind: "nope", Spec: ""}); err == nil {
+		t.Fatal("unknown kind must error")
+	}
+}
+
+// The acceptance property, in miniature: killing a shard run partway and
+// resuming produces a byte-identical store to an uninterrupted run, and
+// concurrent workers never change the bytes either.
+func TestRunShardResumeByteIdentical(t *testing.T) {
+	p := Plan{Seed: 9, N: 16}
+	dir := t.TempDir()
+
+	uninterrupted := filepath.Join(dir, "full.jsonl")
+	st, err := Open(uninterrupted)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := RunShard(p, st, 1, nil); err != nil {
+		t.Fatal(err)
+	}
+	st.Close()
+	want, err := os.ReadFile(uninterrupted)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(want) == 0 {
+		t.Fatal("uninterrupted run wrote nothing")
+	}
+
+	// "Kill" after a partial prefix: simulate by truncating the full file
+	// at an arbitrary byte inside line 6, then resume with 4 workers.
+	resumed := filepath.Join(dir, "resumed.jsonl")
+	cut := 0
+	for lines := 0; lines < 6 && cut < len(want); cut++ {
+		if want[cut] == '\n' {
+			lines++
+		}
+	}
+	cut += 20 // leave a torn 7th line
+	if cut > len(want) {
+		cut = len(want)
+	}
+	if err := os.WriteFile(resumed, want[:cut], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	st2, err := Open(resumed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := RunShard(p, st2, 4, nil); err != nil {
+		t.Fatal(err)
+	}
+	st2.Close()
+	got, err := os.ReadFile(resumed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("resumed store differs from uninterrupted run (%d vs %d bytes)", len(got), len(want))
+	}
+
+	// Re-running a complete store is a no-op.
+	st3, err := Open(resumed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := RunShard(p, st3, 2, nil); err != nil {
+		t.Fatal(err)
+	}
+	st3.Close()
+	again, _ := os.ReadFile(resumed)
+	if !bytes.Equal(again, want) {
+		t.Fatal("re-running a complete shard changed the store")
+	}
+}
+
+// Sharded stores merge to the same results as a single-store run.
+func TestShardsMergeToFullPlan(t *testing.T) {
+	base := Plan{Seed: 11, N: 10}
+	dir := t.TempDir()
+	var shardPaths []string
+	for shard := 0; shard < 3; shard++ {
+		p := base
+		p.Shards, p.Shard = 3, shard
+		path := filepath.Join(dir, filepath.Base("shard")+string(rune('0'+shard))+".jsonl")
+		st, err := Open(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := RunShard(p, st, 2, nil); err != nil {
+			t.Fatal(err)
+		}
+		st.Close()
+		shardPaths = append(shardPaths, path)
+	}
+	merged, err := ReadAll(shardPaths...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := base.Items()
+	if len(merged) != len(full) {
+		t.Fatalf("merged %d results, plan has %d items", len(merged), len(full))
+	}
+	for i, r := range merged {
+		if r.Index != full[i].Index || r.Key != full[i].Key() {
+			t.Fatalf("merged result %d does not match plan item: %+v", i, r)
+		}
+	}
+	// Progress callback sees monotone counts on a fresh run.
+	p := base
+	last := -1
+	st, err := Open(filepath.Join(dir, "progress.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	err = RunShard(p, st, 2, func(done, total int) {
+		if done < last || total != len(full) {
+			t.Errorf("progress went backwards: done=%d last=%d total=%d", done, last, total)
+		}
+		last = done
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if last != len(full) {
+		t.Fatalf("final progress %d, want %d", last, len(full))
+	}
+}
+
+func TestReportScoresFamilies(t *testing.T) {
+	mk := func(family string, point, slow, cert float64) Result {
+		return Result{
+			Family:    family,
+			Slowdown:  slow,
+			Stats:     twin.Stats{CertFloor: cert},
+			Predicted: twin.Band{Lo: point * 0.5, Point: point, Hi: point * 1.5},
+		}
+	}
+	results := []Result{
+		mk("uniform", 4, 5, 1),    // APE 0.2, in band [2, 6]
+		mk("uniform", 20, 5, 1),   // APE 3.0, out of band [10, 30]
+		mk("singlecopy", 6, 6, 1), // APE 0, in band
+	}
+	reports, allPass := Report(results)
+	if len(reports) != len(twin.Predictors()) {
+		t.Fatalf("reports = %d, want %d", len(reports), len(twin.Predictors()))
+	}
+	byName := map[string]FamilyReport{}
+	for _, r := range reports {
+		byName[r.Name] = r
+	}
+	u := byName["uniform"]
+	if u.N != 2 || u.MAPE != 1.6 || u.InBand != 0.5 || u.Pass {
+		t.Fatalf("uniform report = %+v", u)
+	}
+	if allPass {
+		t.Fatal("allPass must be false when a family breaches its ceiling")
+	}
+	s := byName["singlecopy"]
+	if s.N != 1 || s.MAPE != 0 || !s.Pass {
+		t.Fatalf("singlecopy report = %+v", s)
+	}
+	// Empty families pass vacuously.
+	if cc := byName["cliquechain"]; cc.N != 0 || !cc.Pass {
+		t.Fatalf("cliquechain report = %+v", cc)
+	}
+	// A certified-floor violation fails the family even under the ceiling.
+	viol := []Result{mk("combined", 6, 6, 8)}
+	reports, allPass = Report(viol)
+	for _, r := range reports {
+		if r.Name == "combined" && (r.CertViolations != 1 || r.Pass) {
+			t.Fatalf("combined report = %+v", r)
+		}
+	}
+	if allPass {
+		t.Fatal("cert violation must fail the report")
+	}
+}
+
+func TestSamplesFilter(t *testing.T) {
+	results := []Result{
+		{Family: "uniform", Slowdown: 2, Stats: twin.Stats{Load: 1}},
+		{Family: "combined", Slowdown: 3, Stats: twin.Stats{Load: 2}},
+	}
+	if got := len(Samples(results, "")); got != 2 {
+		t.Fatalf("all samples = %d", got)
+	}
+	one := Samples(results, "combined")
+	if len(one) != 1 || one[0].Measured != 3 || one[0].Stats.Load != 2 {
+		t.Fatalf("filtered = %+v", one)
+	}
+}

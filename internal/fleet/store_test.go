@@ -1,0 +1,239 @@
+package fleet
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"latencyhide/internal/twin"
+)
+
+func mkResult(i int) Result {
+	spec := fmt.Sprintf("spec-%d", i)
+	return Result{
+		Key:       Key("verify", spec),
+		Index:     i,
+		Kind:      "verify",
+		Spec:      spec,
+		Family:    "uniform",
+		Stats:     twin.Stats{Hosts: i + 2, Load: 1, PropFloor: float64(i)},
+		Slowdown:  1.5 + float64(i),
+		Predicted: twin.Band{Lo: 1, Point: 2, Hi: 3},
+	}
+}
+
+func TestStoreRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "s.jsonl")
+	st, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := st.Append(mkResult(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Duplicate appends are no-ops.
+	if err := st.Append(mkResult(2)); err != nil {
+		t.Fatal(err)
+	}
+	if st.Len() != 5 {
+		t.Fatalf("len = %d, want 5", st.Len())
+	}
+	st.Close()
+
+	st2, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	if st2.Len() != 5 {
+		t.Fatalf("reopened len = %d, want 5", st2.Len())
+	}
+	for i := 0; i < 5; i++ {
+		if !st2.Has(mkResult(i).Key) {
+			t.Fatalf("missing key %d after reopen", i)
+		}
+	}
+	res := st2.Results()
+	for i, r := range res {
+		if r.Index != i || r.Spec != fmt.Sprintf("spec-%d", i) {
+			t.Fatalf("result %d = %+v", i, r)
+		}
+	}
+}
+
+// A killed writer leaves a half-written last line; Open must truncate it
+// and keep every intact line.
+func TestStoreTornTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "s.jsonl")
+	st, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		st.Append(mkResult(i))
+	}
+	st.Close()
+	intact, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, torn := range []string{
+		`{"key":"deadbeef","ind`, // mid-line kill
+		"not json at all\n",      // corrupt but newline-terminated
+		"\x00\x00\x00",           // binary garbage
+	} {
+		if err := os.WriteFile(path, append(append([]byte{}, intact...), torn...), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		st, err := Open(path)
+		if err != nil {
+			t.Fatalf("torn %q: %v", torn, err)
+		}
+		if st.Len() != 3 {
+			t.Fatalf("torn %q: len = %d, want 3", torn, st.Len())
+		}
+		st.Close()
+		got, _ := os.ReadFile(path)
+		if !bytes.Equal(got, intact) {
+			t.Fatalf("torn %q: truncation did not restore the intact prefix", torn)
+		}
+	}
+}
+
+func TestMergeDedupsAndSorts(t *testing.T) {
+	dir := t.TempDir()
+	shard0 := filepath.Join(dir, "shard0.jsonl")
+	shard1 := filepath.Join(dir, "shard1.jsonl")
+	s0, _ := Open(shard0)
+	s1, _ := Open(shard1)
+	// Interleaved indexes with one overlapping result.
+	for _, i := range []int{0, 2, 4} {
+		s0.Append(mkResult(i))
+	}
+	for _, i := range []int{1, 3, 4} {
+		s1.Append(mkResult(i))
+	}
+	s0.Close()
+	s1.Close()
+
+	merged := filepath.Join(dir, "merged.jsonl")
+	if err := Merge(merged, shard0, shard1); err != nil {
+		t.Fatal(err)
+	}
+	results, err := ReadAll(merged)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 5 {
+		t.Fatalf("merged %d results, want 5", len(results))
+	}
+	for i, r := range results {
+		if r.Index != i {
+			t.Fatalf("merged order broken at %d: %+v", i, r)
+		}
+	}
+	// Merge is idempotent and order-free: merging again, in any source
+	// order, and even merging the merge with its sources, is byte-stable.
+	first, _ := os.ReadFile(merged)
+	if err := Merge(merged, shard1, shard0); err != nil {
+		t.Fatal(err)
+	}
+	second, _ := os.ReadFile(merged)
+	if !bytes.Equal(first, second) {
+		t.Fatal("merge output depends on source order")
+	}
+	if err := Merge(merged, merged, shard0, shard1); err != nil {
+		t.Fatal(err)
+	}
+	third, _ := os.ReadFile(merged)
+	if !bytes.Equal(first, third) {
+		t.Fatal("re-merging the merge changed the bytes")
+	}
+}
+
+// FuzzFleetStoreResume drives the store through random kill/resume/merge
+// sequences: results are appended in order, the file is truncated at a
+// random byte (a simulated kill, possibly mid-line), reopened (resume),
+// and the missing results re-appended. Whatever the kill pattern, the
+// final store must hold every result exactly once, in order, with bytes
+// identical to an uninterrupted run — idempotent and lossless.
+func FuzzFleetStoreResume(f *testing.F) {
+	f.Add([]byte{10, 200, 40}, uint8(6))
+	f.Add([]byte{0, 0, 255, 3, 17}, uint8(12))
+	f.Add([]byte{}, uint8(1))
+	f.Fuzz(func(t *testing.T, cuts []byte, n8 uint8) {
+		n := int(n8)%16 + 1
+		want := make([]Result, n)
+		for i := range want {
+			want[i] = mkResult(i)
+		}
+		dir := t.TempDir()
+		// Reference: one uninterrupted writer.
+		refPath := filepath.Join(dir, "ref.jsonl")
+		ref, err := Open(refPath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range want {
+			ref.Append(r)
+		}
+		ref.Close()
+		refBytes, err := os.ReadFile(refPath)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		// Fuzzed: append / kill at a random offset / resume, repeatedly.
+		path := filepath.Join(dir, "fuzzed.jsonl")
+		for round := 0; ; round++ {
+			st, err := Open(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, r := range want {
+				if !st.Has(r.Key) {
+					if err := st.Append(r); err != nil {
+						t.Fatal(err)
+					}
+				}
+			}
+			st.Close()
+			if round >= len(cuts) {
+				break
+			}
+			// Kill: truncate the file at a byte offset derived from the
+			// fuzz input (mod current size + 1 so every offset is legal).
+			data, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cut := int(cuts[round]) * 37 % (len(data) + 1)
+			if err := os.WriteFile(path, data[:cut], 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+		got, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, refBytes) {
+			t.Fatalf("resumed store differs from uninterrupted run:\n got %d bytes\nwant %d bytes", len(got), len(refBytes))
+		}
+		// And a merge of the survivor with itself is still byte-stable.
+		merged := filepath.Join(dir, "merged.jsonl")
+		if err := Merge(merged, path, path); err != nil {
+			t.Fatal(err)
+		}
+		mergedBytes, err := os.ReadFile(merged)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(mergedBytes, refBytes) {
+			t.Fatal("self-merge changed the bytes")
+		}
+	})
+}

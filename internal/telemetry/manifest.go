@@ -39,6 +39,32 @@ type ExpTiming struct {
 	WallSeconds float64 `json:"wall_seconds"`
 }
 
+// FleetSummary is the fleet-sweep section of a manifest: one shard of a
+// sharded scenario sweep (see internal/fleet).
+type FleetSummary struct {
+	Seed uint64 `json:"seed"`
+	N    int    `json:"n"` // generator scenarios in the plan
+	// Shards/Shard identify this worker's slice of the plan.
+	Shards int `json:"shards"`
+	Shard  int `json:"shard"`
+	// Items is the shard's item count; Resumed how many were already in
+	// the store when the run started (skipped, not recomputed).
+	Items   int    `json:"items"`
+	Resumed int    `json:"resumed"`
+	Store   string `json:"store"`
+}
+
+// TwinFamily is one theorem family's score in a twin-report manifest.
+type TwinFamily struct {
+	Name           string  `json:"name"`
+	N              int     `json:"n"`
+	MAPE           float64 `json:"mape"`
+	Ceiling        float64 `json:"ceiling"`
+	InBand         float64 `json:"in_band"`
+	CertViolations int     `json:"cert_violations"`
+	Pass           bool    `json:"pass"`
+}
+
 // VerifySummary is the verify-soak section of a manifest.
 type VerifySummary struct {
 	Seed      uint64         `json:"seed"`
@@ -51,9 +77,10 @@ type VerifySummary struct {
 // RunManifest is the machine-readable record of one latencysim invocation:
 // what ran (config hash + scenario spec), on which engine, how long it took,
 // what the engine's telemetry registry measured, how memory evolved, and
-// where the time went (stall tiling). `latencysim run|sweep|exp|verify
+// where the time went (stall tiling). `latencysim run|sweep|exp|verify|twin
 // -manifest-out` emit it; `latencysim manifest -check` validates it; fleet
-// sweeps use it as their per-shard result record.
+// sweeps record their shard plan and store path in the Fleet section and
+// twin reports their per-theorem scores in the Twin section.
 type RunManifest struct {
 	Schema     string `json:"schema"`
 	Command    string `json:"command"`
@@ -83,6 +110,8 @@ type RunManifest struct {
 	Sweep       []SweepPoint   `json:"sweep,omitempty"`
 	Experiments []ExpTiming    `json:"experiments,omitempty"`
 	Verify      *VerifySummary `json:"verify,omitempty"`
+	Fleet       *FleetSummary  `json:"fleet,omitempty"`
+	Twin        []TwinFamily   `json:"twin,omitempty"`
 }
 
 // ConfigHash hashes the canonical argument list of a run into a stable
@@ -135,7 +164,7 @@ func (m *RunManifest) Validate() error {
 		fail("schema %q != %q", m.Schema, ManifestSchema)
 	}
 	switch m.Command {
-	case "run", "sweep", "exp", "verify":
+	case "run", "sweep", "exp", "verify", "twin":
 	default:
 		fail("unknown command %q", m.Command)
 	}
@@ -178,8 +207,19 @@ func (m *RunManifest) Validate() error {
 			}
 		}
 	case "sweep":
-		if len(m.Sweep) == 0 {
+		if m.Fleet != nil {
+			if m.Fleet.Items <= 0 {
+				fail("fleet items must be > 0")
+			}
+			if m.Fleet.Shards > 0 && (m.Fleet.Shard < 0 || m.Fleet.Shard >= m.Fleet.Shards) {
+				fail("fleet shard %d outside [0,%d)", m.Fleet.Shard, m.Fleet.Shards)
+			}
+		} else if len(m.Sweep) == 0 {
 			fail("sweep manifest has no points")
+		}
+	case "twin":
+		if len(m.Twin) == 0 {
+			fail("twin manifest has no family reports")
 		}
 	case "exp":
 		if len(m.Experiments) == 0 {

@@ -208,6 +208,46 @@ func TestManifestRoundTripAndValidate(t *testing.T) {
 	}
 }
 
+// Fleet-mode sweep manifests validate on the Fleet section instead of
+// sweep points; twin manifests require at least one family report.
+func TestManifestFleetTwinSections(t *testing.T) {
+	fm := &RunManifest{
+		Schema: ManifestSchema, Command: "sweep",
+		ConfigHash: "x", WallSeconds: 0.1,
+		Fleet: &FleetSummary{Seed: 1, N: 100, Shards: 2, Shard: 1, Items: 50, Store: "s.jsonl"},
+	}
+	if err := fm.Validate(); err != nil {
+		t.Errorf("fleet sweep manifest rejected: %v", err)
+	}
+	bad := *fm
+	bad.Fleet = &FleetSummary{Seed: 1, N: 100, Shards: 2, Shard: 2, Items: 50}
+	if err := bad.Validate(); err == nil || !strings.Contains(err.Error(), "shard") {
+		t.Errorf("out-of-range shard accepted: %v", err)
+	}
+	bad.Fleet = &FleetSummary{Seed: 1, N: 100, Shards: 2, Shard: 0}
+	if err := bad.Validate(); err == nil || !strings.Contains(err.Error(), "items") {
+		t.Errorf("empty fleet shard accepted: %v", err)
+	}
+	// A host-size sweep (no Fleet section) still needs points.
+	empty := &RunManifest{Schema: ManifestSchema, Command: "sweep", ConfigHash: "x", WallSeconds: 0.1}
+	if err := empty.Validate(); err == nil || !strings.Contains(err.Error(), "points") {
+		t.Errorf("pointless sweep accepted: %v", err)
+	}
+
+	tm := &RunManifest{
+		Schema: ManifestSchema, Command: "twin",
+		ConfigHash: "x", WallSeconds: 0.1,
+		Twin: []TwinFamily{{Name: "uniform", N: 10, MAPE: 0.1, Ceiling: 0.2, Pass: true}},
+	}
+	if err := tm.Validate(); err != nil {
+		t.Errorf("twin manifest rejected: %v", err)
+	}
+	tm.Twin = nil
+	if err := tm.Validate(); err == nil || !strings.Contains(err.Error(), "family") {
+		t.Errorf("empty twin manifest accepted: %v", err)
+	}
+}
+
 func TestConfigHashStable(t *testing.T) {
 	a := ConfigHash([]string{"run", "-n", "256"})
 	b := ConfigHash([]string{"run", "-n", "256"})

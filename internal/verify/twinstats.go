@@ -1,0 +1,62 @@
+package verify
+
+import (
+	"latencyhide/internal/network"
+	"latencyhide/internal/twin"
+)
+
+// TwinStats computes the analytical twin's topology statistics for the
+// scenario without running any engine: the host line summary (d_ave,
+// d_max, realized bandwidth), the assignment load, and the generalised
+// ping-pong propagation floors over the guest graph (see internal/twin).
+// The fleet harness feeds these to twin.Classify/Predict and joins them
+// against measured slowdowns.
+func (s *Scenario) TwinStats() (twin.Stats, error) {
+	g, err := s.Graph()
+	if err != nil {
+		return twin.Stats{}, err
+	}
+	a, err := s.Assignment(g.NumNodes())
+	if err != nil {
+		return twin.Stats{}, err
+	}
+	delays := s.Delays()
+	st := twin.Stats{
+		Hosts:     s.HostN,
+		Cols:      g.NumNodes(),
+		Load:      a.Load(),
+		Rep:       s.Rep,
+		Steps:     s.Steps,
+		Bandwidth: s.BW,
+	}
+	if st.Bandwidth < 1 {
+		st.Bandwidth = network.Log2Ceil(s.HostN) // the engine's default
+		if st.Bandwidth < 1 {
+			st.Bandwidth = 1
+		}
+	}
+	var sum float64
+	for _, d := range delays {
+		sum += float64(d)
+		if d > st.DMax {
+			st.DMax = d
+		}
+	}
+	if len(delays) > 0 {
+		st.DAve = sum / float64(len(delays))
+	}
+	st.PropFloor, st.CertFloor = twin.Floors(g, a.Holders, delays, s.Steps)
+	return st, nil
+}
+
+// StripDynamics returns a copy of the scenario with the fault plan and
+// the adaptive-replication policy removed. The twin models the fault-free
+// protocol (its floors assume links deliver at their nominal delays), so
+// the fleet corpus strips dynamics before measuring; adversarial regimes
+// keep their own validation in E13/E18 and `verify -chaos`.
+func (s *Scenario) StripDynamics() *Scenario {
+	c := *s
+	c.Faults = nil
+	c.Adapt = nil
+	return &c
+}

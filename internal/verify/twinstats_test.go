@@ -1,0 +1,106 @@
+package verify
+
+import (
+	"testing"
+
+	"latencyhide/internal/sim"
+)
+
+// TwinStats on a hand-built scenario: a 6-column guest line on 6 hosts,
+// const delay 3, single copy — one column per host, so load 1, d_ave =
+// d_max = 3, and the ping-pong floor is exactly 3 (adjacent columns one
+// link apart).
+func TestTwinStatsHand(t *testing.T) {
+	sc := &Scenario{
+		Shape: "line", GA: 6, HostN: 6,
+		DelayKind: "const", DelayLo: 3,
+		Rep: 1, Steps: 9, Seed: 7,
+	}
+	st, err := sc.TwinStats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Hosts != 6 || st.Cols != 6 || st.Load != 1 || st.Rep != 1 || st.Steps != 9 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.DAve != 3 || st.DMax != 3 {
+		t.Fatalf("delays: dave=%v dmax=%v, want 3/3", st.DAve, st.DMax)
+	}
+	if st.Bandwidth != 3 { // log2ceil(6)
+		t.Fatalf("bandwidth = %d, want engine default 3", st.Bandwidth)
+	}
+	if st.PropFloor != 3 {
+		t.Fatalf("prop floor = %v, want 3", st.PropFloor)
+	}
+	// w=1 chain: 2*3*floor(8/2)/9 = 24/9.
+	if got, want := st.CertFloor, 24.0/9; got != want {
+		t.Fatalf("cert floor = %v, want %v", got, want)
+	}
+}
+
+// The certified floor must hold on real measured slowdowns: over a slice
+// of the generator's stream (dynamics stripped, matching the fleet
+// corpus), no scenario may beat its finite-horizon bound.
+func TestCertFloorHolds(t *testing.T) {
+	n := 60
+	if testing.Short() {
+		n = 15
+	}
+	for i := 0; i < n; i++ {
+		sc := Generate(99, i).StripDynamics()
+		st, err := sc.TwinStats()
+		if err != nil {
+			t.Fatalf("scenario %d: %v", i, err)
+		}
+		cfg, err := sc.Build()
+		if err != nil {
+			t.Fatalf("scenario %d: %v", i, err)
+		}
+		res, err := sim.Run(*cfg)
+		if err != nil {
+			t.Fatalf("scenario %d: %v", i, err)
+		}
+		if res.Slowdown < st.CertFloor-1e-9 {
+			t.Errorf("scenario %d (%s): measured %.4f beats certified floor %.4f",
+				i, sc, res.Slowdown, st.CertFloor)
+		}
+		if res.Load != st.Load {
+			t.Errorf("scenario %d: stats load %d != engine load %d", i, st.Load, res.Load)
+		}
+		if res.Bandwidth != st.Bandwidth {
+			t.Errorf("scenario %d: stats bw %d != engine bw %d", i, st.Bandwidth, res.Bandwidth)
+		}
+	}
+}
+
+func TestStripDynamics(t *testing.T) {
+	sc := Generate(1, 1) // residue class i%4==1 always carries faults
+	if sc.Faults == nil {
+		t.Fatal("generator contract changed: i%4==1 must carry faults")
+	}
+	stripped := sc.StripDynamics()
+	if stripped.Faults != nil || stripped.Adapt != nil {
+		t.Fatal("StripDynamics left dynamics behind")
+	}
+	if sc.Faults == nil {
+		t.Fatal("StripDynamics mutated the original")
+	}
+	if stripped.Shape != sc.Shape || stripped.HostN != sc.HostN || stripped.Seed != sc.Seed {
+		t.Fatal("StripDynamics changed static fields")
+	}
+	// Specs of stripped scenarios parse back without dynamics.
+	rt, err := Parse(stripped.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rt.Faults != nil || rt.Adapt != nil {
+		t.Fatal("stripped spec round-trips with dynamics")
+	}
+}
+
+func TestTwinStatsBadScenario(t *testing.T) {
+	sc := &Scenario{Shape: "nope", GA: 3, HostN: 4, DelayKind: "const", DelayLo: 1, Rep: 1, Steps: 4}
+	if _, err := sc.TwinStats(); err == nil {
+		t.Fatal("bad shape must error")
+	}
+}
