@@ -7,7 +7,7 @@ BENCH_TIME     ?= 3x
 
 COVER_MIN ?= 80
 
-.PHONY: all build test race bench bench-baseline bench-diff bench-telemetry-gate bench-parallel-gate bench-fault-gate bench-all ci check-binaries cover verify chaos twin-gate fleet experiments examples clean
+.PHONY: all build test race bench bench-baseline bench-diff bench-telemetry-gate bench-parallel-gate bench-fault-gate bench-mem-gate bench-huge-smoke bench-all ci check-binaries cover verify chaos twin-gate fleet experiments examples clean
 
 all: build test
 
@@ -129,6 +129,23 @@ bench-fault-gate:
 	else \
 		echo "bench-fault-gate: $$latest predates BenchmarkFaultQueryOff; gate arms with the next bench-baseline"; \
 	fi
+
+# Deterministic memory gate: bytes/pebble on the engine benchmarks must not
+# grow more than 10% PR-over-PR. Unlike wall time, allocation per pebble is
+# nearly machine-independent, so the memory gate covers every compared
+# engine benchmark (both records are committed files, no benchmarks run
+# here). The 100% time threshold neutralizes the wall-clock gate so this
+# target fails on memory only.
+bench-mem-gate:
+	$(GO) run ./cmd/benchcmp -diff-latest . -threshold 1.0 -mem-threshold 0.10 -only Engine
+
+# Reduced-scale EngineHuge smoke: the 10M-pebble tier's code path and its
+# declared RSS budget, scaled down to a line CI can run in seconds. The
+# pebble floor is waived at reduced scale but the RSS gate still applies —
+# a catastrophic working-set blowup shows at any size.
+HUGE_SMOKE_HOSTS ?= 1024
+bench-huge-smoke:
+	LATENCYHIDE_HUGE_HOSTS=$(HUGE_SMOKE_HOSTS) $(GO) test -run '^$$' -bench BenchmarkEngineHuge -benchtime 1x -count 1 .
 
 # The full benchmark suite (every experiment bench), no comparison.
 bench-all:

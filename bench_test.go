@@ -7,6 +7,8 @@ package latencyhide_test
 
 import (
 	"fmt"
+	"os"
+	"strconv"
 	"testing"
 
 	"latencyhide"
@@ -319,8 +321,11 @@ func benchEngine(b *testing.B, workers int) {
 		Workers: workers,
 	}
 	// B/op divided by pebbles/op is the engine's allocation footprint per
-	// pebble; benchcmp derives and tracks it as bytes_per_pebble.
+	// pebble; benchcmp derives and tracks it as bytes_per_pebble. Peak RSS
+	// rides along as rss-bytes (report-only — it includes runtime spans and
+	// whatever earlier benchmarks left resident).
 	b.ReportAllocs()
+	telemetry.ResetPeakRSS()
 	b.ResetTimer()
 	var pebbles int64
 	for i := 0; i < b.N; i++ {
@@ -331,6 +336,9 @@ func benchEngine(b *testing.B, workers int) {
 		pebbles = res.PebblesComputed
 	}
 	b.ReportMetric(float64(pebbles), "pebbles/op")
+	if rss := telemetry.ReadPeakRSS(); rss > 0 {
+		b.ReportMetric(float64(rss), "rss-bytes")
+	}
 }
 
 // BenchmarkEngineLarge is the memory-tier benchmark: a single run computes
@@ -351,6 +359,7 @@ func BenchmarkEngineLarge(b *testing.B) {
 		Assign: a,
 	}
 	b.ReportAllocs()
+	telemetry.ResetPeakRSS()
 	b.ResetTimer()
 	var pebbles int64
 	for i := 0; i < b.N; i++ {
@@ -364,6 +373,68 @@ func BenchmarkEngineLarge(b *testing.B) {
 		b.Fatalf("run computed %d pebbles, want >= 5M for the memory tier", pebbles)
 	}
 	b.ReportMetric(float64(pebbles), "pebbles/op")
+	if rss := telemetry.ReadPeakRSS(); rss > 0 {
+		b.ReportMetric(float64(rss), "rss-bytes")
+	}
+}
+
+// hugeRSSBudgetBytes is the declared working-set ceiling for the 10M-pebble
+// tier: the whole benchmark process — route table, knowledge rings, calendar,
+// Go runtime — must peak under 512 MB resident, the budget a fleet shard on a
+// commodity runner gets. The gate is on peak RSS (VmHWM after a reset), not
+// allocation totals, because retained spans are what evicts a neighbor.
+const hugeRSSBudgetBytes = 512 << 20
+
+// BenchmarkEngineHuge is the production-scale memory tier: a single run
+// computes over ten million pebbles and must stay inside hugeRSSBudgetBytes.
+// LATENCYHIDE_HUGE_HOSTS scales the host line down for smoke runs (CI's
+// bench-huge-smoke job); the pebble floor only applies at full scale, but the
+// RSS budget always does — a catastrophic blowup shows at any size.
+func BenchmarkEngineHuge(b *testing.B) {
+	hostN := 8192
+	var minPebbles int64 = 10_400_000
+	if s := os.Getenv("LATENCYHIDE_HUGE_HOSTS"); s != "" {
+		n, err := strconv.Atoi(s)
+		if err != nil || n < 64 {
+			b.Fatalf("LATENCYHIDE_HUGE_HOSTS=%q: want an integer >= 64", s)
+		}
+		hostN = n
+		minPebbles = 0
+	}
+	delays := nowLine(hostN, 3)
+	t := tree.Build(delays, 4)
+	a, err := assign.TwoLevel(t, 2, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := sim.Config{
+		Delays: delays,
+		Guest:  guest.Spec{Graph: guest.NewLinearArray(a.Columns), Steps: 168, Seed: 7},
+		Assign: a,
+	}
+	b.ReportAllocs()
+	telemetry.ResetPeakRSS()
+	b.ResetTimer()
+	var pebbles int64
+	for i := 0; i < b.N; i++ {
+		res, err := sim.Run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		pebbles = res.PebblesComputed
+	}
+	b.StopTimer()
+	if pebbles < minPebbles {
+		b.Fatalf("run computed %d pebbles, want >= %d for the huge tier", pebbles, minPebbles)
+	}
+	b.ReportMetric(float64(pebbles), "pebbles/op")
+	if rss := telemetry.ReadPeakRSS(); rss > 0 {
+		b.ReportMetric(float64(rss), "rss-bytes")
+		if rss > hugeRSSBudgetBytes {
+			b.Fatalf("peak RSS %.1f MB exceeds the declared %d MB budget",
+				float64(rss)/(1<<20), hugeRSSBudgetBytes>>20)
+		}
+	}
 }
 
 // BenchmarkTelemetryOverhead guards the zero-cost-when-disabled contract of

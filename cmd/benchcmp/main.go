@@ -18,6 +18,11 @@
 // directory (the PR-over-PR history) and fails only on sequential-engine
 // regressions beyond 15%: parallel figures vary with the runner's core
 // count, but the sequential engine must never get slower.
+//
+// -mem-threshold (with -diff-latest) additionally gates bytes/pebble: unlike
+// wall time, allocation per pebble is nearly machine-independent, so the
+// memory gate applies to every compared benchmark, not just the sequential
+// engine. Zero (the default) leaves memory report-only.
 package main
 
 import (
@@ -45,6 +50,9 @@ type Benchmark struct {
 	// BytesPerPebble is B/op divided by pebbles/op — the engine's allocation
 	// footprint per unit of useful work (needs -benchmem or b.ReportAllocs).
 	BytesPerPebble float64 `json:"bytes_per_pebble,omitempty"`
+	// PeakRSSBytes is the "rss-bytes" custom metric (ReportMetric): peak
+	// resident set during the benchmark, 0 where the bench doesn't report it.
+	PeakRSSBytes float64 `json:"peak_rss_bytes,omitempty"`
 }
 
 // Baseline is the persisted BENCH_1.json schema.
@@ -108,6 +116,9 @@ func parse(data string) ([]Benchmark, []string) {
 				b.BytesPerPebble = alloc / p
 			}
 		}
+		if rss, ok := b.Metrics["rss-bytes"]; ok {
+			b.PeakRSSBytes = rss
+		}
 		out = append(out, b)
 		raw = append(raw, strings.TrimSpace(line))
 	}
@@ -155,9 +166,11 @@ func loadBaseline(path string) (*Baseline, error) {
 // widens the gate to every compared benchmark); everything else is reported.
 // A non-empty only restricts the comparison to benchmarks whose name
 // contains it — and failing when it matches nothing, so a renamed benchmark
-// cannot silently turn a CI gate into a no-op. Returns the process exit
-// code.
-func diffLatest(dir string, threshold float64, reportOnly bool, only string, gateAll bool) int {
+// cannot silently turn a CI gate into a no-op. memThreshold > 0 gates
+// bytes/pebble growth on every compared benchmark (allocation per pebble is
+// nearly machine-independent, unlike wall time); 0 leaves memory
+// report-only. Returns the process exit code.
+func diffLatest(dir string, threshold float64, reportOnly bool, only string, gateAll bool, memThreshold float64) int {
 	paths, err := filepath.Glob(filepath.Join(dir, "BENCH_*.json"))
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchcmp:", err)
@@ -195,8 +208,12 @@ func diffLatest(dir string, threshold float64, reportOnly bool, only string, gat
 	if gateAll {
 		gate = "all compared"
 	}
-	fmt.Printf("benchcmp: diffing %s -> %s (gate: %s, %.0f%%)\n",
-		prev.path, cur.path, gate, 100*threshold)
+	memGate := "report-only"
+	if memThreshold > 0 {
+		memGate = fmt.Sprintf("%.0f%%", 100*memThreshold)
+	}
+	fmt.Printf("benchcmp: diffing %s -> %s (gate: %s, %.0f%%; memory: %s)\n",
+		prev.path, cur.path, gate, 100*threshold, memGate)
 	byName := make(map[string]Benchmark, len(prevBase.Benchmarks))
 	for _, b := range prevBase.Benchmarks {
 		byName[b.Name] = b
@@ -236,9 +253,23 @@ func diffLatest(dir string, threshold float64, reportOnly bool, only string, gat
 		}
 		fmt.Printf("%-55s %s  %+6.1f%%  %s\n", b.Name, unit, -100*delta, status)
 		if b.BytesPerPebble > 0 && old.BytesPerPebble > 0 {
-			fmt.Printf("%-55s %12.1f -> %12.1f bytes/pebble %+6.1f%%  (memory, ungated)\n",
-				"", old.BytesPerPebble, b.BytesPerPebble,
-				100*(b.BytesPerPebble/old.BytesPerPebble-1))
+			memDelta := b.BytesPerPebble/old.BytesPerPebble - 1
+			memStatus := "(memory, ungated)"
+			if memThreshold > 0 {
+				memStatus = "memory ok"
+				if memDelta > memThreshold {
+					memStatus = "MEMORY REGRESSION"
+					regressions++
+				}
+			}
+			fmt.Printf("%-55s %12.1f -> %12.1f bytes/pebble %+6.1f%%  %s\n",
+				"", old.BytesPerPebble, b.BytesPerPebble, 100*memDelta, memStatus)
+		}
+		if b.PeakRSSBytes > 0 && old.PeakRSSBytes > 0 {
+			// Peak RSS depends on GC timing and the host; always report-only.
+			fmt.Printf("%-55s %12.1f -> %12.1f MB peak RSS  %+6.1f%%  (rss, ungated)\n",
+				"", old.PeakRSSBytes/(1<<20), b.PeakRSSBytes/(1<<20),
+				100*(b.PeakRSSBytes/old.PeakRSSBytes-1))
 		}
 	}
 	if only != "" && compared == 0 {
@@ -264,6 +295,7 @@ func main() {
 	latest := flag.String("diff-latest", "", "compare the newest two BENCH_*.json files in this directory (gate: sequential engine, 15% unless -threshold is set)")
 	only := flag.String("only", "", "with -diff-latest, restrict the comparison to benchmarks whose name contains this substring (fails if nothing matches)")
 	gateAll := flag.Bool("gate-all", false, "with -diff-latest, gate every compared benchmark on the threshold, not just the sequential engine")
+	memThreshold := flag.Float64("mem-threshold", 0, "with -diff-latest, bytes/pebble growth fraction that fails the comparison for every compared benchmark (0 = report-only)")
 	var notes noteFlags
 	flag.Var(&notes, "note", "free-form note stored in the baseline (repeatable, with -write)")
 	flag.Parse()
@@ -275,7 +307,7 @@ func main() {
 				th = *threshold
 			}
 		})
-		os.Exit(diffLatest(*latest, th, *reportOnly, *only, *gateAll))
+		os.Exit(diffLatest(*latest, th, *reportOnly, *only, *gateAll, *memThreshold))
 	}
 
 	if flag.NArg() != 1 || (*write == "") == (*baseline == "") {

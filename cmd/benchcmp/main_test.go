@@ -53,7 +53,46 @@ func TestDiffLatest(t *testing.T) {
 			dir := t.TempDir()
 			writeBaseline(t, dir, "3", tc.prev)
 			writeBaseline(t, dir, "4", tc.cur)
-			if got := diffLatest(dir, 0.15, tc.report, tc.only, tc.gateAll); got != tc.wantExit {
+			if got := diffLatest(dir, 0.15, tc.report, tc.only, tc.gateAll, 0); got != tc.wantExit {
+				t.Errorf("diffLatest exit = %d, want %d", got, tc.wantExit)
+			}
+		})
+	}
+}
+
+// The memory gate fails bytes/pebble growth beyond -mem-threshold on any
+// compared benchmark (not just the sequential engine), leaves improvements
+// and sub-threshold noise alone, and stays report-only at threshold 0.
+func TestDiffLatestMemThreshold(t *testing.T) {
+	mem := func(name string, bpp float64) Benchmark {
+		return Benchmark{Name: name, NsPerOp: 1e8, PebblesPS: 5e6, BytesPerPebble: bpp}
+	}
+	seqOld := mem("BenchmarkEngineSequential", 50)
+	parOld := mem("BenchmarkEngineParallel4", 60)
+
+	cases := []struct {
+		name         string
+		prev, cur    []Benchmark
+		memThreshold float64
+		report       bool
+		wantExit     int
+	}{
+		{"flat memory passes", []Benchmark{seqOld}, []Benchmark{seqOld}, 0.10, false, 0},
+		{"improvement passes", []Benchmark{seqOld}, []Benchmark{mem("BenchmarkEngineSequential", 30)}, 0.10, false, 0},
+		{"below threshold passes", []Benchmark{seqOld}, []Benchmark{mem("BenchmarkEngineSequential", 52)}, 0.10, false, 0},
+		{"seq growth gated", []Benchmark{seqOld}, []Benchmark{mem("BenchmarkEngineSequential", 60)}, 0.10, false, 1},
+		{"parallel growth gated too", []Benchmark{parOld}, []Benchmark{mem("BenchmarkEngineParallel4", 80)}, 0.10, false, 1},
+		{"growth ungated at zero threshold", []Benchmark{seqOld}, []Benchmark{mem("BenchmarkEngineSequential", 500)}, 0, false, 0},
+		{"growth report-only", []Benchmark{seqOld}, []Benchmark{mem("BenchmarkEngineSequential", 60)}, 0.10, true, 0},
+		{"no memory figures, gate vacuous", []Benchmark{{Name: "BenchmarkEngineSequential", NsPerOp: 1e8, PebblesPS: 5e6}},
+			[]Benchmark{{Name: "BenchmarkEngineSequential", NsPerOp: 1e8, PebblesPS: 5e6}}, 0.10, false, 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			writeBaseline(t, dir, "3", tc.prev)
+			writeBaseline(t, dir, "4", tc.cur)
+			if got := diffLatest(dir, 0.15, tc.report, "", false, tc.memThreshold); got != tc.wantExit {
 				t.Errorf("diffLatest exit = %d, want %d", got, tc.wantExit)
 			}
 		})
@@ -62,11 +101,11 @@ func TestDiffLatest(t *testing.T) {
 
 func TestDiffLatestTooFewBaselines(t *testing.T) {
 	dir := t.TempDir()
-	if got := diffLatest(dir, 0.15, false, "", false); got != 0 {
+	if got := diffLatest(dir, 0.15, false, "", false, 0); got != 0 {
 		t.Errorf("empty dir exit = %d, want 0", got)
 	}
 	writeBaseline(t, dir, "1", []Benchmark{{Name: "BenchmarkEngineSequential", NsPerOp: 1e8, PebblesPS: 5e6}})
-	if got := diffLatest(dir, 0.15, false, "", false); got != 0 {
+	if got := diffLatest(dir, 0.15, false, "", false, 0); got != 0 {
 		t.Errorf("single baseline exit = %d, want 0", got)
 	}
 }
@@ -74,7 +113,7 @@ func TestDiffLatestTooFewBaselines(t *testing.T) {
 func TestParseDerivesBytesPerPebble(t *testing.T) {
 	out := `
 goos: linux
-BenchmarkEngineSequential-8   3   200000000 ns/op   520960 pebbles/op   93696000 B/op   1200 allocs/op
+BenchmarkEngineSequential-8   3   200000000 ns/op   520960 pebbles/op   150000000 rss-bytes   93696000 B/op   1200 allocs/op
 BenchmarkE10Killing-8         5   300000 ns/op
 PASS
 `
@@ -91,6 +130,9 @@ PASS
 	}
 	if want := 93696000.0 / 520960; seq.BytesPerPebble != want {
 		t.Errorf("bytes/pebble = %f, want %f", seq.BytesPerPebble, want)
+	}
+	if seq.PeakRSSBytes != 150000000 {
+		t.Errorf("peak RSS = %f, want 150000000", seq.PeakRSSBytes)
 	}
 	if benches[1].PebblesPS != 0 {
 		t.Errorf("non-engine bench grew a throughput figure: %f", benches[1].PebblesPS)

@@ -387,6 +387,20 @@ func TestRunManifestRoundTrip(t *testing.T) {
 	if got := m.Metrics.Counter("pebbles_computed"); got != m.Pebbles {
 		t.Fatalf("telemetry pebbles %d != result pebbles %d", got, m.Pebbles)
 	}
+	// Memory-budget gauges: knowledge rings always exist; this scenario
+	// replicates, so it must also report a route-table footprint. Peak RSS
+	// is best-effort, but on Linux (where CI runs) it should be real.
+	if v := m.Metrics.Gauge("know_ring_bytes_peak"); v <= 0 {
+		t.Fatalf("know_ring_bytes_peak = %d, want > 0", v)
+	}
+	if v := m.Metrics.Gauge("route_bytes"); v <= 0 {
+		t.Fatalf("route_bytes = %d, want > 0", v)
+	}
+	if rss := m.Metrics.Gauge("rss_peak_bytes"); rss < 0 {
+		t.Fatalf("rss_peak_bytes = %d, want >= 0", rss)
+	} else if telemetry.ReadPeakRSS() > 0 && rss == 0 {
+		t.Fatal("rss_peak_bytes = 0 although /proc reports a peak RSS")
+	}
 	if err := cmdManifest([]string{"-check", path}); err != nil {
 		t.Fatalf("manifest -check: %v", err)
 	}

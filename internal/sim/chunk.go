@@ -14,10 +14,14 @@ import (
 // (dense.go) — but the u64map oracle tests still key it this way.
 func kkey(col, step int32) uint64 { return uint64(uint32(col))<<32 | uint64(uint32(step)) }
 
-// msg is one pebble value in transit along a route.
+// msg is one pebble value in transit along a route. next carries the next
+// destination's absolute position so relays never load the route record or
+// decode the chain — field alignment keeps the struct at 24 bytes with or
+// without it.
 type msg struct {
 	route int32 // index into routeTable.routes
-	di    int32 // next destination index within the route
+	di    int32 // next destination index within the route chain
+	next  int32 // next destination position
 	step  int32
 	value uint64
 }
@@ -222,6 +226,10 @@ type chunk struct {
 	activeList []int32 // positions with non-empty ready heaps
 	txActive   []int32 // encoded links with queued messages: pos*2 (+1 left)
 	txFlag     []bool  // indexed by link code
+	// activeSpare/txSpare are the previous step's drained lists, recycled as
+	// next step's append targets so the per-step rebuild never allocates.
+	activeSpare []int32
+	txSpare     []int32
 
 	// outbound boundary batches (parallel engine)
 	outLeft, outRight []timedMsg
@@ -246,6 +254,10 @@ type chunk struct {
 	traceComputes []int64
 	traceHops     []int64
 
+	// deliverTap, when non-nil (tests only), observes every counted
+	// delivery; a single nil check on the hot path.
+	deliverTap func(pos int, col, step int32, value uint64)
+
 	// event buffer (Config.Recorder != nil); chunks never share a buffer,
 	// so the parallel engine records race-free. collect() merges and
 	// replays the canonical stream into the configured Recorder.
@@ -260,7 +272,7 @@ type chunk struct {
 	telPebbles, telDue, telOverflow int64
 	telMsgs, telHops, telDeliv      int64
 	telWaitHits, telWaitGrows       int64
-	telKnowGrows                    int64
+	telKnowGrows, telKnowShrinks    int64
 }
 
 // newChunk builds chunk state for positions [lo, hi).
@@ -318,7 +330,7 @@ func newChunk(cfg *Config, rt *routeTable, lo, hi int) *chunk {
 				p.blame[i].dep = make([]int64, len(oc.neighbors))
 			}
 			if i < len(owned) {
-				oc.routes = rt.bySender[pos][i]
+				oc.routes = rt.routesFor(pos, i)
 				p.remaining += int64(c.T)
 			} else {
 				// Standby replica: dormant, no routes (standbys never send),
@@ -466,17 +478,32 @@ func (c *chunk) enqueueFrom(pos int, dir int8, m msg) {
 	}
 }
 
-// handleArrival processes message m arriving at position pos: deliver if pos
-// is the current route destination, then relay onward if destinations
-// remain.
+// handleArrival processes message m arriving at position pos: deliver when
+// pos is the precomputed next destination, then relay onward while
+// destinations remain. Pure relays never touch the route table — the travel
+// direction is the sign of (next - pos) — so through-traffic stays within
+// the 24-byte message.
 func (c *chunk) handleArrival(pos int, m msg) {
-	r := &c.rt.routes[m.route]
-	if int(r.dests[m.di]) == pos {
-		c.deliverValue(pos, m.route, r.col, r.destDense[m.di], m.step, m.value)
-		m.di++
-		if int(m.di) >= len(r.dests) {
-			return
+	if int(m.next) != pos {
+		dir := int8(1)
+		if int(m.next) < pos {
+			dir = -1
 		}
+		c.enqueueFrom(pos, dir, m)
+		return
+	}
+	r := &c.rt.routes[m.route]
+	base := r.off + 2*m.di
+	c.deliverValue(pos, m.route, r.col, c.rt.chainArena[base+1], m.step, m.value)
+	m.di++
+	if m.di >= r.n {
+		return
+	}
+	delta := c.rt.chainArena[base+2]
+	if r.dir > 0 {
+		m.next = int32(pos) + delta
+	} else {
+		m.next = int32(pos) - delta
 	}
 	c.enqueueFrom(pos, r.dir, m)
 }
@@ -499,11 +526,17 @@ func (c *chunk) deliverValue(pos int, route int32, col, dense, step int32, value
 		if c.buf != nil {
 			c.buf.RecordDeliver(c.now, int32(pos), route, col, step)
 		}
+		if c.deliverTap != nil {
+			c.deliverTap(pos, col, step, value)
+		}
 		return
 	}
 	c.delivered++
 	if c.buf != nil {
 		c.buf.RecordDeliver(c.now, int32(pos), route, col, step)
+	}
+	if c.deliverTap != nil {
+		c.deliverTap(pos, col, step, value)
 	}
 	c.recordValue(p, dense, step, value)
 }
@@ -592,10 +625,19 @@ func (c *chunk) computeOne(p *proc) bool {
 		}
 		for _, rid := range oc.routes {
 			r := &c.rt.routes[rid]
-			c.enqueueFrom(int(p.pos), r.dir, msg{route: rid, di: 0, step: t, value: v})
+			next := p.pos + c.rt.chainArena[r.off]
+			if r.dir < 0 {
+				next = p.pos - c.rt.chainArena[r.off]
+			}
+			c.enqueueFrom(int(p.pos), r.dir, msg{route: rid, di: 0, next: next, step: t, value: v})
 			c.messages++
 		}
 	}
+
+	// Advance to step t+1 before retiring: the computing column is its own
+	// consumer, so the release checks below must see it already past step t
+	// or nothing would ever retire.
+	oc.next = t + 1
 
 	// Release step t-1 dependency values no local column still needs.
 	if t >= 2 {
@@ -605,8 +647,6 @@ func (c *chunk) computeOne(p *proc) bool {
 		}
 	}
 
-	// Advance to step t+1.
-	oc.next = t + 1
 	if oc.next > c.T {
 		return true
 	}
@@ -702,7 +742,7 @@ func (c *chunk) runCompute() bool {
 	// (workstations interact only through links, whose effects land in
 	// later steps), so no sorting is needed.
 	cur := c.activeList
-	c.activeList = c.activeList[len(c.activeList):]
+	c.activeList = c.activeSpare[:0]
 	for _, pos := range cur {
 		p := c.proc(int(pos))
 		lim := c.cps
@@ -721,6 +761,7 @@ func (c *chunk) runCompute() bool {
 			p.active = false
 		}
 	}
+	c.activeSpare = cur[:0]
 	return did
 }
 
@@ -729,7 +770,7 @@ func (c *chunk) runCompute() bool {
 func (c *chunk) runTransmit() bool {
 	did := false
 	cur := c.txActive
-	c.txActive = c.txActive[len(c.txActive):]
+	c.txActive = c.txSpare[:0]
 	for _, code := range cur {
 		pos := int(code / 2)
 		leftward := code%2 == 1
@@ -788,6 +829,7 @@ func (c *chunk) runTransmit() bool {
 			c.txFlag[code] = false
 		}
 	}
+	c.txSpare = cur[:0]
 	return did
 }
 

@@ -63,10 +63,12 @@ type denseKnow struct {
 
 	live      int32 // claimed slots across all rings
 	livePeak  int32 // high-water of live
-	slots     int32 // allocated ring slots across all rings (never shrinks)
+	slots     int32 // allocated ring slots across all rings, right now
+	slotsPeak int32 // high-water of slots: peak ring bytes = slotsPeak * 16
 	retireLag int32 // peak per-ring occupancy seen at claim time: how far
 	// retirement trails the frontier, in unretired steps
-	grows int64 // ring growth events
+	grows   int64 // ring growth events
+	shrinks int64 // ring shrink events
 }
 
 // initRingSlots is the initial per-column ring capacity. Most columns never
@@ -127,6 +129,7 @@ func newDenseKnow(universe []int32) denseKnow {
 		k.rings[i].slots = backing[lo : lo+initRingSlots : lo+initRingSlots]
 	}
 	k.slots = int32(len(universe) * initRingSlots)
+	k.slotsPeak = k.slots
 	return k
 }
 
@@ -217,6 +220,13 @@ func (k *denseKnow) waiterSlot(dense, step int32) *kslot {
 // cannot degrade this store. Pending-waiter slots are never deleted: the
 // engine only retires values whose consumers have all advanced past them,
 // and a consumer blocked on the value has, by definition, not.
+//
+// When occupancy falls to a quarter of a grown ring (or the ring drains
+// entirely), the ring shrinks back toward initRingSlots, so a growth spike
+// — a standby host's pinned history released by activation, a churn burst —
+// costs peak bytes only while it is live. live decrements one at a time, so
+// the equality check crosses exactly once per descent instead of rescanning
+// the ring on every del.
 func (k *denseKnow) del(dense, step int32) {
 	r := &k.rings[dense]
 	s := r.at(step)
@@ -225,6 +235,9 @@ func (k *denseKnow) del(dense, step int32) {
 		s.val = 0
 		r.live--
 		k.live--
+		if len(r.slots) > initRingSlots && (r.live*4 == int32(len(r.slots)) || r.live == 0) {
+			k.shrink(r)
+		}
 	}
 }
 
@@ -261,4 +274,47 @@ func (k *denseKnow) grow(r *kring, step int32) {
 		}
 	}
 	k.slots += int32(newCap - len(old))
+	if k.slots > k.slotsPeak {
+		k.slotsPeak = k.slots
+	}
+}
+
+// shrink narrows r to the smallest power of two that still covers the live
+// step span (but never below initRingSlots), rehoming the surviving slots.
+// Capacity >= span keeps distinct live steps at distinct residues — the same
+// invariant grow maintains — so rehoming never conflicts. Pending waiter
+// anchors move with their slots: the chain head lives in the slot itself, so
+// the copy carries the whole chain.
+func (k *denseKnow) shrink(r *kring) {
+	var lo, hi int32
+	for i := range r.slots {
+		if s := r.slots[i].step; s != 0 {
+			if lo == 0 || s < lo {
+				lo = s
+			}
+			if s > hi {
+				hi = s
+			}
+		}
+	}
+	span := 0
+	if lo != 0 {
+		span = int(hi-lo) + 1
+	}
+	newCap := initRingSlots
+	for newCap < span {
+		newCap *= 2
+	}
+	if newCap >= len(r.slots) {
+		return // sparse survivors still span the current capacity
+	}
+	k.shrinks++
+	old := r.slots
+	r.slots = make([]kslot, newCap)
+	for i := range old {
+		if old[i].step != 0 {
+			*r.at(old[i].step) = old[i]
+		}
+	}
+	k.slots -= int32(len(old) - newCap)
 }

@@ -127,10 +127,148 @@ func TestDenseWaiterAnchor(t *testing.T) {
 	}
 }
 
+// A growth spike must be temporary: once the spiked values retire, the ring
+// shrinks back to initRingSlots and only slotsPeak remembers the spike.
+func TestDenseRingShrinkAfterSpike(t *testing.T) {
+	k := singleColKnow()
+	for s := int32(1); s <= 32; s++ {
+		k.put(0, s, uint64(s))
+	}
+	if k.slots != 32 {
+		t.Fatalf("slots = %d after spike, want 32", k.slots)
+	}
+	for s := int32(1); s <= 24; s++ {
+		k.del(0, s)
+	}
+	if k.shrinks != 1 {
+		t.Fatalf("shrinks = %d, want 1", k.shrinks)
+	}
+	if k.slots != initRingSlots {
+		t.Fatalf("slots = %d after drain, want %d", k.slots, initRingSlots)
+	}
+	if k.slotsPeak != 32 {
+		t.Fatalf("slotsPeak = %d, want 32 (the spike)", k.slotsPeak)
+	}
+	for s := int32(25); s <= 32; s++ {
+		if v, ok := k.get(0, s); !ok || v != uint64(s) {
+			t.Fatalf("step %d lost across shrink", s)
+		}
+	}
+	if k.live != 8 {
+		t.Fatalf("live = %d, want 8", k.live)
+	}
+}
+
+// Shrink must rehome surviving steps whose residues wrap around the smaller
+// ring: survivors {6,7,8,9} land at residues {6,7,0,1} mod 8.
+func TestDenseRingShrinkWrapBoundary(t *testing.T) {
+	k := singleColKnow()
+	for s := int32(1); s <= 16; s++ {
+		k.put(0, s, uint64(s)*11)
+	}
+	if k.slots != 16 {
+		t.Fatalf("slots = %d, want 16", k.slots)
+	}
+	for s := int32(1); s <= 5; s++ {
+		k.del(0, s)
+	}
+	for s := int32(10); s <= 16; s++ {
+		k.del(0, s)
+	}
+	if k.shrinks != 1 || k.slots != initRingSlots {
+		t.Fatalf("shrinks = %d slots = %d, want 1 and %d", k.shrinks, k.slots, initRingSlots)
+	}
+	for s := int32(6); s <= 9; s++ {
+		if v, ok := k.get(0, s); !ok || v != uint64(s)*11 {
+			t.Fatalf("step %d lost across wrapping shrink", s)
+		}
+	}
+}
+
+// A pending waiter anchor must ride through a shrink with its chain intact.
+func TestDenseWaiterSurvivesShrink(t *testing.T) {
+	k := singleColKnow()
+	for s := int32(1); s <= 16; s++ {
+		if s != 10 {
+			k.put(0, s, uint64(s))
+		}
+	}
+	ws := k.waiterSlot(0, 10)
+	ws.waitHead = 42 // chain a fake pool node, as addWaiter does
+	for _, s := range []int32{1, 2, 3, 4, 5, 6, 7, 8, 9, 14, 15, 16} {
+		k.del(0, s)
+	}
+	if k.shrinks != 1 || k.slots != initRingSlots {
+		t.Fatalf("shrinks = %d slots = %d, want 1 and %d", k.shrinks, k.slots, initRingSlots)
+	}
+	if k.size() != 4 {
+		t.Fatalf("size = %d, want 4 (3 values + 1 pending)", k.size())
+	}
+	if head := k.put(0, 10, 99); head != 42 {
+		t.Fatalf("put after shrink returned chain %d, want 42", head)
+	}
+	for s := int32(11); s <= 13; s++ {
+		if _, ok := k.get(0, s); !ok {
+			t.Fatalf("step %d lost across shrink", s)
+		}
+	}
+}
+
+// Sparse survivors spanning more than the target capacity must refuse to
+// shrink (capacity >= span is the residue-distinctness invariant).
+func TestDenseRingShrinkRefusesWideSpan(t *testing.T) {
+	k := singleColKnow()
+	k.put(0, 1, 1)
+	k.put(0, 33, 2) // 33 ≡ 1 mod 8: conflict, span 33 -> cap 64
+	if k.slots != 64 {
+		t.Fatalf("slots = %d, want 64", k.slots)
+	}
+	for s := int32(2); s <= 16; s++ {
+		k.put(0, s, uint64(s))
+	}
+	// live 17 -> 16 crosses len/4, but survivors {1..15, 33} span 33 > 32:
+	// the shrink must refuse rather than break residue distinctness.
+	k.del(0, 16)
+	if k.shrinks != 0 {
+		t.Fatalf("shrank with live span still wide: %d", k.shrinks)
+	}
+	if _, ok := k.get(0, 33); !ok {
+		t.Fatal("step 33 lost")
+	}
+	for s := int32(1); s <= 15; s++ {
+		k.del(0, s)
+	}
+	k.del(0, 33) // live crosses 0: drained ring finally shrinks home
+	if k.shrinks != 1 || k.slots != initRingSlots {
+		t.Fatalf("drained ring did not shrink: shrinks %d slots %d", k.shrinks, k.slots)
+	}
+}
+
+// Engine-level retire-on-frontier: a fault-free run must finish with every
+// knowledge store empty and every ring back at its initial capacity — eager
+// retirement frees each value as the last local consumer advances past it,
+// and the final del of a grown ring shrinks it home.
+func TestEagerRetirementDrainsKnowledge(t *testing.T) {
+	cfg, rt := faultConfig(t)
+	c := runChunkToCompletion(t, cfg, rt)
+	for i := range c.procs {
+		p := &c.procs[i]
+		if p.know.live != 0 {
+			t.Fatalf("pos %d: %d live slots after completion", i, p.know.live)
+		}
+		if want := int32(len(p.know.universe) * initRingSlots); p.know.slots != want {
+			t.Fatalf("pos %d: %d slots after completion, want %d", i, p.know.slots, want)
+		}
+	}
+}
+
 // FuzzDenseKnowledge drives random (col, step) operation sequences against
 // the dense store and the u64map oracle and asserts identical observable
 // results. The universe is fixed and small so rings collide and grow; steps
-// span enough range to force multi-doubling growth and wraparound.
+// span enough range to force multi-doubling growth and wraparound. Shrinks
+// fire inside del, so every shrink is checked against the oracle too: the
+// live count, every stored value (final sweep), and the floor/peak slot
+// invariants must hold after it.
 func FuzzDenseKnowledge(f *testing.F) {
 	f.Add([]byte{0, 0, 1, 0, 2, 0, 1, 0, 1, 0, 1, 0})
 	f.Add([]byte{1, 1, 200, 0, 1, 1, 8, 0, 0, 1, 200, 0, 2, 1, 200, 0})
@@ -184,6 +322,12 @@ func FuzzDenseKnowledge(f *testing.F) {
 			if k.size() != oracle.size()+len(pending) {
 				t.Fatalf("live %d != oracle %d + pending %d",
 					k.size(), oracle.size(), len(pending))
+			}
+			if k.slots < int32(len(universe)*initRingSlots) {
+				t.Fatalf("slots %d below the initRingSlots floor", k.slots)
+			}
+			if k.slotsPeak < k.slots {
+				t.Fatalf("slotsPeak %d < slots %d", k.slotsPeak, k.slots)
 			}
 		}
 		// Final sweep: every key the oracle holds must be readable densely.

@@ -316,11 +316,11 @@ func TestRouteTableProperties(t *testing.T) {
 		// per column: the union of route dests equals
 		// holders(neighbors) \ holders(col), with no duplicates
 		covered := make(map[[2]int]bool)
-		for _, rr := range rt.routes {
+		for id, rr := range rt.routes {
 			if !a.Holds(int(rr.sender), int(rr.col)) {
 				t.Fatalf("sender %d does not hold col %d", rr.sender, rr.col)
 			}
-			for _, dst := range rr.dests {
+			for _, dst := range rt.destsOf(int32(id)) {
 				key := [2]int{int(rr.col), int(dst)}
 				if covered[key] {
 					t.Fatalf("col %d dest %d covered twice", rr.col, dst)

@@ -92,9 +92,10 @@ func TestDuplicateDeliveryDetected(t *testing.T) {
 		t.Skip("no routes")
 	}
 	r := rt.routes[0]
-	pos := int(r.dests[0])
-	c.deliverValue(pos, 0, r.col, r.destDense[0], 1, 42)
-	c.deliverValue(pos, 0, r.col, r.destDense[0], 1, 42)
+	pos := int(rt.destsOf(0)[0])
+	dense := rt.destDenseOf(0)[0]
+	c.deliverValue(pos, 0, r.col, dense, 1, 42)
+	c.deliverValue(pos, 0, r.col, dense, 1, 42)
 	if c.duplicates != 1 {
 		t.Fatalf("duplicates %d", c.duplicates)
 	}

@@ -147,11 +147,8 @@ func TestWatchdogCatchesDeadlock(t *testing.T) {
 	}
 	// An empty route table: step-2 pebbles need the neighbor's step-1 value,
 	// which is never routed — the canonical "assignment bug" deadlock.
-	rt := &routeTable{bySender: make([][][]int32, 2)}
-	for p := range rt.bySender {
-		rt.bySender[p] = make([][]int32, len(a.Owned[p]))
-	}
-	rt.countCrossings(2)
+	rt := newRouteShell(a)
+	rt.countCrossings(2, nil)
 	start := time.Now()
 	_, err = runParallelWithCuts(&cfg, rt, []int{0, 1, 2})
 	if err == nil {

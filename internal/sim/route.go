@@ -10,36 +10,122 @@ import (
 
 // A route is a static multicast chain for one guest column's pebble stream:
 // whenever the sender computes pebble (col, t), the value travels in
-// direction dir and is delivered at every position in dests, in travel
-// order. Routes are computed once per simulation.
+// direction dir and is delivered at every destination, in travel order.
+// Routes are computed once per simulation.
 //
 // Destinations of a column are the holders of its guest-neighbor columns
 // that do not hold the column itself (holders compute their own copy — that
 // is the redundant computation doing its job). Each destination is served by
 // its nearest holder, so a value crosses each link at most twice (once per
 // direction) per guest step.
-type route struct {
+//
+// Compact representation. Route records are fixed-size; the variable-length
+// destination chains live in one shared arena as interleaved (delta, dense)
+// pairs:
+//
+//	delta — hop distance to this destination in travel direction (from the
+//	        sender for the first pair, from the previous destination after),
+//	        always >= 1, so a chain is strictly monotone by construction;
+//	dense — the column's index in that destination's dense knowledge store
+//	        (dense.go), resolved at build time so deliveries never look a
+//	        column up.
+//
+// Deltas are sender-relative, which is what makes sharing safe under
+// mirroring: two replicated senders whose fan-outs have the same shape —
+// the common case for block/mirrored assignments, where every replica of a
+// column feeds the same relative pattern of neighbor holders — encode to
+// identical (delta, dense) sequences even though their absolute destination
+// positions differ. buildRoutes interns chains on their encoded bytes, so
+// each distinct shape is stored once no matter how many routes share it.
+type routeRec struct {
 	col    int32
-	dir    int8 // +1 rightward, -1 leftward
 	sender int32
-	dests  []int32 // positions in travel order
-	// destDense[j] is col's index in dests[j]'s dense knowledge store
-	// (dense.go), resolved once at build time so deliveries never look a
-	// column up. Every destination holds a guest neighbor of col, so col is
-	// always in its universe.
-	destDense []int32
+	off    int32 // start of this route's (delta, dense) pairs in chainArena
+	n      int32 // number of destinations
+	dir    int8  // +1 rightward, -1 leftward
 }
 
+// routeRecBytes is the in-memory size of one routeRec (4 int32 + int8,
+// padded); bytes() uses it so telemetry can report the table footprint.
+const routeRecBytes = 20
+
 type routeTable struct {
-	routes []route
-	// bySender[p] lists, for each guest column p holds, the route ids p
-	// must feed; indexed parallel to assign.Owned[p].
-	bySender [][][]int32
+	routes []routeRec
+	// chainArena holds every route's destination chain as interleaved
+	// (delta, dense) pairs; routes with identical encodings share one span.
+	chainArena []int32
+	// Flattened sender index: the routes fed by position p's owned-column
+	// slot i (parallel to assign.Owned[p]) are
+	//
+	//	routeIDs[slotOff[senderBase[p]+i] : slotOff[senderBase[p]+i+1]]
+	//
+	// replacing the old triple-nested [][][]int32 with three flat arrays.
+	routeIDs   []int32
+	slotOff    []int32
+	senderBase []int32
 	// crossR[i] / crossL[i] count the routes whose traffic crosses link
 	// (i, i+1) rightward / leftward — i.e. messages per guest step in each
 	// direction. Chunks use them to pre-size link queues and boundary
 	// outboxes so the steady-state hot path never grows a slice.
 	crossR, crossL []int32
+}
+
+// newRouteShell builds an empty table with the sender index sized for the
+// assignment, so routesFor works before (or without) any routes existing.
+func newRouteShell(a *assign.Assignment) *routeTable {
+	rt := &routeTable{senderBase: make([]int32, a.HostN+1)}
+	total := int32(0)
+	for p := 0; p < a.HostN; p++ {
+		rt.senderBase[p] = total
+		total += int32(len(a.Owned[p]))
+	}
+	rt.senderBase[a.HostN] = total
+	rt.slotOff = make([]int32, total+1)
+	return rt
+}
+
+// routesFor lists the route ids position pos feeds for its owned-column
+// slot i (parallel to assign.Owned[pos]).
+func (rt *routeTable) routesFor(pos, slot int) []int32 {
+	s := rt.senderBase[pos] + int32(slot)
+	return rt.routeIDs[rt.slotOff[s]:rt.slotOff[s+1]]
+}
+
+// destsOf decodes route id's destination positions in travel order.
+// Tests and diagnostics only — the hot path walks the chain incrementally.
+func (rt *routeTable) destsOf(id int32) []int32 {
+	r := &rt.routes[id]
+	out := make([]int32, r.n)
+	pos := r.sender
+	for j := int32(0); j < r.n; j++ {
+		delta := rt.chainArena[r.off+2*j]
+		if r.dir > 0 {
+			pos += delta
+		} else {
+			pos -= delta
+		}
+		out[j] = pos
+	}
+	return out
+}
+
+// destDenseOf decodes route id's per-destination dense store indexes,
+// parallel to destsOf. Tests and diagnostics only.
+func (rt *routeTable) destDenseOf(id int32) []int32 {
+	r := &rt.routes[id]
+	out := make([]int32, r.n)
+	for j := int32(0); j < r.n; j++ {
+		out[j] = rt.chainArena[r.off+2*j+1]
+	}
+	return out
+}
+
+// bytes reports the table's resident footprint: fixed records plus the
+// shared arena and the flattened sender index.
+func (rt *routeTable) bytes() int64 {
+	words := len(rt.chainArena) + len(rt.routeIDs) + len(rt.slotOff) +
+		len(rt.senderBase) + len(rt.crossR) + len(rt.crossL)
+	return int64(len(rt.routes))*routeRecBytes + int64(words)*4
 }
 
 // buildRoutes derives the multicast routing table from the guest graph and
@@ -60,7 +146,7 @@ type routeTable struct {
 // receiving the dependency stream all along. Standby replicas are never
 // senders (activated standbys serve only their own host).
 func buildRoutes(g guest.Graph, a *assign.Assignment, avoid []int, extra [][]int) *routeTable {
-	rt := &routeTable{bySender: make([][][]int32, a.HostN)}
+	rt := newRouteShell(a)
 	// extraHolders[c] lists the hosts with a standby replica of column c.
 	var extraHolders [][]int
 	if extra != nil {
@@ -70,9 +156,6 @@ func buildRoutes(g guest.Graph, a *assign.Assignment, avoid []int, extra [][]int
 				extraHolders[col] = append(extraHolders[col], p)
 			}
 		}
-	}
-	for p := range rt.bySender {
-		rt.bySender[p] = make([][]int32, len(a.Owned[p]))
 	}
 	dead := make(map[int]bool, len(avoid))
 	for _, h := range avoid {
@@ -120,6 +203,44 @@ func buildRoutes(g guest.Graph, a *assign.Assignment, avoid []int, extra [][]int
 			return hs[i]
 		}
 	}
+
+	// uniFor lazily resolves a position's dense-store universe. The
+	// computation must match newChunk's (both call colUniverse over the same
+	// owned lists, base plus standby), which keeps the route table valid for
+	// any chunking of the line.
+	universes := make([][]int32, a.HostN)
+	uniFor := func(pos int32) []int32 {
+		if universes[pos] == nil {
+			owned := a.Owned[pos]
+			if extra != nil && len(extra[pos]) > 0 {
+				owned = unionCols(owned, extra[pos])
+			}
+			universes[pos] = colUniverse(g.Neighbors, owned)
+		}
+		return universes[pos]
+	}
+
+	// intern stores an encoded chain in the arena, returning the offset of
+	// an existing identical chain when one was already interned.
+	interned := make(map[string]int32)
+	var keyBuf []byte
+	intern := func(enc []int32) int32 {
+		keyBuf = keyBuf[:0]
+		for _, v := range enc {
+			keyBuf = append(keyBuf, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+		}
+		if off, ok := interned[string(keyBuf)]; ok {
+			return off
+		}
+		off := int32(len(rt.chainArena))
+		rt.chainArena = append(rt.chainArena, enc...)
+		interned[string(keyBuf)] = off
+		return off
+	}
+
+	slotRoutes := make([][]int32, len(rt.slotOff)-1)
+	var lasts []int32 // last destination per route, for countCrossings
+	var enc []int32   // encoding scratch
 
 	type chainKey struct {
 		sender int
@@ -178,64 +299,61 @@ func buildRoutes(g guest.Graph, a *assign.Assignment, avoid []int, extra [][]int
 			} else {
 				sort.Slice(dests, func(i, j int) bool { return dests[i] > dests[j] })
 			}
+			// Encode the chain: sender-relative deltas plus dense indexes.
+			enc = enc[:0]
+			prev := int32(k.sender)
+			for _, d := range dests {
+				delta := d - prev
+				if k.dir < 0 {
+					delta = prev - d
+				}
+				dense := denseIndex(uniFor(d), int32(col))
+				if dense < 0 {
+					panic(fmt.Sprintf("sim: route for col %d delivers to pos %d, which holds no neighbor of it", col, d))
+				}
+				enc = append(enc, delta, dense)
+				prev = d
+			}
 			id := int32(len(rt.routes))
-			rt.routes = append(rt.routes, route{
+			rt.routes = append(rt.routes, routeRec{
 				col:    int32(col),
-				dir:    k.dir,
 				sender: int32(k.sender),
-				dests:  dests,
+				off:    intern(enc),
+				n:      int32(len(dests)),
+				dir:    k.dir,
 			})
+			lasts = append(lasts, dests[len(dests)-1])
 			// Attach to the sender's owned-column slot.
 			idx := sort.SearchInts(a.Owned[k.sender], col)
-			rt.bySender[k.sender][idx] = append(rt.bySender[k.sender][idx], id)
+			slot := rt.senderBase[k.sender] + int32(idx)
+			slotRoutes[slot] = append(slotRoutes[slot], id)
 		}
 	}
-	rt.resolveDestDense(g, a, extra)
-	rt.countCrossings(a.HostN)
+	// Flatten the per-slot route lists into routeIDs/slotOff.
+	rt.routeIDs = make([]int32, 0, len(rt.routes))
+	for s, ids := range slotRoutes {
+		rt.slotOff[s] = int32(len(rt.routeIDs))
+		rt.routeIDs = append(rt.routeIDs, ids...)
+	}
+	rt.slotOff[len(slotRoutes)] = int32(len(rt.routeIDs))
+	rt.countCrossings(a.HostN, lasts)
 	return rt
-}
-
-// resolveDestDense precomputes, for every route destination, the column's
-// index in that position's dense knowledge store. The universe computation
-// here must match newChunk's (both call colUniverse over the same owned
-// lists, base plus standby), which keeps the route table valid for any
-// chunking of the line.
-func (rt *routeTable) resolveDestDense(g guest.Graph, a *assign.Assignment, extra [][]int) {
-	universes := make([][]int32, a.HostN)
-	uniFor := func(pos int32) []int32 {
-		if universes[pos] == nil {
-			owned := a.Owned[pos]
-			if extra != nil && len(extra[pos]) > 0 {
-				owned = unionCols(owned, extra[pos])
-			}
-			universes[pos] = colUniverse(g.Neighbors, owned)
-		}
-		return universes[pos]
-	}
-	for i := range rt.routes {
-		r := &rt.routes[i]
-		r.destDense = make([]int32, len(r.dests))
-		for j, d := range r.dests {
-			dense := denseIndex(uniFor(d), r.col)
-			if dense < 0 {
-				panic(fmt.Sprintf("sim: route %d delivers col %d to pos %d, which holds no neighbor of it", i, r.col, d))
-			}
-			r.destDense[j] = dense
-		}
-	}
 }
 
 // countCrossings fills crossR/crossL via difference arrays: a rightward
 // route from s whose last destination is L crosses links s..L-1; a leftward
-// one crosses links L..s-1 (link i connects positions i and i+1).
-func (rt *routeTable) countCrossings(hostN int) {
+// one crosses links L..s-1 (link i connects positions i and i+1). lasts is
+// the per-route last destination, parallel to routes (tracked at build time
+// so this pass never decodes a chain).
+func (rt *routeTable) countCrossings(hostN int, lasts []int32) {
 	if hostN < 2 {
 		return
 	}
 	diffR := make([]int32, hostN)
 	diffL := make([]int32, hostN)
-	for _, r := range rt.routes {
-		last := r.dests[len(r.dests)-1]
+	for i := range rt.routes {
+		r := &rt.routes[i]
+		last := lasts[i]
 		if r.dir > 0 {
 			diffR[r.sender]++
 			diffR[last]--
@@ -255,25 +373,36 @@ func (rt *routeTable) countCrossings(hostN int) {
 	}
 }
 
-// validateRoutes double-checks structural soundness; engines call it in
-// tests via an exported hook.
+// validate double-checks structural soundness; engines call it in tests via
+// an exported hook. Positive deltas make chains strictly monotone by
+// construction, so the checks mirror the old per-destination ordering
+// checks exactly.
 func (rt *routeTable) validate(hostN int) error {
-	for i, r := range rt.routes {
-		if len(r.dests) == 0 {
+	for i := range rt.routes {
+		r := &rt.routes[i]
+		if r.n == 0 {
 			return fmt.Errorf("sim: route %d has no destinations", i)
 		}
-		prev := r.sender
-		for _, d := range r.dests {
-			if d < 0 || int(d) >= hostN {
-				return fmt.Errorf("sim: route %d dest %d out of range", i, d)
+		if r.off < 0 || int(r.off+2*r.n) > len(rt.chainArena) {
+			return fmt.Errorf("sim: route %d chain span [%d, %d) outside arena", i, r.off, r.off+2*r.n)
+		}
+		pos := r.sender
+		for j := int32(0); j < r.n; j++ {
+			delta := rt.chainArena[r.off+2*j]
+			if delta < 1 {
+				return fmt.Errorf("sim: route %d hop %d has non-positive delta %d", i, j, delta)
 			}
-			if r.dir > 0 && d <= prev {
-				return fmt.Errorf("sim: rightward route %d not strictly increasing", i)
+			if r.dir > 0 {
+				pos += delta
+			} else {
+				pos -= delta
 			}
-			if r.dir < 0 && d >= prev {
-				return fmt.Errorf("sim: leftward route %d not strictly decreasing", i)
+			if pos < 0 || int(pos) >= hostN {
+				return fmt.Errorf("sim: route %d dest %d out of range", i, pos)
 			}
-			prev = d
+			if rt.chainArena[r.off+2*j+1] < 0 {
+				return fmt.Errorf("sim: route %d hop %d has negative dense index", i, j)
+			}
 		}
 	}
 	return nil

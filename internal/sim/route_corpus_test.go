@@ -1,0 +1,52 @@
+package sim_test
+
+import (
+	"testing"
+
+	"latencyhide/internal/sim"
+	"latencyhide/internal/verify"
+)
+
+// TestRouteCompactDifferentialCorpus runs the verify scenario corpus —
+// including crash-stop scenarios (which exercise buildRoutes' avoid path)
+// and adaptive scenarios (the standby extra path) — through both the
+// compact and the retained reference route builders, asserting structural
+// equality and bit-identical obs event streams. It lives in package
+// sim_test because internal/verify imports internal/sim; the differential
+// itself is sim.RouteDifferential, exported from the in-package test files.
+func TestRouteCompactDifferentialCorpus(t *testing.T) {
+	n := 40
+	if testing.Short() {
+		n = 10
+	}
+	var crashes, adaptive int
+	check := func(t *testing.T, sc *verify.Scenario) {
+		cfg, err := sc.Build()
+		if err != nil {
+			t.Fatalf("%s: %v", sc, err)
+		}
+		if cfg.Faults != nil && len(cfg.Faults.CrashedHosts()) > 0 {
+			crashes++
+		}
+		if cfg.Adapt != nil {
+			adaptive++
+		}
+		if err := sim.RouteDifferential(*cfg, true); err != nil {
+			t.Fatalf("%s: %v", sc, err)
+		}
+	}
+	for i := 0; i < n; i++ {
+		check(t, verify.Generate(99, i))
+	}
+	for i := 0; i < n/2; i++ {
+		check(t, verify.GenerateChaos(77, i))
+	}
+	// The corpus must actually have exercised the avoid (crash-stop) and
+	// extra (adaptive standby) builder paths, not just fault-free tables.
+	if crashes == 0 {
+		t.Fatal("corpus exercised no crash-stop scenarios")
+	}
+	if adaptive == 0 {
+		t.Fatal("corpus exercised no adaptive scenarios")
+	}
+}

@@ -5,6 +5,7 @@ import (
 
 	"latencyhide/internal/guest"
 	"latencyhide/internal/obs"
+	"latencyhide/internal/telemetry"
 )
 
 // runSequential executes the whole line as a single chunk, fast-forwarding
@@ -104,6 +105,11 @@ func frontier(c *chunk) string {
 // every database replica against the sequential reference executor.
 func collect(cfg *Config, chunks []*chunk) (*Result, error) {
 	res := &Result{}
+	if len(chunks) > 0 && chunks[0].tel != nil {
+		// One process-wide reading at collect time; 0 means unknown
+		// (non-Linux / restricted proc) and the manifest tolerates that.
+		chunks[0].tel.SetMax(chunks[0].met.rssPeakBytes, int64(telemetry.ReadPeakRSS()))
+	}
 	var dups int64
 	for _, c := range chunks {
 		c.flushTelemetry() // final delta push; no-op without a registry

@@ -42,6 +42,7 @@ type engineMetrics struct {
 	waiterPoolHits    telemetry.CounterID // waiter nodes recycled from the freelist
 	waiterPoolGrows   telemetry.CounterID // waiter nodes that grew the pool
 	knowRingGrows     telemetry.CounterID // dense knowledge rings that outgrew their window
+	knowRingShrinks   telemetry.CounterID // dense knowledge rings shrunk back after a spike
 	boundaryFlushes   telemetry.CounterID // coalesced boundary batches shipped
 	boundaryMsgs      telemetry.CounterID // messages carried by those batches
 	ringFullStalls    telemetry.CounterID // producer retries against a full SPSC ring
@@ -59,6 +60,11 @@ type engineMetrics struct {
 	knowRetireLagPeak telemetry.GaugeID // peak unretired steps behind a column's frontier
 	ringOccupancyPeak telemetry.GaugeID // peak SPSC boundary-ring occupancy (batches)
 	pubclockLagMax    telemetry.GaugeID // max (local clock - neighbor's published clock)
+
+	// memory-budget gauges (fleet sweeps read these to budget per shard)
+	routeBytes        telemetry.GaugeID // resident footprint of the shared route table
+	knowRingBytesPeak telemetry.GaugeID // peak knowledge-ring bytes across a chunk's stores
+	rssPeakBytes      telemetry.GaugeID // process peak RSS at collect time (0 if unknown)
 
 	// histograms
 	duePerStep telemetry.HistID // calendar keys due per busy step
@@ -79,6 +85,7 @@ func registerEngineMetrics(reg *telemetry.Registry) *engineMetrics {
 		waiterPoolHits:    reg.Counter("waiter_pool_hits"),
 		waiterPoolGrows:   reg.Counter("waiter_pool_grows"),
 		knowRingGrows:     reg.Counter("know_ring_grows"),
+		knowRingShrinks:   reg.Counter("know_ring_shrinks"),
 		boundaryFlushes:   reg.Counter("boundary_flushes"),
 		boundaryMsgs:      reg.Counter("boundary_msgs"),
 		ringFullStalls:    reg.Counter("ring_full_stalls"),
@@ -95,6 +102,10 @@ func registerEngineMetrics(reg *telemetry.Registry) *engineMetrics {
 		knowRetireLagPeak: reg.Gauge("know_retire_lag_peak"),
 		ringOccupancyPeak: reg.Gauge("ring_occupancy_peak"),
 		pubclockLagMax:    reg.Gauge("pubclock_lag_max"),
+
+		routeBytes:        reg.Gauge("route_bytes"),
+		knowRingBytesPeak: reg.Gauge("know_ring_bytes_peak"),
+		rssPeakBytes:      reg.Gauge("rss_peak_bytes"),
 
 		duePerStep: reg.Histogram("cal_due_per_step"),
 		batchSize:  reg.Histogram("boundary_batch_size"),
@@ -115,6 +126,9 @@ func (c *chunk) initTelemetry() {
 	c.tel = c.cfg.Telemetry.NewShard(fmt.Sprintf("chunk[%d,%d)", c.lo, c.hi))
 	c.telInitWork = c.remaining
 	c.tel.Add(c.met.pebblesTotal, c.remaining)
+	// The route table is shared across chunks; every chunk reports the same
+	// figure and the gauge keeps the max, so it never double-counts.
+	c.tel.SetMax(c.met.routeBytes, c.rt.bytes())
 }
 
 // flushTelemetry pushes the chunk's plain accumulators into its shard:
@@ -139,7 +153,7 @@ func (c *chunk) flushTelemetry() {
 	flush(c.met.deliveries, c.delivered, &c.telDeliv)
 
 	var hits, grows, readyPeak int64
-	var knowGrows, livePeak, slotsPeak, lagPeak int64
+	var knowGrows, knowShrinks, livePeak, slotsPeak, ringBytesPeak, lagPeak int64
 	for i := range c.procs {
 		p := &c.procs[i]
 		hits += p.waitHits
@@ -150,12 +164,14 @@ func (c *chunk) flushTelemetry() {
 		// Dense-store occupancy gauges are O(1) per proc: the store
 		// maintains them inline, unlike the old rotating u64map probe scan.
 		knowGrows += p.know.grows
+		knowShrinks += p.know.shrinks
 		if v := int64(p.know.livePeak); v > livePeak {
 			livePeak = v
 		}
-		if v := int64(p.know.slots); v > slotsPeak {
+		if v := int64(p.know.slotsPeak); v > slotsPeak {
 			slotsPeak = v
 		}
+		ringBytesPeak += int64(p.know.slotsPeak) * 16
 		if v := int64(p.know.retireLag); v > lagPeak {
 			lagPeak = v
 		}
@@ -163,6 +179,7 @@ func (c *chunk) flushTelemetry() {
 	flush(c.met.waiterPoolHits, hits, &c.telWaitHits)
 	flush(c.met.waiterPoolGrows, grows, &c.telWaitGrows)
 	flush(c.met.knowRingGrows, knowGrows, &c.telKnowGrows)
+	flush(c.met.knowRingShrinks, knowShrinks, &c.telKnowShrinks)
 
 	c.tel.SetMax(c.met.calRingDepthPeak, int64(c.cal.depthPeak))
 	c.tel.SetMax(c.met.calOverflowPeak, int64(c.cal.overflowPeak))
@@ -171,4 +188,7 @@ func (c *chunk) flushTelemetry() {
 	c.tel.SetMax(c.met.knowLivePeak, livePeak)
 	c.tel.SetMax(c.met.knowSlotsPeak, slotsPeak)
 	c.tel.SetMax(c.met.knowRetireLagPeak, lagPeak)
+	// Sum of per-store peaks (16 bytes per kslot): an upper bound on the
+	// chunk's true simultaneous ring footprint, cheap and O(procs).
+	c.tel.SetMax(c.met.knowRingBytesPeak, ringBytesPeak)
 }

@@ -197,6 +197,16 @@ func (m *RunManifest) Validate() error {
 			if m.Metrics.Gauge("cal_ring_depth_peak") <= 0 {
 				fail("gauge cal_ring_depth_peak must be > 0")
 			}
+			// Memory-budget gauges: every run has knowledge rings, so
+			// their peak footprint must be reported; the route table is
+			// only nonzero when the run actually routed messages; peak RSS
+			// is best-effort (0 = unknown on non-Linux / restricted proc).
+			if m.Metrics.Gauge("know_ring_bytes_peak") <= 0 {
+				fail("gauge know_ring_bytes_peak must be > 0")
+			}
+			if m.Metrics.Counter("messages_injected") > 0 && m.Metrics.Gauge("route_bytes") <= 0 {
+				fail("gauge route_bytes must be > 0 when messages were injected")
+			}
 			if m.Engine == "parallel" {
 				if m.Metrics.Gauge("ring_occupancy_peak") <= 0 {
 					fail("gauge ring_occupancy_peak must be > 0 on the parallel engine")

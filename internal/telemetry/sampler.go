@@ -182,3 +182,18 @@ func readRSS() uint64 { return readProcStatusKB("VmRSS:") }
 // 0 if unknown). Peak RSS is the honest memory cost for bytes/pebble: it
 // includes the Go runtime's retained spans, not just live heap.
 func ReadPeakRSS() uint64 { return readProcStatusKB("VmHWM:") }
+
+// ResetPeakRSS zeroes the kernel's VmHWM watermark (/proc/self/clear_refs
+// "5"), so a subsequent ReadPeakRSS reflects only memory touched after the
+// reset — which is what lets one test process measure several benchmarks'
+// peaks independently. Best-effort: silently a no-op where clear_refs is
+// unavailable (non-Linux, restricted /proc), in which case ReadPeakRSS
+// keeps reporting the process-lifetime peak.
+func ResetPeakRSS() {
+	f, err := os.OpenFile("/proc/self/clear_refs", os.O_WRONLY, 0)
+	if err != nil {
+		return
+	}
+	_, _ = f.Write([]byte("5"))
+	_ = f.Close()
+}

@@ -151,11 +151,13 @@ func TestManifestRoundTripAndValidate(t *testing.T) {
 	dir := t.TempDir()
 	path := dir + "/m.json"
 	snap := &Snapshot{
-		Counters: map[string]int64{"cal_due_events": 123},
+		Counters: map[string]int64{"cal_due_events": 123, "messages_injected": 40},
 		Gauges: map[string]int64{
-			"cal_ring_depth_peak": 4,
-			"ring_occupancy_peak": 2,
-			"pubclock_lag_max":    17,
+			"cal_ring_depth_peak":  4,
+			"ring_occupancy_peak":  2,
+			"pubclock_lag_max":     17,
+			"know_ring_bytes_peak": 2048,
+			"route_bytes":          512,
 		},
 	}
 	m := &RunManifest{
@@ -187,7 +189,10 @@ func TestManifestRoundTripAndValidate(t *testing.T) {
 	bad := *got
 	bad.Metrics = &Snapshot{
 		Counters: map[string]int64{"cal_due_events": 123},
-		Gauges:   map[string]int64{"cal_ring_depth_peak": 4},
+		Gauges: map[string]int64{
+			"cal_ring_depth_peak":  4,
+			"know_ring_bytes_peak": 2048,
+		},
 	}
 	if err := bad.Validate(); err == nil ||
 		!strings.Contains(err.Error(), "ring_occupancy_peak") {
@@ -199,6 +204,41 @@ func TestManifestRoundTripAndValidate(t *testing.T) {
 	seq.Workers = 0
 	if err := seq.Validate(); err != nil {
 		t.Errorf("sequential manifest rejected: %v", err)
+	}
+	// Knowledge-ring footprint is mandatory for every run...
+	noMem := seq
+	noMem.Metrics = &Snapshot{
+		Counters: map[string]int64{"cal_due_events": 123},
+		Gauges:   map[string]int64{"cal_ring_depth_peak": 4},
+	}
+	if err := noMem.Validate(); err == nil ||
+		!strings.Contains(err.Error(), "know_ring_bytes_peak") {
+		t.Errorf("missing know_ring_bytes_peak not flagged: %v", err)
+	}
+	// ...while route_bytes is only required once messages were injected:
+	// a run that never routed (single host, no replication) reports zero.
+	routed := seq
+	routed.Metrics = &Snapshot{
+		Counters: map[string]int64{"cal_due_events": 123, "messages_injected": 9},
+		Gauges: map[string]int64{
+			"cal_ring_depth_peak":  4,
+			"know_ring_bytes_peak": 2048,
+		},
+	}
+	if err := routed.Validate(); err == nil ||
+		!strings.Contains(err.Error(), "route_bytes") {
+		t.Errorf("routed run without route_bytes not flagged: %v", err)
+	}
+	unrouted := routed
+	unrouted.Metrics = &Snapshot{
+		Counters: map[string]int64{"cal_due_events": 123},
+		Gauges: map[string]int64{
+			"cal_ring_depth_peak":  4,
+			"know_ring_bytes_peak": 2048,
+		},
+	}
+	if err := unrouted.Validate(); err != nil {
+		t.Errorf("message-free run rejected for zero route_bytes: %v", err)
 	}
 	// Wrong schema fails.
 	ws := *got
